@@ -1,0 +1,163 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Quick pytest-benchmark versions of ``python -m repro.bench.ablation``:
+crypto profile cost, single- vs multi-object chunks, cache-size effect,
+and index-kind lookup cost.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.tpcb import AccountRec
+from repro.cache import SharedLruCache
+from repro.chunkstore import ChunkStore
+from repro.collectionstore import CollectionStore, Indexer
+from repro.config import (
+    ChunkStoreConfig,
+    CollectionStoreConfig,
+    ObjectStoreConfig,
+    SecurityProfile,
+)
+from repro.objectstore import ClassRegistry, ObjectStore
+from repro.platform import (
+    MemoryOneWayCounter,
+    MemorySecretStore,
+    MemoryUntrustedStore,
+)
+
+SECRET = b"benchmark-ablation-secret-012345"
+
+
+def make_chunk_store(profile: SecurityProfile) -> ChunkStore:
+    return ChunkStore.format(
+        MemoryUntrustedStore(),
+        MemorySecretStore(SECRET),
+        MemoryOneWayCounter(),
+        ChunkStoreConfig(
+            segment_size=64 * 1024,
+            initial_segments=4,
+            checkpoint_residual_bytes=512 * 1024,
+            map_fanout=64,
+            security=profile,
+        ),
+    )
+
+
+@pytest.mark.benchmark(group="ablation-crypto")
+@pytest.mark.parametrize(
+    "profile_name,profile",
+    [
+        ("insecure", SecurityProfile.insecure()),
+        ("sha1-null", SecurityProfile(True, "sha1", "null")),
+        ("sha1-aes128", SecurityProfile(True, "sha1", "aes-128")),
+        ("sha1pure-aes128", SecurityProfile(True, "sha1-pure", "aes-128")),
+    ],
+)
+def test_crypto_profile_write_read(benchmark, profile_name, profile):
+    """Chunk write+read round trip per security profile (paper: crypto
+    CPU < 10% with optimized C; pure Python shifts the balance)."""
+    store = make_chunk_store(profile)
+    cid = store.allocate_chunk_id()
+    payload = bytes(range(200))[:200]
+    store.write(cid, payload)
+
+    def round_trip():
+        store.write(cid, payload)
+        store.read(cid)
+
+    benchmark(round_trip)
+    store.close()
+
+
+@pytest.mark.benchmark(group="ablation-chunking")
+@pytest.mark.parametrize("objects_per_chunk", [1, 16])
+def test_single_vs_multi_object_chunks(benchmark, objects_per_chunk):
+    """Updating one object rewrites its whole container chunk (paper
+    section 4.2.1's trade-off)."""
+    store = make_chunk_store(SecurityProfile.insecure())
+    object_size = 100
+    cids = [store.allocate_chunk_id() for _ in range(64 // objects_per_chunk)]
+    blob = bytes(object_size * objects_per_chunk)
+    for cid in cids:
+        store.write(cid, blob)
+    rng = random.Random(2)
+
+    def update_one():
+        store.write(rng.choice(cids), blob)
+
+    benchmark(update_one)
+    benchmark.extra_info["bytes_per_update"] = len(blob)
+    store.close()
+
+
+@pytest.mark.benchmark(group="ablation-index")
+@pytest.mark.parametrize("kind", ["btree", "hash", "list"])
+def test_index_kind_exact_match(benchmark, kind):
+    """Exact-match query cost per index implementation (section 5.2.4)."""
+    registry = ClassRegistry()
+    registry.register(AccountRec)
+    chunk_store = make_chunk_store(SecurityProfile.insecure())
+    object_store = ObjectStore.create(
+        chunk_store, ObjectStoreConfig(locking=False), registry
+    )
+    collections = CollectionStore(object_store, CollectionStoreConfig())
+    indexer = Indexer("by-id", AccountRec, lambda r: r.rec_id, kind=kind)
+    ct = collections.transaction()
+    handle = ct.create_collection("records", indexer)
+    members = 500
+    for index in range(members):
+        handle.insert(AccountRec(index))
+    ct.commit()
+    rng = random.Random(4)
+    ct = collections.transaction()
+    handle = ct.read_collection("records")
+
+    def lookup():
+        iterator = handle.query_match(indexer, rng.randrange(members))
+        assert not iterator.end()
+        iterator.close()
+
+    benchmark(lookup)
+    ct.abort()
+    collections.close()
+
+
+@pytest.mark.benchmark(group="ablation-cache")
+@pytest.mark.parametrize("cache_kb", [16, 256])
+def test_object_cache_size(benchmark, cache_kb):
+    """Random object reads under different shared-cache budgets."""
+    registry = ClassRegistry()
+    registry.register(AccountRec)
+    cache = SharedLruCache(cache_kb * 1024)
+    chunk_store = ChunkStore.format(
+        MemoryUntrustedStore(),
+        MemorySecretStore(SECRET),
+        MemoryOneWayCounter(),
+        ChunkStoreConfig(
+            segment_size=64 * 1024,
+            initial_segments=4,
+            checkpoint_residual_bytes=512 * 1024,
+            map_fanout=64,
+            security=SecurityProfile.insecure(),
+        ),
+        cache=cache,
+    )
+    store = ObjectStore.create(chunk_store, ObjectStoreConfig(locking=False), registry)
+    oids = []
+    with store.transaction() as txn:
+        for index in range(1000):
+            oids.append(txn.insert(AccountRec(index)))
+    rng = random.Random(6)
+
+    def read_one():
+        with store.transaction() as txn:
+            txn.open_readonly(rng.choice(oids))
+            txn.abort()
+
+    benchmark(read_one)
+    hits, misses = cache.stats.hits, cache.stats.misses
+    benchmark.extra_info["hit_rate"] = round(hits / max(1, hits + misses), 3)
+    store.close()

@@ -1,0 +1,53 @@
+"""Figure 11 benchmark: TPC-B latency and database size vs utilization.
+
+Paper shape (left chart): response time dips slightly up to ~70% maximum
+utilization and climbs substantially beyond; (right chart): database size
+falls as the maximum utilization rises, and Berkeley DB's footprint is
+far larger because it never checkpoints its log.  Full harness:
+``python -m repro.bench.figure11``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_CACHE_BYTES, BENCH_SCALE
+from repro.bench.tpcb import TdbTpcbDriver
+from repro.config import ChunkStoreConfig, SecurityProfile
+
+WARMUP_TXNS = 150
+MEASURED_TXNS = 200
+
+
+def _config(max_utilization: float) -> ChunkStoreConfig:
+    return ChunkStoreConfig(
+        segment_size=16 * 1024,
+        initial_segments=4,
+        checkpoint_residual_bytes=32 * 1024,
+        map_fanout=64,
+        max_utilization=max_utilization,
+        fsync=True,
+        security=SecurityProfile.insecure(),
+    )
+
+
+@pytest.mark.benchmark(group="figure11")
+@pytest.mark.parametrize("max_utilization", [0.5, 0.6, 0.7, 0.8, 0.9])
+def test_tpcb_utilization_sweep(benchmark, max_utilization):
+    driver = TdbTpcbDriver(
+        BENCH_SCALE,
+        secure=False,
+        chunk_config=_config(max_utilization),
+        cache_bytes=BENCH_CACHE_BYTES,
+    )
+    driver.load()
+    driver.run(WARMUP_TXNS)
+    benchmark.pedantic(driver.txn_once, rounds=MEASURED_TXNS, iterations=1)
+    stats = driver.chunk_store.stats()
+    benchmark.extra_info["max_utilization"] = max_utilization
+    benchmark.extra_info["db_size_kb"] = round(stats.capacity_bytes / 1024, 1)
+    benchmark.extra_info["achieved_utilization"] = round(stats.utilization, 3)
+    benchmark.extra_info["cleaner_copied_kb"] = round(
+        stats.cleaner.bytes_copied / 1024, 1
+    )
+    driver.close()

@@ -1,0 +1,37 @@
+"""Figure 8 benchmark: code footprint measurement.
+
+The measurement itself is static (source lines, bytecode bytes per module
+group); benchmarking it keeps the target inside the same
+``pytest benchmarks/ --benchmark-only`` flow as the other figures and
+asserts the paper's structural claims:
+
+* the chunk store is the largest TDB module,
+* the minimal configuration (chunk store + support utilities) is roughly
+  half the full system (paper: 142 KB of 250 KB).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.footprint import measure_footprint
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_code_footprint(benchmark):
+    results = benchmark(measure_footprint)
+    module_rows = {
+        name: footprint
+        for name, footprint in results.items()
+        if name
+        in ("collection store", "object store", "backup store", "chunk store",
+            "support utilities")
+    }
+    largest = max(module_rows.values(), key=lambda f: f.bytecode_bytes)
+    assert largest.name == "chunk store"  # as in the paper's breakdown
+    full = results["TDB - all modules"]
+    minimal = results["TDB minimal configuration"]
+    ratio = minimal.bytecode_bytes / full.bytecode_bytes
+    assert 0.4 < ratio < 0.8  # paper: 142/250 = 0.57
+    for name, footprint in results.items():
+        benchmark.extra_info[name.replace(" ", "_")] = footprint.bytecode_bytes

@@ -1,0 +1,22 @@
+"""Shared helpers for the pytest-benchmark reproduction targets.
+
+These benchmarks run scaled-down versions of the paper's experiments so
+``pytest benchmarks/ --benchmark-only`` finishes in minutes.  The full
+harnesses (bigger scale, complete tables against the paper's numbers)
+are the ``python -m repro.bench.figureNN`` entry points; see DESIGN.md
+and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.tpcb import TpcbScale
+
+BENCH_SCALE = TpcbScale(accounts=500, tellers=50, branches=5)
+BENCH_CACHE_BYTES = 48 * 1024  # keeps the DB larger than the cache
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> TpcbScale:
+    return BENCH_SCALE

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""DRM usage metering: the paper's motivating application (sections 1, 5).
+
+A consumer device stores one meter per piece of content plus a pre-paid
+account balance.  Contracts enforced here:
+
+* **pay-per-view**: each view debits the balance,
+* **free after first ten paid views** (one of the paper's example
+  contracts): after ten paid views of a title, further views are free.
+
+The collection store gives the meters two functional indexes — a unique
+hash index on the content id and a B+tree on the *derived* total usage
+count (exactly Figure 7's ``usageCountEx``) — and the iterator-based
+reset mirrors the paper's sample code.
+
+Run: ``python examples/drm_metering.py``
+"""
+
+from repro import (
+    BufferReader,
+    BufferWriter,
+    ClassRegistry,
+    Database,
+    Indexer,
+    Persistent,
+)
+from repro.errors import DuplicateKeyError
+
+
+class Meter(Persistent):
+    class_id = "drm.meter"
+
+    def __init__(self, content_id=0, title="", paid_views=0, free_views=0):
+        self.content_id = content_id
+        self.title = title
+        self.paid_views = paid_views
+        self.free_views = free_views
+
+    def total_views(self) -> int:
+        return self.paid_views + self.free_views
+
+    def pickle(self) -> bytes:
+        return (
+            BufferWriter()
+            .write_int(self.content_id)
+            .write_str(self.title)
+            .write_int(self.paid_views)
+            .write_int(self.free_views)
+            .getvalue()
+        )
+
+    @classmethod
+    def unpickle(cls, data: bytes) -> "Meter":
+        reader = BufferReader(data)
+        return cls(
+            reader.read_int(), reader.read_str(), reader.read_int(), reader.read_int()
+        )
+
+
+class Account(Persistent):
+    class_id = "drm.account"
+
+    def __init__(self, cents=0):
+        self.cents = cents
+
+    def pickle(self) -> bytes:
+        return BufferWriter().write_int(self.cents).getvalue()
+
+    @classmethod
+    def unpickle(cls, data: bytes) -> "Account":
+        return cls(BufferReader(data).read_int())
+
+
+CONTENT_ID_INDEX = Indexer(
+    "content-id", Meter, lambda m: m.content_id, unique=True, kind="hash"
+)
+# A functional index over a *derived* value — the capability the paper
+# contrasts with offset-based embedded databases (section 5.1.1).
+USAGE_INDEX = Indexer(
+    "total-usage", Meter, lambda m: m.total_views(), unique=False, kind="btree"
+)
+
+PRICE_CENTS = 300
+FREE_AFTER_PAID_VIEWS = 10
+
+
+def view_content(db: Database, account_oid: int, content_id: int) -> str:
+    """Enforce the contract for one view; return a receipt line."""
+    with db.ctransaction() as ct:
+        meters = ct.write_collection("meters")
+        iterator = meters.query_match(CONTENT_ID_INDEX, content_id)
+        if iterator.end():
+            iterator.close()
+            raise KeyError(f"no meter for content {content_id}")
+        meter = iterator.write()
+        if meter.paid_views >= FREE_AFTER_PAID_VIEWS:
+            meter.free_views += 1
+            receipt = f"{meter.title}: free view (#{meter.total_views()})"
+        else:
+            account = ct._txn.open_writable(account_oid, Account)
+            if account.cents < PRICE_CENTS:
+                iterator.abandon()
+                ct.abort()
+                return f"{meter.title}: DECLINED (balance too low)"
+            account.cents -= PRICE_CENTS
+            meter.paid_views += 1
+            receipt = (
+                f"{meter.title}: paid view #{meter.paid_views} "
+                f"(balance {account.cents} cents)"
+            )
+        iterator.next()
+        iterator.close()
+    return receipt
+
+
+def main() -> None:
+    registry = ClassRegistry()
+    registry.register(Meter)
+    registry.register(Account)
+    db = Database.in_memory(registry=registry)
+    db.register_indexer(CONTENT_ID_INDEX)
+    db.register_indexer(USAGE_INDEX)
+
+    # -- set up the catalog of content meters and the pre-paid account ------
+    with db.transaction() as txn:
+        account_oid = txn.insert(Account(cents=4000))
+        txn.bind_name("account", account_oid)
+    titles = ["Blue Train", "Giant Steps", "Naima", "Lush Life"]
+    with db.ctransaction() as ct:
+        meters = ct.create_collection("meters", CONTENT_ID_INDEX)
+        meters.create_index(USAGE_INDEX)
+        for content_id, title in enumerate(titles):
+            meters.insert(Meter(content_id, title))
+        try:
+            meters.insert(Meter(0, "Duplicate of Blue Train"))
+        except DuplicateKeyError as exc:
+            print(f"unique index enforced at insert: {exc}")
+
+    # -- consume content under the contracts ---------------------------------
+    print("\n--- consumption ---")
+    for _ in range(12):
+        print(view_content(db, account_oid, content_id=0))
+    print(view_content(db, account_oid, content_id=1))
+    print(view_content(db, account_oid, content_id=2))
+
+    # -- report: who used more than 5 views? (range query on derived key) ---
+    print("\n--- heavy usage report (total views >= 5) ---")
+    with db.ctransaction() as ct:
+        meters = ct.read_collection("meters")
+        iterator = meters.query_range(USAGE_INDEX, 5, None)
+        while not iterator.end():
+            meter = iterator.read()
+            print(f"  {meter.title}: {meter.total_views()} views")
+            iterator.next()
+        iterator.close()
+        ct.abort()
+
+    # -- end-of-billing-cycle reset (the paper's Figure 7) -------------------
+    print("\n--- resetting meters with usage above 100... er, 5 ---")
+    with db.ctransaction() as ct:
+        meters = ct.write_collection("meters")
+        iterator = meters.query_range(USAGE_INDEX, 5, None)
+        reset_count = 0
+        while not iterator.end():
+            meter = iterator.write()
+            meter.paid_views = 0
+            meter.free_views = 0
+            reset_count += 1
+            iterator.next()
+        iterator.close()
+        print(f"reset {reset_count} meter(s)")
+
+    with db.ctransaction() as ct:
+        meters = ct.read_collection("meters")
+        leftovers = meters.query_range(USAGE_INDEX, 5, None)
+        assert leftovers.end(), "reset meters must leave the high-usage range"
+        leftovers.close()
+        ct.abort()
+    print("high-usage range is empty after reset — index maintained "
+          "automatically at iterator close")
+    db.close()
+
+
+if __name__ == "__main__":
+    main()

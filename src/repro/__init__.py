@@ -1,0 +1,72 @@
+"""TDB: a trusted database system for Digital Rights Management.
+
+A from-scratch reproduction of *TDB: A Database System for Digital Rights
+Management* (Vingralek, Maheshwari, Shapiro — EDBT 2002).  The stack,
+bottom to top:
+
+* :mod:`repro.platform` — the substrates the paper assumes a device
+  provides: untrusted store, secret store, one-way counter, archival
+  store (plus an attacker toolkit for exercising the threat model),
+* :mod:`repro.crypto` — SHA-1 / DES / 3DES / AES / HMAC, from scratch,
+* :mod:`repro.chunkstore` — the log-structured trusted chunk store with
+  the Merkle tree embedded in its location map,
+* :mod:`repro.backupstore` — validated full/incremental backups,
+* :mod:`repro.objectstore` — typed persistent objects, transactions,
+  strict two-phase locking, the shared object cache,
+* :mod:`repro.collectionstore` — collections with functional indexes
+  (B+tree / linear hash / list) and insensitive iterators,
+* :mod:`repro.baseline` — a Berkeley-DB-style page/WAL engine used as the
+  performance baseline,
+* :mod:`repro.bench` — the TPC-B harness reproducing the paper's
+  evaluation (Figures 8-11).
+
+Quick start::
+
+    from repro import Database, Persistent, Indexer
+
+    db = Database.in_memory()
+    ...
+
+See ``examples/`` for runnable programs and ``DESIGN.md`` for the full
+architecture map.
+"""
+
+from repro.config import (
+    BaselineConfig,
+    ChunkStoreConfig,
+    CollectionStoreConfig,
+    ObjectStoreConfig,
+    SecurityProfile,
+)
+from repro.db import Database
+from repro.errors import TDBError, TamperDetectedError, ReplayDetectedError
+from repro.objectstore import (
+    BufferReader,
+    BufferWriter,
+    ClassRegistry,
+    Persistent,
+    Transaction,
+)
+from repro.collectionstore import CTransaction, Indexer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "Persistent",
+    "Indexer",
+    "Transaction",
+    "CTransaction",
+    "ClassRegistry",
+    "BufferReader",
+    "BufferWriter",
+    "ChunkStoreConfig",
+    "ObjectStoreConfig",
+    "CollectionStoreConfig",
+    "BaselineConfig",
+    "SecurityProfile",
+    "TDBError",
+    "TamperDetectedError",
+    "ReplayDetectedError",
+    "__version__",
+]

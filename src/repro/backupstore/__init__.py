@@ -1,0 +1,26 @@
+"""The backup store: validated full and incremental backups.
+
+The backup store (section 2 and [23] of the paper) creates backups from
+chunk-store snapshots and restores them with validation:
+
+* backups are encrypted and MACed under keys derived from the secret
+  store — the archival store is as untrusted as the main store,
+* only **valid** backups restore (any modification trips the MAC),
+* incremental backups restore only **in the same sequence** they were
+  created in, on top of the right predecessor (enforced with per-backup
+  UUIDs, sequence numbers, and base-backup links),
+* incrementals contain only the chunks that changed, computed by the
+  Merkle-diff of two snapshots, so they stay small and can be taken
+  often.
+"""
+
+from repro.backupstore.stream import BackupHeader, BACKUP_FULL, BACKUP_INCREMENTAL
+from repro.backupstore.store import BackupInfo, BackupStore
+
+__all__ = [
+    "BackupStore",
+    "BackupInfo",
+    "BackupHeader",
+    "BACKUP_FULL",
+    "BACKUP_INCREMENTAL",
+]

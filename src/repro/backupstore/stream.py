@@ -1,0 +1,208 @@
+"""Backup stream format: framing, encryption, authentication.
+
+A backup stream is::
+
+    header  := magic(8) | version(2) | type(1) | backup_uuid(16) |
+               db_uuid(16) | base_uuid(16) | sequence(8) |
+               commit_seqno(8) | entry_count(4) | body_len(8)
+    body    := CTR-encrypted sequence of entries
+    tag     := HMAC-SHA256(header || encrypted_body)
+
+Entries (inside the encrypted body)::
+
+    WRITE  := 0x01 | chunk_id(8) | length(4) | state bytes
+    REMOVE := 0x02 | chunk_id(8)
+
+The CTR nonce is derived from the backup UUID, so every backup has a
+fresh keystream under the same derived key.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.crypto.aes import Aes
+from repro.crypto.mac import Hmac
+from repro.crypto.modes import ctr_transform
+from repro.errors import BackupError, TamperDetectedError
+
+__all__ = [
+    "BACKUP_FULL",
+    "BACKUP_INCREMENTAL",
+    "BackupHeader",
+    "encode_backup",
+    "decode_backup",
+]
+
+_MAGIC = b"TDBBKUP\x01"
+_HEADER = struct.Struct(">8sHB16s16s16sQQIQ")
+_WRITE_HEAD = struct.Struct(">BQI")
+_REMOVE_HEAD = struct.Struct(">BQ")
+
+BACKUP_FULL = 1
+BACKUP_INCREMENTAL = 2
+
+_ENTRY_WRITE = 0x01
+_ENTRY_REMOVE = 0x02
+
+
+@dataclass(frozen=True)
+class BackupHeader:
+    """Decoded plaintext header of a backup stream."""
+
+    backup_type: int
+    backup_uuid: bytes
+    db_uuid: bytes
+    base_uuid: bytes
+    sequence: int
+    commit_seqno: int
+    entry_count: int
+    body_length: int
+
+    def encode(self) -> bytes:
+        return _HEADER.pack(
+            _MAGIC,
+            1,
+            self.backup_type,
+            self.backup_uuid,
+            self.db_uuid,
+            self.base_uuid,
+            self.sequence,
+            self.commit_seqno,
+            self.entry_count,
+            self.body_length,
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "BackupHeader":
+        try:
+            (
+                magic,
+                version,
+                backup_type,
+                backup_uuid,
+                db_uuid,
+                base_uuid,
+                sequence,
+                commit_seqno,
+                entry_count,
+                body_length,
+            ) = _HEADER.unpack_from(data, 0)
+        except struct.error as exc:
+            raise BackupError(f"malformed backup header: {exc}") from exc
+        if magic != _MAGIC:
+            raise BackupError("not a TDB backup stream (bad magic)")
+        if version != 1:
+            raise BackupError(f"unsupported backup format version {version}")
+        if backup_type not in (BACKUP_FULL, BACKUP_INCREMENTAL):
+            raise BackupError(f"unknown backup type {backup_type}")
+        return cls(
+            backup_type=backup_type,
+            backup_uuid=backup_uuid,
+            db_uuid=db_uuid,
+            base_uuid=base_uuid,
+            sequence=sequence,
+            commit_seqno=commit_seqno,
+            entry_count=entry_count,
+            body_length=body_length,
+        )
+
+    @classmethod
+    def size(cls) -> int:
+        return _HEADER.size
+
+
+def _keystream_cipher(key: bytes) -> Aes:
+    return Aes(key[:16])
+
+
+def encode_backup(
+    header_fields: BackupHeader,
+    writes: List[Tuple[int, bytes]],
+    removes: List[int],
+    encryption_key: bytes,
+    mac: Hmac,
+) -> bytes:
+    """Serialize, encrypt, and authenticate one backup stream."""
+    parts = []
+    for chunk_id, state in writes:
+        parts.append(_WRITE_HEAD.pack(_ENTRY_WRITE, chunk_id, len(state)))
+        parts.append(state)
+    for chunk_id in removes:
+        parts.append(_REMOVE_HEAD.pack(_ENTRY_REMOVE, chunk_id))
+    body = b"".join(parts)
+    encrypted = ctr_transform(
+        _keystream_cipher(encryption_key), body, header_fields.backup_uuid[:12]
+    )
+    header = BackupHeader(
+        backup_type=header_fields.backup_type,
+        backup_uuid=header_fields.backup_uuid,
+        db_uuid=header_fields.db_uuid,
+        base_uuid=header_fields.base_uuid,
+        sequence=header_fields.sequence,
+        commit_seqno=header_fields.commit_seqno,
+        entry_count=len(writes) + len(removes),
+        body_length=len(encrypted),
+    ).encode()
+    tag = mac.tag(header + encrypted)
+    return header + encrypted + tag
+
+
+def decode_backup(
+    blob: bytes, encryption_key: bytes, mac: Hmac
+) -> Tuple[BackupHeader, Dict[int, bytes], Set[int]]:
+    """Validate and decrypt one backup stream.
+
+    Returns ``(header, writes, removes)``.  Raises
+    :class:`TamperDetectedError` when the stream fails authentication and
+    :class:`BackupError` when it is structurally broken.
+    """
+    if len(blob) < BackupHeader.size() + mac.tag_size:
+        raise BackupError("backup stream is too short")
+    header = BackupHeader.decode(blob)
+    body_end = BackupHeader.size() + header.body_length
+    if len(blob) != body_end + mac.tag_size:
+        raise BackupError(
+            f"backup stream length mismatch: {len(blob)} bytes, "
+            f"expected {body_end + mac.tag_size}"
+        )
+    authenticated = blob[:body_end]
+    tag = blob[body_end:]
+    if not mac.verify(authenticated, tag):
+        raise TamperDetectedError("backup stream failed authentication")
+    encrypted = blob[BackupHeader.size():body_end]
+    body = ctr_transform(
+        _keystream_cipher(encryption_key), encrypted, header.backup_uuid[:12]
+    )
+    writes: Dict[int, bytes] = {}
+    removes: Set[int] = set()
+    offset = 0
+    for _ in range(header.entry_count):
+        if offset >= len(body):
+            raise BackupError("backup body ends before all entries were read")
+        entry_kind = body[offset]
+        if entry_kind == _ENTRY_WRITE:
+            try:
+                _, chunk_id, length = _WRITE_HEAD.unpack_from(body, offset)
+            except struct.error as exc:
+                raise BackupError(f"malformed backup write entry: {exc}") from exc
+            offset += _WRITE_HEAD.size
+            state = body[offset:offset + length]
+            if len(state) != length:
+                raise BackupError("truncated backup write entry")
+            offset += length
+            writes[chunk_id] = bytes(state)
+        elif entry_kind == _ENTRY_REMOVE:
+            try:
+                _, chunk_id = _REMOVE_HEAD.unpack_from(body, offset)
+            except struct.error as exc:
+                raise BackupError(f"malformed backup remove entry: {exc}") from exc
+            offset += _REMOVE_HEAD.size
+            removes.add(chunk_id)
+        else:
+            raise BackupError(f"unknown backup entry kind {entry_kind}")
+    if offset != len(body):
+        raise BackupError("trailing garbage inside backup body")
+    return header, writes, removes

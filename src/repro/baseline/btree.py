@@ -1,0 +1,203 @@
+"""Page-based B+tree access method (update-in-place, like Berkeley DB).
+
+Keys and values are byte strings; keys order lexicographically (the TPC-B
+driver encodes integer ids big-endian, which preserves numeric order).
+One value per key — Berkeley DB's plain (non-DUP) behaviour, and all the
+paper's benchmark needs.
+
+The root page number is stable: a root split moves the content into two
+fresh pages and turns the root into their parent in place.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Callable, Iterator, Optional, Tuple
+
+from repro.baseline.bufferpool import BufferPool
+from repro.baseline.page import BTreeInternalPage, BTreeLeafPage
+from repro.errors import BaselineError
+
+__all__ = ["PageBTree"]
+
+
+class PageBTree:
+    """One B+tree bound to a buffer pool and a transaction id."""
+
+    def __init__(
+        self,
+        pool: BufferPool,
+        root_page: int,
+        page_size: int,
+        allocate_page: Callable[[], int],
+        txn_id: Optional[int] = None,
+    ) -> None:
+        self.pool = pool
+        self.root_page = root_page
+        self.page_size = page_size
+        self.allocate_page = allocate_page
+        self.txn_id = txn_id
+        self._payload_limit = page_size - 64  # header + padding margin
+
+    @classmethod
+    def create(cls, pool: BufferPool, allocate_page: Callable[[], int]) -> int:
+        """Allocate an empty tree; return its stable root page number."""
+        root_no = allocate_page()
+        pool.put_new(BTreeLeafPage(root_no))
+        return root_no
+
+    # -- internals ------------------------------------------------------------------
+
+    def _dirty(self, page) -> None:
+        self.pool.mark_dirty(page, self.txn_id)
+
+    def _descend_to_leaf(self, key: bytes) -> BTreeLeafPage:
+        page = self.pool.get(self.root_page)
+        while isinstance(page, BTreeInternalPage):
+            slot = bisect_right(page.keys, key)
+            page = self.pool.get(page.children[slot])
+        if not isinstance(page, BTreeLeafPage):
+            raise BaselineError("B+tree descent did not end at a leaf")
+        return page
+
+    # -- queries ---------------------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        leaf = self._descend_to_leaf(key)
+        keys = [entry_key for entry_key, _ in leaf.entries]
+        position = bisect_left(keys, key)
+        if position < len(keys) and keys[position] == key:
+            return leaf.entries[position][1]
+        return None
+
+    def scan(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Yield every (key, value) in key order."""
+        page = self.pool.get(self.root_page)
+        while isinstance(page, BTreeInternalPage):
+            page = self.pool.get(page.children[0])
+        while True:
+            yield from list(page.entries)
+            if not page.next_leaf:
+                return
+            page = self.pool.get(page.next_leaf)
+
+    def count(self) -> int:
+        return sum(1 for _ in self.scan())
+
+    # -- updates -----------------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> Optional[bytes]:
+        """Insert or replace; return the previous value (the before image)."""
+        before, split = self._put_into(self.root_page, key, value, is_root=True)
+        if split is not None:
+            raise BaselineError("root split must be absorbed in place")
+        return before
+
+    def _put_into(
+        self, page_no: int, key: bytes, value: bytes, is_root: bool
+    ) -> Tuple[Optional[bytes], Optional[Tuple[bytes, int]]]:
+        page = self.pool.get(page_no)
+        before: Optional[bytes] = None
+        if isinstance(page, BTreeLeafPage):
+            keys = [entry_key for entry_key, _ in page.entries]
+            position = bisect_left(keys, key)
+            self._dirty(page)
+            if position < len(keys) and keys[position] == key:
+                before = page.entries[position][1]
+                page.add_used(len(value) - len(before))
+                page.entries[position] = (key, value)
+            else:
+                page.entries.insert(position, (key, value))
+                page.add_used(page.entry_size(key, value))
+        else:
+            slot = bisect_right(page.keys, key)
+            before, split = self._put_into(page.children[slot], key, value, False)
+            if split is None:
+                return before, None
+            separator, new_page_no = split
+            self._dirty(page)
+            position = bisect_right(page.keys, separator)
+            page.keys.insert(position, separator)
+            page.children.insert(position + 1, new_page_no)
+            page.add_used(len(separator) + 18)
+        if page.used_bytes <= self._payload_limit:
+            return before, None
+        if is_root:
+            self._split_root(page)
+            return before, None
+        return before, self._split(page)
+
+    def _split(self, page) -> Tuple[bytes, int]:
+        new_no = self.allocate_page()
+        if isinstance(page, BTreeLeafPage):
+            mid = len(page.entries) // 2
+            right = BTreeLeafPage(new_no)
+            right.entries = page.entries[mid:]
+            page.entries = page.entries[:mid]
+            right.next_leaf = page.next_leaf
+            page.next_leaf = new_no
+            separator = right.entries[0][0]
+            right.recompute_used()
+            page.recompute_used()
+        else:
+            mid = len(page.keys) // 2
+            right = BTreeInternalPage(new_no)
+            separator = page.keys[mid]
+            right.keys = page.keys[mid + 1:]
+            right.children = page.children[mid + 1:]
+            page.keys = page.keys[:mid]
+            page.children = page.children[:mid + 1]
+            right.recompute_used()
+            page.recompute_used()
+        self.pool.put_new(right)
+        self.pool.mark_dirty(right, self.txn_id)
+        return separator, new_no
+
+    def _split_root(self, root) -> None:
+        left_no = self.allocate_page()
+        right_no = self.allocate_page()
+        if isinstance(root, BTreeLeafPage):
+            mid = len(root.entries) // 2
+            left = BTreeLeafPage(left_no)
+            right = BTreeLeafPage(right_no)
+            left.entries = root.entries[:mid]
+            right.entries = root.entries[mid:]
+            right.next_leaf = root.next_leaf
+            left.next_leaf = right_no
+            separator = right.entries[0][0]
+            left.recompute_used()
+            right.recompute_used()
+            new_root = BTreeInternalPage(root.page_no)
+            new_root.keys = [separator]
+            new_root.children = [left_no, right_no]
+            new_root.recompute_used()
+        else:
+            mid = len(root.keys) // 2
+            left = BTreeInternalPage(left_no)
+            right = BTreeInternalPage(right_no)
+            separator = root.keys[mid]
+            left.keys = root.keys[:mid]
+            left.children = root.children[:mid + 1]
+            right.keys = root.keys[mid + 1:]
+            right.children = root.children[mid + 1:]
+            left.recompute_used()
+            right.recompute_used()
+            new_root = BTreeInternalPage(root.page_no)
+            new_root.keys = [separator]
+            new_root.children = [left_no, right_no]
+            new_root.recompute_used()
+        for page in (left, right, new_root):
+            self.pool.put_new(page)
+            self.pool.mark_dirty(page, self.txn_id)
+
+    def delete(self, key: bytes) -> Optional[bytes]:
+        """Remove ``key``; return its previous value or ``None``."""
+        leaf = self._descend_to_leaf(key)
+        keys = [entry_key for entry_key, _ in leaf.entries]
+        position = bisect_left(keys, key)
+        if position >= len(keys) or keys[position] != key:
+            return None
+        self._dirty(leaf)
+        _, before = leaf.entries.pop(position)
+        leaf.add_used(-leaf.entry_size(key, before))
+        return before

@@ -1,0 +1,144 @@
+"""Page file and buffer pool of the baseline engine.
+
+The page file maps page numbers to fixed-size regions of one data file in
+the untrusted store.  The buffer pool caches decoded pages with LRU
+eviction; dirty pages owned by an *uncommitted* transaction are pinned
+(no-steal), while committed-dirty pages may be written back on eviction —
+the write-ahead rule holds because the log is flushed at every commit,
+before the owning transaction releases its pages.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.baseline.page import Page, decode_page
+from repro.errors import BaselineError
+from repro.platform.untrusted import UntrustedStore
+
+__all__ = ["PageFile", "BufferPool"]
+
+DATA_FILE = "baseline.db"
+
+
+class PageFile:
+    """Fixed-size page I/O over the untrusted store."""
+
+    def __init__(self, untrusted: UntrustedStore, page_size: int) -> None:
+        self.untrusted = untrusted
+        self.page_size = page_size
+        if not untrusted.exists(DATA_FILE):
+            untrusted.write(DATA_FILE, 0, b"")
+
+    def read_page(self, page_no: int) -> bytes:
+        offset = page_no * self.page_size
+        data = self.untrusted.read(DATA_FILE, offset, self.page_size)
+        if len(data) != self.page_size:
+            raise BaselineError(f"short page read at page {page_no}")
+        return data
+
+    def write_page(self, page_no: int, data: bytes) -> None:
+        if len(data) != self.page_size:
+            raise BaselineError("page image has the wrong size")
+        self.untrusted.write(DATA_FILE, page_no * self.page_size, data)
+
+    def page_count(self) -> int:
+        return self.untrusted.size(DATA_FILE) // self.page_size
+
+    def sync(self) -> None:
+        self.untrusted.sync(DATA_FILE)
+
+
+class BufferPool:
+    """LRU cache of decoded pages with no-steal pinning."""
+
+    def __init__(self, page_file: PageFile, capacity_pages: int) -> None:
+        if capacity_pages < 4:
+            raise BaselineError("buffer pool needs at least 4 pages")
+        self.page_file = page_file
+        self.capacity_pages = capacity_pages
+        self._pages: "OrderedDict[int, Page]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- access ------------------------------------------------------------------
+
+    def get(self, page_no: int) -> Page:
+        """Fetch a page, reading it from disk on a miss."""
+        page = self._pages.get(page_no)
+        if page is not None:
+            self._pages.move_to_end(page_no)
+            self.hits += 1
+            return page
+        self.misses += 1
+        page = decode_page(page_no, self.page_file.read_page(page_no))
+        self._insert(page)
+        return page
+
+    def put_new(self, page: Page) -> None:
+        """Install a freshly created page (not yet on disk)."""
+        page.dirty = True
+        self._insert(page)
+
+    def _insert(self, page: Page) -> None:
+        self._pages[page.page_no] = page
+        self._pages.move_to_end(page.page_no)
+        self._evict_if_needed()
+
+    def mark_dirty(self, page: Page, txn_id: Optional[int]) -> None:
+        """Record a mutation; ``txn_id`` pins the page until commit/abort.
+
+        The page is re-installed if an eviction dropped it between the
+        caller's fetch and this mutation (e.g. a B+tree split allocating
+        children evicted the clean parent the caller still holds); losing
+        the mutation would corrupt the structure.
+        """
+        page.dirty = True
+        if txn_id is not None:
+            page.dirty_txn = txn_id
+        if self._pages.get(page.page_no) is not page:
+            self._insert(page)
+
+    def release_txn(self, txn_id: int) -> None:
+        """Unpin all pages the transaction dirtied (commit/abort time)."""
+        for page in self._pages.values():
+            if page.dirty_txn == txn_id:
+                page.dirty_txn = None
+
+    def drop(self, page_no: int) -> None:
+        """Discard a cached page without writing it (abort helper)."""
+        self._pages.pop(page_no, None)
+
+    # -- write-back -----------------------------------------------------------------
+
+    def _evict_if_needed(self) -> None:
+        while len(self._pages) > self.capacity_pages:
+            victim_no = None
+            for page_no, page in self._pages.items():
+                if page.dirty_txn is None:
+                    victim_no = page_no
+                    break
+            if victim_no is None:
+                # Everything is pinned by active transactions; allow the
+                # pool to exceed its budget (no-steal).
+                return
+            page = self._pages.pop(victim_no)
+            if page.dirty:
+                self.page_file.write_page(
+                    victim_no, page.encode(self.page_file.page_size)
+                )
+            self.evictions += 1
+
+    def flush_all(self) -> None:
+        """Write back every dirty page (checkpoint / close)."""
+        for page in self._pages.values():
+            if page.dirty and page.dirty_txn is None:
+                self.page_file.write_page(
+                    page.page_no, page.encode(self.page_file.page_size)
+                )
+                page.dirty = False
+
+    def cached_pages(self) -> int:
+        return len(self._pages)

@@ -1,0 +1,396 @@
+"""The baseline engine's public interface: tables and transactions.
+
+Usage::
+
+    db = BaselineDB.create(untrusted, BaselineConfig())
+    db.create_table("account", method="btree")
+    txn = db.begin()
+    txn.put("account", key_bytes, value_bytes)
+    txn.commit()            # flushes the WAL (the commit's durability)
+    db.close()
+    db = BaselineDB.open(untrusted, BaselineConfig())   # recovery if dirty
+
+Recovery model: the write-ahead log holds the full history (create-table
+records plus committed before/after images).  A clean close marks the
+page file authoritative; any other open wipes the page file and replays
+the log from the start — simple, and exactly as pessimistic about disk
+state as the no-steal/write-back buffer policy allows.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.baseline.bufferpool import BufferPool, PageFile
+from repro.baseline.btree import PageBTree
+from repro.baseline.hashindex import PageHash
+from repro.baseline.page import MetaPage, decode_page
+from repro.baseline.wal import (
+    LogRecord,
+    REC_ABORT,
+    REC_BEGIN,
+    REC_COMMIT,
+    REC_CREATE_TABLE,
+    REC_DELETE,
+    REC_PUT,
+    WriteAheadLog,
+)
+from repro.config import BaselineConfig
+from repro.errors import BaselineError
+from repro.platform.untrusted import UntrustedStore
+
+__all__ = ["BaselineDB", "BaselineTxn", "BaselineStats"]
+
+from repro.baseline.bufferpool import DATA_FILE
+from repro.baseline.wal import LOG_FILE
+
+
+@dataclass
+class BaselineStats:
+    """Point-in-time statistics of a baseline database."""
+
+    data_file_bytes: int
+    log_bytes: int
+    total_bytes: int
+    page_count: int
+    cached_pages: int
+    pool_hits: int
+    pool_misses: int
+    log_records: int
+
+
+class BaselineDB:
+    """A Berkeley-DB-style embedded database."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        raise BaselineError(
+            "use BaselineDB.create(...) or BaselineDB.open(...) to construct"
+        )
+
+    @classmethod
+    def _new(cls, untrusted: UntrustedStore, config: BaselineConfig) -> "BaselineDB":
+        self = object.__new__(cls)
+        self.untrusted = untrusted
+        self.config = config
+        self.page_file = PageFile(untrusted, config.page_size)
+        self.pool = BufferPool(
+            self.page_file, max(4, config.cache_bytes // config.page_size)
+        )
+        self.wal = WriteAheadLog(untrusted, sync_enabled=config.fsync)
+        self.meta = MetaPage()
+        self._txn_ids = itertools.count(1)
+        self._active_txn: Optional[int] = None
+        self._closed = False
+        return self
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, untrusted: UntrustedStore, config: Optional[BaselineConfig] = None
+    ) -> "BaselineDB":
+        """Format a fresh baseline database."""
+        config = config or BaselineConfig()
+        if untrusted.exists(DATA_FILE) and untrusted.size(DATA_FILE) > 0:
+            raise BaselineError("untrusted store already holds a baseline database")
+        self = cls._new(untrusted, config)
+        self._flush_meta()
+        return self
+
+    @classmethod
+    def open(
+        cls, untrusted: UntrustedStore, config: Optional[BaselineConfig] = None
+    ) -> "BaselineDB":
+        """Open an existing database, replaying the log if needed."""
+        config = config or BaselineConfig()
+        if not untrusted.exists(DATA_FILE):
+            raise BaselineError("no baseline database found")
+        self = cls._new(untrusted, config)
+        meta = decode_page(0, self.page_file.read_page(0))
+        if not isinstance(meta, MetaPage):
+            raise BaselineError("page 0 is not a meta page")
+        self.meta = meta
+        if meta.clean and meta.clean_log_size == self.wal.size_bytes:
+            self.meta.clean = False
+            self._flush_meta()
+            return self
+        self._replay_log_suffix()
+        return self
+
+    def _replay_log_suffix(self) -> None:
+        """Redo the log beyond what the flushed meta already reflects.
+
+        Pages on disk may be arbitrarily fresher than the meta (committed
+        pages are written back on eviction); logical redo is idempotent,
+        so re-applying the suffix converges to the committed state.  Page
+        allocation afterwards resumes past the end of the physical file so
+        that no orphaned-but-live page can be handed out again.
+        """
+        start = min(self.meta.clean_log_size, self.wal.size_bytes)
+        for record in self.wal.replay_plan(start):
+            if record.kind == REC_CREATE_TABLE:
+                if record.table not in self.meta.tables:
+                    self._install_table(record.table, record.key.decode("ascii"))
+            elif record.kind == REC_PUT:
+                self._access(record.table, None).put(record.key, record.after)
+            elif record.kind == REC_DELETE:
+                self._access(record.table, None).delete(record.key)
+        self.meta.next_page_no = max(
+            self.meta.next_page_no, self.page_file.page_count()
+        )
+        self.meta.free_pages = []
+        # The meta's applied-position claim must be true on disk before it
+        # is written: flush the replayed pages first.
+        self.pool.flush_all()
+        self.meta.clean = False
+        self.meta.clean_log_size = self.wal.size_bytes
+        self._flush_meta()
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+
+    def create_table(self, name: str, method: str = "btree") -> None:
+        """Create a table; logged and immediately durable (DDL)."""
+        self._check_open()
+        if self._active_txn is not None:
+            raise BaselineError("create_table is not allowed inside a transaction")
+        if name in self.meta.tables:
+            raise BaselineError(f"table {name!r} already exists")
+        if method not in ("btree", "hash"):
+            raise BaselineError(f"unknown access method {method!r}")
+        self.wal.append(
+            LogRecord(kind=REC_CREATE_TABLE, table=name, key=method.encode("ascii"))
+        )
+        self.wal.flush()
+        self._install_table(name, method)
+        # The meta will reference the new root/bucket pages; they must be
+        # on disk before the meta is, or recovery could chase a dangling
+        # page pointer.  DDL is rare, so the extra flush is cheap.
+        self.pool.flush_all()
+        self._flush_meta()
+
+    def _install_table(self, name: str, method: str) -> None:
+        if method == "btree":
+            root = PageBTree.create(self.pool, self._allocate_page)
+            self.meta.tables[name] = {"method": "btree", "root": root}
+        else:
+            directory = PageHash.create_directory(self.pool, self._allocate_page, 8)
+            info = {"method": "hash", "root": directory["buckets"][0]}
+            info.update(directory)
+            self.meta.tables[name] = info
+
+    def tables(self) -> List[str]:
+        return sorted(self.meta.tables)
+
+    def _access(self, table: str, txn_id: Optional[int]):
+        info = self.meta.tables.get(table)
+        if info is None:
+            raise BaselineError(f"no table named {table!r}")
+        if info["method"] == "btree":
+            return PageBTree(
+                self.pool,
+                info["root"],
+                self.config.page_size,
+                self._allocate_page,
+                txn_id,
+            )
+        return PageHash(
+            self.pool, info, self.config.page_size, self._allocate_page, txn_id
+        )
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def begin(self) -> "BaselineTxn":
+        """Start a transaction (one at a time; the paper's workload is
+        single-user)."""
+        self._check_open()
+        if self._active_txn is not None:
+            raise BaselineError("another transaction is already active")
+        txn_id = next(self._txn_ids)
+        self._active_txn = txn_id
+        return BaselineTxn(self, txn_id)
+
+    def _txn_finished(self, txn_id: int) -> None:
+        if self._active_txn == txn_id:
+            self._active_txn = None
+        self.pool.release_txn(txn_id)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def _allocate_page(self) -> int:
+        if self.meta.free_pages:
+            return self.meta.free_pages.pop()
+        page_no = self.meta.next_page_no
+        self.meta.next_page_no += 1
+        return page_no
+
+    def _flush_meta(self) -> None:
+        self.page_file.write_page(0, self.meta.encode(self.config.page_size))
+
+    def checkpoint(self) -> None:
+        """Flush pages and truncate the log (Berkeley DB's db_checkpoint).
+
+        The paper's benchmark never runs this — which is why the baseline's
+        footprint grows without bound there.
+        """
+        self._check_open()
+        if self._active_txn is not None:
+            raise BaselineError("cannot checkpoint with an active transaction")
+        self.pool.flush_all()
+        self._flush_meta()
+        if self.config.fsync:
+            self.page_file.sync()
+        self.wal.truncate()
+        self.meta.clean_log_size = 0
+        self._flush_meta()
+
+    def stats(self) -> BaselineStats:
+        data_bytes = self.untrusted.size(DATA_FILE) if self.untrusted.exists(DATA_FILE) else 0
+        log_bytes = self.wal.size_bytes
+        return BaselineStats(
+            data_file_bytes=data_bytes,
+            log_bytes=log_bytes,
+            total_bytes=data_bytes + log_bytes,
+            page_count=self.meta.next_page_no,
+            cached_pages=self.pool.cached_pages(),
+            pool_hits=self.pool.hits,
+            pool_misses=self.pool.misses,
+            log_records=self.wal.records_written,
+        )
+
+    def close(self) -> None:
+        """Flush everything and mark a clean shutdown."""
+        if self._closed:
+            return
+        if self._active_txn is not None:
+            raise BaselineError("cannot close with an active transaction")
+        self.wal.flush()
+        self.pool.flush_all()
+        self.meta.clean = True
+        self.meta.clean_log_size = self.wal.size_bytes
+        self._flush_meta()
+        if self.config.fsync:
+            self.page_file.sync()
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise BaselineError("baseline database is closed")
+
+    def __enter__(self) -> "BaselineDB":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._active_txn is None:
+            self.close()
+
+
+class BaselineTxn:
+    """One transaction: logical ops with undo, WAL flush at commit."""
+
+    def __init__(self, db: BaselineDB, txn_id: int) -> None:
+        self.db = db
+        self.txn_id = txn_id
+        self.active = True
+        self._began = False
+        self._ops: List[Tuple[str, bytes, Optional[bytes], Optional[bytes]]] = []
+
+    # -- data operations -----------------------------------------------------------
+
+    def get(self, table: str, key: bytes) -> Optional[bytes]:
+        self._check_active()
+        return self.db._access(table, self.txn_id).get(key)
+
+    def put(self, table: str, key: bytes, value: bytes) -> None:
+        self._check_active()
+        self._ensure_begin()
+        before = self.db._access(table, self.txn_id).put(key, value)
+        self.db.wal.append(
+            LogRecord(
+                kind=REC_PUT,
+                txn_id=self.txn_id,
+                table=table,
+                key=key,
+                before=before,
+                after=value,
+            )
+        )
+        self._ops.append((table, key, before, value))
+
+    def delete(self, table: str, key: bytes) -> bool:
+        self._check_active()
+        self._ensure_begin()
+        before = self.db._access(table, self.txn_id).delete(key)
+        if before is None:
+            return False
+        self.db.wal.append(
+            LogRecord(
+                kind=REC_DELETE,
+                txn_id=self.txn_id,
+                table=table,
+                key=key,
+                before=before,
+                after=None,
+            )
+        )
+        self._ops.append((table, key, before, None))
+        return True
+
+    def scan(self, table: str) -> Iterator[Tuple[bytes, bytes]]:
+        self._check_active()
+        return self.db._access(table, self.txn_id).scan()
+
+    # -- termination -----------------------------------------------------------------
+
+    def commit(self, durable: bool = True) -> None:
+        """Commit: append COMMIT and flush the log (the durability point)."""
+        self._check_active()
+        if self._began:
+            self.db.wal.append(LogRecord(kind=REC_COMMIT, txn_id=self.txn_id))
+            if durable:
+                self.db.wal.flush()
+        self.active = False
+        self.db._txn_finished(self.txn_id)
+
+    def abort(self) -> None:
+        """Undo this transaction's effects in memory (logical undo)."""
+        self._check_active()
+        for table, key, before, _after in reversed(self._ops):
+            access = self.db._access(table, None)
+            if before is None:
+                access.delete(key)
+            else:
+                access.put(key, before)
+        if self._began:
+            self.db.wal.append(LogRecord(kind=REC_ABORT, txn_id=self.txn_id))
+        self.active = False
+        self.db._txn_finished(self.txn_id)
+
+    def _ensure_begin(self) -> None:
+        if not self._began:
+            self.db.wal.append(LogRecord(kind=REC_BEGIN, txn_id=self.txn_id))
+            self._began = True
+
+    def _check_active(self) -> None:
+        if not self.active:
+            raise BaselineError("transaction already finished")
+
+    def __enter__(self) -> "BaselineTxn":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self.active:
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()

@@ -1,0 +1,197 @@
+"""Page-based linear-hash access method for the baseline engine.
+
+Berkeley DB's hash access method is extended linear hashing; this is the
+page-level equivalent of the collection store's object-level table.  The
+directory (level, split pointer, bucket page numbers) lives in the meta
+page's table entry; buckets are pages with overflow chains.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Tuple
+
+from repro.baseline.bufferpool import BufferPool
+from repro.baseline.page import HashBucketPage
+from repro.errors import BaselineError
+
+__all__ = ["PageHash", "fnv1a"]
+
+
+def fnv1a(data: bytes) -> int:
+    """Stable 64-bit FNV-1a over raw key bytes."""
+    value = 0xCBF29CE484222325
+    for byte in data:
+        value ^= byte
+        value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+class PageHash:
+    """One linear-hash table bound to a buffer pool and directory state.
+
+    ``directory`` is the mutable dict stored in the meta page:
+    ``{"level", "split_pointer", "entry_count", "initial_buckets",
+    "buckets"}``.  The caller marks the meta page dirty after updates.
+    """
+
+    def __init__(
+        self,
+        pool: BufferPool,
+        directory: dict,
+        page_size: int,
+        allocate_page: Callable[[], int],
+        txn_id: Optional[int] = None,
+        max_load_entries: int = 24,
+    ) -> None:
+        self.pool = pool
+        self.directory = directory
+        self.page_size = page_size
+        self.allocate_page = allocate_page
+        self.txn_id = txn_id
+        self.max_load_entries = max_load_entries
+        self._payload_limit = page_size - 64
+
+    @classmethod
+    def create_directory(
+        cls, pool: BufferPool, allocate_page: Callable[[], int], initial_buckets: int
+    ) -> dict:
+        """Allocate the initial buckets; return the directory dict."""
+        buckets = []
+        for _ in range(initial_buckets):
+            page_no = allocate_page()
+            pool.put_new(HashBucketPage(page_no))
+            buckets.append(page_no)
+        return {
+            "level": 0,
+            "split_pointer": 0,
+            "entry_count": 0,
+            "initial_buckets": initial_buckets,
+            "buckets": buckets,
+        }
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _dirty(self, page) -> None:
+        self.pool.mark_dirty(page, self.txn_id)
+
+    def _address(self, key: bytes) -> int:
+        h = fnv1a(key)
+        modulus = self.directory["initial_buckets"] * (2 ** self.directory["level"])
+        slot = h % modulus
+        if slot < self.directory["split_pointer"]:
+            slot = h % (modulus * 2)
+        return slot
+
+    def _chain(self, head_page: int) -> Iterator[HashBucketPage]:
+        page_no = head_page
+        while page_no:
+            page = self.pool.get(page_no)
+            if not isinstance(page, HashBucketPage):
+                raise BaselineError(f"page {page_no} is not a hash bucket")
+            yield page
+            page_no = page.overflow
+
+    # -- queries ------------------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        head = self.directory["buckets"][self._address(key)]
+        for bucket in self._chain(head):
+            for entry_key, value in bucket.entries:
+                if entry_key == key:
+                    return value
+        return None
+
+    def scan(self) -> Iterator[Tuple[bytes, bytes]]:
+        for head in list(self.directory["buckets"]):
+            for bucket in self._chain(head):
+                yield from list(bucket.entries)
+
+    # -- updates --------------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> Optional[bytes]:
+        """Insert or replace; return the before image."""
+        head = self.directory["buckets"][self._address(key)]
+        for bucket in self._chain(head):
+            for index, (entry_key, before) in enumerate(bucket.entries):
+                if entry_key == key:
+                    self._dirty(bucket)
+                    bucket.add_used(len(value) - len(before))
+                    bucket.entries[index] = (key, value)
+                    return before
+        self._append(head, key, value)
+        self.directory["entry_count"] += 1
+        if (
+            self.directory["entry_count"]
+            / len(self.directory["buckets"])
+            > self.max_load_entries
+        ):
+            self._split()
+        return None
+
+    def _append(self, head_page: int, key: bytes, value: bytes) -> None:
+        last = None
+        for bucket in self._chain(head_page):
+            last = bucket
+            fits = (
+                bucket.used_bytes + bucket.entry_size(key, value)
+                <= self._payload_limit
+            )
+            if fits:
+                self._dirty(bucket)
+                bucket.entries.append((key, value))
+                bucket.add_used(bucket.entry_size(key, value))
+                return
+        overflow_no = self.allocate_page()
+        overflow = HashBucketPage(overflow_no)
+        overflow.entries.append((key, value))
+        overflow.recompute_used()
+        self.pool.put_new(overflow)
+        self._dirty(overflow)
+        self._dirty(last)
+        last.overflow = overflow_no
+
+    def delete(self, key: bytes) -> Optional[bytes]:
+        head = self.directory["buckets"][self._address(key)]
+        for bucket in self._chain(head):
+            for index, (entry_key, before) in enumerate(bucket.entries):
+                if entry_key == key:
+                    self._dirty(bucket)
+                    del bucket.entries[index]
+                    bucket.add_used(-bucket.entry_size(key, before))
+                    self.directory["entry_count"] -= 1
+                    return before
+        return None
+
+    # -- growth ----------------------------------------------------------------------
+
+    def _split(self) -> None:
+        directory = self.directory
+        victim_slot = directory["split_pointer"]
+        modulus = directory["initial_buckets"] * (2 ** directory["level"])
+
+        entries = []
+        chain = list(self._chain(directory["buckets"][victim_slot]))
+        for bucket in chain:
+            entries.extend(bucket.entries)
+        head = chain[0]
+        self._dirty(head)
+        head.entries = []
+        head.overflow = 0
+        head.recompute_used()
+        # Overflow pages of the victim are left unreferenced; the page
+        # allocator never reclaims them (Berkeley DB files do not shrink
+        # either, which is part of the Figure 11b story).
+
+        image_no = self.allocate_page()
+        self.pool.put_new(HashBucketPage(image_no))
+        directory["buckets"].append(image_no)
+        directory["split_pointer"] += 1
+        if directory["split_pointer"] == modulus:
+            directory["split_pointer"] = 0
+            directory["level"] += 1
+        directory["entry_count"] -= len(entries)
+        for key, value in entries:
+            self._append(
+                directory["buckets"][self._address(key)], key, value
+            )
+            directory["entry_count"] += 1

@@ -1,0 +1,281 @@
+"""Page types of the baseline engine.
+
+Pages are fixed-size on disk; in memory the buffer pool caches decoded
+page objects.  Every page type tracks an incremental estimate of its
+serialized size so access methods can split before overflowing the page.
+
+Page kinds: meta (per-table roots), B+tree leaf/internal, hash directory
+extension, hash bucket, free.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import BaselineError
+from repro.objectstore.encoding import BufferReader, BufferWriter
+
+__all__ = [
+    "PAGE_KIND_META",
+    "PAGE_KIND_BTREE_LEAF",
+    "PAGE_KIND_BTREE_INTERNAL",
+    "PAGE_KIND_HASH_BUCKET",
+    "PAGE_KIND_FREE",
+    "Page",
+    "MetaPage",
+    "BTreeLeafPage",
+    "BTreeInternalPage",
+    "HashBucketPage",
+    "decode_page",
+]
+
+PAGE_KIND_FREE = 0
+PAGE_KIND_META = 1
+PAGE_KIND_BTREE_LEAF = 2
+PAGE_KIND_BTREE_INTERNAL = 3
+PAGE_KIND_HASH_BUCKET = 4
+
+_KIND = struct.Struct(">B")
+
+# Serialized-size bookkeeping constants (upper bounds).
+_ENTRY_OVERHEAD = 10  # two length prefixes plus slack
+
+
+class Page:
+    """Base class: identity, dirtiness, size accounting."""
+
+    kind = PAGE_KIND_FREE
+
+    def __init__(self, page_no: int) -> None:
+        self.page_no = page_no
+        self.dirty = False
+        self.dirty_txn: Optional[int] = None  # uncommitted-dirty owner
+
+    def body(self) -> bytes:
+        """Serialize the page body (without kind byte)."""
+        return b""
+
+    def encode(self, page_size: int) -> bytes:
+        data = _KIND.pack(self.kind) + self.body()
+        if len(data) > page_size:
+            raise BaselineError(
+                f"page {self.page_no} overflows: {len(data)} > {page_size}"
+            )
+        return data.ljust(page_size, b"\x00")
+
+
+class MetaPage(Page):
+    """Page 0: table catalog (name -> access method, root, state)."""
+
+    kind = PAGE_KIND_META
+
+    def __init__(self, page_no: int = 0) -> None:
+        super().__init__(page_no)
+        self.next_page_no = 1
+        self.free_pages: List[int] = []
+        # Clean-shutdown handshake: when ``clean`` and the log is still
+        # ``clean_log_size`` bytes long at open, the on-disk pages are
+        # authoritative and replay is skipped.
+        self.clean = False
+        self.clean_log_size = 0
+        # name -> (method, root_page, aux). For hash tables ``aux`` packs
+        # the directory: (level, split_pointer, entry_count, bucket pages).
+        self.tables: Dict[str, dict] = {}
+
+    def body(self) -> bytes:
+        writer = BufferWriter()
+        writer.write_uint(self.next_page_no)
+        writer.write_uint_list(self.free_pages)
+        writer.write_bool(self.clean)
+        writer.write_uint(self.clean_log_size)
+        writer.write_uint(len(self.tables))
+        for name in sorted(self.tables):
+            info = self.tables[name]
+            writer.write_str(name)
+            writer.write_str(info["method"])
+            writer.write_uint(info["root"])
+            if info["method"] == "hash":
+                writer.write_uint(info["level"])
+                writer.write_uint(info["split_pointer"])
+                writer.write_uint(info["entry_count"])
+                writer.write_uint(info["initial_buckets"])
+                writer.write_uint_list(info["buckets"])
+        return writer.getvalue()
+
+    @classmethod
+    def from_body(cls, page_no: int, data: bytes) -> "MetaPage":
+        page = cls(page_no)
+        reader = BufferReader(data)
+        page.next_page_no = reader.read_uint()
+        page.free_pages = reader.read_uint_list()
+        page.clean = reader.read_bool()
+        page.clean_log_size = reader.read_uint()
+        count = reader.read_uint()
+        for _ in range(count):
+            name = reader.read_str()
+            method = reader.read_str()
+            root = reader.read_uint()
+            info = {"method": method, "root": root}
+            if method == "hash":
+                info["level"] = reader.read_uint()
+                info["split_pointer"] = reader.read_uint()
+                info["entry_count"] = reader.read_uint()
+                info["initial_buckets"] = reader.read_uint()
+                info["buckets"] = reader.read_uint_list()
+            page.tables[name] = info
+        return page
+
+
+class BTreeLeafPage(Page):
+    """Sorted (key, value) entries plus the next-leaf link."""
+
+    kind = PAGE_KIND_BTREE_LEAF
+
+    def __init__(self, page_no: int) -> None:
+        super().__init__(page_no)
+        self.entries: List[Tuple[bytes, bytes]] = []
+        self.next_leaf = 0  # 0 = none (page 0 is meta, never a leaf)
+        self._used = 32
+
+    def recompute_used(self) -> None:
+        self._used = 32 + sum(
+            len(key) + len(value) + _ENTRY_OVERHEAD for key, value in self.entries
+        )
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def entry_size(self, key: bytes, value: bytes) -> int:
+        return len(key) + len(value) + _ENTRY_OVERHEAD
+
+    def add_used(self, delta: int) -> None:
+        self._used += delta
+
+    def body(self) -> bytes:
+        writer = BufferWriter()
+        writer.write_uint(self.next_leaf)
+        writer.write_uint(len(self.entries))
+        for key, value in self.entries:
+            writer.write_bytes(key)
+            writer.write_bytes(value)
+        return writer.getvalue()
+
+    @classmethod
+    def from_body(cls, page_no: int, data: bytes) -> "BTreeLeafPage":
+        page = cls(page_no)
+        reader = BufferReader(data)
+        page.next_leaf = reader.read_uint()
+        count = reader.read_uint()
+        page.entries = [
+            (reader.read_bytes(), reader.read_bytes()) for _ in range(count)
+        ]
+        page.recompute_used()
+        return page
+
+
+class BTreeInternalPage(Page):
+    """Separator keys and child page numbers."""
+
+    kind = PAGE_KIND_BTREE_INTERNAL
+
+    def __init__(self, page_no: int) -> None:
+        super().__init__(page_no)
+        self.keys: List[bytes] = []
+        self.children: List[int] = []
+        self._used = 32
+
+    def recompute_used(self) -> None:
+        self._used = 32 + sum(len(key) + _ENTRY_OVERHEAD + 8 for key in self.keys) + 8
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def add_used(self, delta: int) -> None:
+        self._used += delta
+
+    def body(self) -> bytes:
+        writer = BufferWriter()
+        writer.write_list(self.keys, lambda w, k: w.write_bytes(k))
+        writer.write_uint_list(self.children)
+        return writer.getvalue()
+
+    @classmethod
+    def from_body(cls, page_no: int, data: bytes) -> "BTreeInternalPage":
+        page = cls(page_no)
+        reader = BufferReader(data)
+        page.keys = reader.read_list(lambda r: r.read_bytes())
+        page.children = reader.read_uint_list()
+        page.recompute_used()
+        return page
+
+
+class HashBucketPage(Page):
+    """Hash bucket: unordered (key, value) entries + overflow link."""
+
+    kind = PAGE_KIND_HASH_BUCKET
+
+    def __init__(self, page_no: int) -> None:
+        super().__init__(page_no)
+        self.entries: List[Tuple[bytes, bytes]] = []
+        self.overflow = 0  # 0 = none
+        self._used = 32
+
+    def recompute_used(self) -> None:
+        self._used = 32 + sum(
+            len(key) + len(value) + _ENTRY_OVERHEAD for key, value in self.entries
+        )
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def entry_size(self, key: bytes, value: bytes) -> int:
+        return len(key) + len(value) + _ENTRY_OVERHEAD
+
+    def add_used(self, delta: int) -> None:
+        self._used += delta
+
+    def body(self) -> bytes:
+        writer = BufferWriter()
+        writer.write_uint(self.overflow)
+        writer.write_uint(len(self.entries))
+        for key, value in self.entries:
+            writer.write_bytes(key)
+            writer.write_bytes(value)
+        return writer.getvalue()
+
+    @classmethod
+    def from_body(cls, page_no: int, data: bytes) -> "HashBucketPage":
+        page = cls(page_no)
+        reader = BufferReader(data)
+        page.overflow = reader.read_uint()
+        count = reader.read_uint()
+        page.entries = [
+            (reader.read_bytes(), reader.read_bytes()) for _ in range(count)
+        ]
+        page.recompute_used()
+        return page
+
+
+_DECODERS = {
+    PAGE_KIND_META: MetaPage.from_body,
+    PAGE_KIND_BTREE_LEAF: BTreeLeafPage.from_body,
+    PAGE_KIND_BTREE_INTERNAL: BTreeInternalPage.from_body,
+    PAGE_KIND_HASH_BUCKET: HashBucketPage.from_body,
+}
+
+
+def decode_page(page_no: int, raw: bytes) -> Page:
+    """Decode one on-disk page image."""
+    if not raw:
+        raise BaselineError(f"page {page_no} is empty on disk")
+    kind = raw[0]
+    if kind == PAGE_KIND_FREE:
+        return Page(page_no)
+    decoder = _DECODERS.get(kind)
+    if decoder is None:
+        raise BaselineError(f"page {page_no} has unknown kind {kind}")
+    return decoder(page_no, raw[1:])

@@ -1,0 +1,30 @@
+"""Benchmark harness reproducing the paper's evaluation (Figures 8-11).
+
+Modules:
+
+* :mod:`repro.bench.metrics` — disk model, latency statistics,
+  I/O accounting helpers,
+* :mod:`repro.bench.tpcb` — the paper's TPC-B schema and drivers for both
+  TDB (collection store) and the Berkeley-DB-style baseline,
+* :mod:`repro.bench.figure10` — response-time comparison
+  (BerkeleyDB / TDB / TDB-S),
+* :mod:`repro.bench.figure11` — utilization sweep (response time and
+  database size vs maximum utilization),
+* :mod:`repro.bench.footprint` — the code-footprint table (Figure 8),
+* :mod:`repro.bench.ablation` — design-choice ablations called out in
+  DESIGN.md (crypto, chunking, cache size, index kind).
+
+Each figure module is runnable: ``python -m repro.bench.figure10 --help``.
+"""
+
+from repro.bench.metrics import DiskModel, LatencyStats, TxnMetrics
+from repro.bench.tpcb import TpcbScale, TdbTpcbDriver, BaselineTpcbDriver
+
+__all__ = [
+    "DiskModel",
+    "LatencyStats",
+    "TxnMetrics",
+    "TpcbScale",
+    "TdbTpcbDriver",
+    "BaselineTpcbDriver",
+]

@@ -1,0 +1,261 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* ``crypto``   — cost split of the secure profile: hash engine and cipher
+  choices (the paper claims crypto < 10% of CPU with optimized C
+  implementations; pure Python shifts that balance, quantified here),
+* ``chunking`` — single- vs multi-object chunks (paper section 4.2.1),
+* ``cache``    — object-cache size sweep (the cacheable-working-set
+  assumption of section 1),
+* ``index``    — B+tree vs dynamic hash vs list on exact-match lookups
+  (section 5.2.4).
+
+Run: ``python -m repro.bench.ablation [crypto|chunking|cache|index|all]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import time
+from typing import Dict, List
+
+from repro.cache import SharedLruCache
+from repro.chunkstore import ChunkStore
+from repro.collectionstore import CollectionStore, Indexer
+from repro.config import (
+    ChunkStoreConfig,
+    CollectionStoreConfig,
+    ObjectStoreConfig,
+    SecurityProfile,
+)
+from repro.objectstore import ClassRegistry, ObjectStore
+from repro.bench.tpcb import AccountRec
+from repro.platform import (
+    MemoryOneWayCounter,
+    MemorySecretStore,
+    MemoryUntrustedStore,
+)
+
+__all__ = [
+    "ablate_crypto",
+    "ablate_chunking",
+    "ablate_cache",
+    "ablate_index",
+]
+
+_SECRET = b"ablation-benchmark-secret-012345"
+
+
+def _chunk_store(profile: SecurityProfile, segment_size=64 * 1024) -> ChunkStore:
+    return ChunkStore.format(
+        MemoryUntrustedStore(),
+        MemorySecretStore(_SECRET),
+        MemoryOneWayCounter(),
+        ChunkStoreConfig(
+            segment_size=segment_size,
+            initial_segments=4,
+            checkpoint_residual_bytes=512 * 1024,
+            map_fanout=64,
+            security=profile,
+        ),
+    )
+
+
+def ablate_crypto(operations: int = 300, payload: int = 200) -> List[Dict]:
+    """Write+read round trips per security configuration."""
+    profiles = [
+        ("insecure", SecurityProfile.insecure()),
+        ("sha1 + null cipher", SecurityProfile(True, "sha1", "null")),
+        ("sha1 + aes-128", SecurityProfile(True, "sha1", "aes-128")),
+        ("sha1 + aes-256", SecurityProfile(True, "sha1", "aes-256")),
+        ("sha1 + 3des", SecurityProfile(True, "sha1", "3des")),
+        ("sha1-pure + aes-128", SecurityProfile(True, "sha1-pure", "aes-128")),
+        ("sha256 + aes-128", SecurityProfile(True, "sha256", "aes-128")),
+    ]
+    rows = []
+    data = bytes(range(256)) * (payload // 256 + 1)
+    data = data[:payload]
+    for name, profile in profiles:
+        store = _chunk_store(profile)
+        cid = store.allocate_chunk_id()
+        store.write(cid, data)
+        start = time.perf_counter()
+        for _ in range(operations):
+            store.write(cid, data)
+            store.read(cid)
+        elapsed_ms = (time.perf_counter() - start) * 1000 / operations
+        rows.append(
+            {
+                "profile": name,
+                "ms_per_op": elapsed_ms,
+                "bytes_written": store.untrusted.stats.bytes_written,
+            }
+        )
+        store.close()
+    return rows
+
+
+def ablate_chunking(objects: int = 64, object_size: int = 100, rounds: int = 50) -> List[Dict]:
+    """Single- vs multi-object chunks (paper section 4.2.1).
+
+    TDB stores one object per chunk; the alternative packs k objects into
+    one chunk, so updating one object rewrites its whole container.  This
+    bench updates one random object per commit under both layouts and
+    reports log volume — the quantity the paper's trade-off discussion is
+    about.
+    """
+    rng = random.Random(5)
+    rows = []
+    for per_chunk in (1, 4, 16, 64):
+        if per_chunk > objects:
+            continue
+        store = _chunk_store(SecurityProfile.insecure())
+        chunk_count = max(1, objects // per_chunk)
+        cids = [store.allocate_chunk_id() for _ in range(chunk_count)]
+        blob = bytes(object_size * per_chunk)
+        for cid in cids:
+            store.write(cid, blob)
+        base = store.untrusted.stats.bytes_written
+        start = time.perf_counter()
+        for _ in range(rounds):
+            victim = rng.choice(cids)
+            store.write(victim, bytes(object_size * per_chunk))
+        elapsed_ms = (time.perf_counter() - start) * 1000 / rounds
+        written = store.untrusted.stats.bytes_written - base
+        rows.append(
+            {
+                "objects_per_chunk": per_chunk,
+                "bytes_per_update": written / rounds,
+                "ms_per_update": elapsed_ms,
+            }
+        )
+        store.close()
+    return rows
+
+
+def _object_stack(cache_bytes: int):
+    registry = ClassRegistry()
+    registry.register(AccountRec)
+    cache = SharedLruCache(cache_bytes)
+    chunk_store = ChunkStore.format(
+        MemoryUntrustedStore(),
+        MemorySecretStore(_SECRET),
+        MemoryOneWayCounter(),
+        ChunkStoreConfig(
+            segment_size=64 * 1024,
+            initial_segments=4,
+            checkpoint_residual_bytes=512 * 1024,
+            map_fanout=64,
+            security=SecurityProfile.insecure(),
+        ),
+        cache=cache,
+    )
+    return ObjectStore.create(
+        chunk_store, ObjectStoreConfig(locking=False), registry
+    ), cache
+
+
+def ablate_cache(objects: int = 2000, reads: int = 4000) -> List[Dict]:
+    """Read latency and hit rate vs shared-cache budget."""
+    rows = []
+    for cache_kb in (16, 64, 256, 1024):
+        store, cache = _object_stack(cache_kb * 1024)
+        oids = []
+        with store.transaction() as txn:
+            for index in range(objects):
+                oids.append(txn.insert(AccountRec(index)))
+        rng = random.Random(3)
+        hits_before = cache.stats.hits
+        misses_before = cache.stats.misses
+        start = time.perf_counter()
+        for _ in range(reads):
+            with store.transaction() as txn:
+                txn.open_readonly(rng.choice(oids))
+                txn.abort()
+        elapsed_us = (time.perf_counter() - start) * 1e6 / reads
+        hits = cache.stats.hits - hits_before
+        misses = cache.stats.misses - misses_before
+        rows.append(
+            {
+                "cache_kb": cache_kb,
+                "us_per_read": elapsed_us,
+                "hit_rate": hits / max(1, hits + misses),
+            }
+        )
+        store.close()
+    return rows
+
+
+def ablate_index(members: int = 2000, lookups: int = 500) -> List[Dict]:
+    """Exact-match lookup cost per index kind (section 5.2.4)."""
+    rows = []
+    for kind in ("btree", "hash", "list"):
+        registry = ClassRegistry()
+        registry.register(AccountRec)
+        chunk_store = ChunkStore.format(
+            MemoryUntrustedStore(),
+            MemorySecretStore(_SECRET),
+            MemoryOneWayCounter(),
+            ChunkStoreConfig(
+                segment_size=64 * 1024,
+                initial_segments=4,
+                checkpoint_residual_bytes=1024 * 1024,
+                map_fanout=64,
+                security=SecurityProfile.insecure(),
+            ),
+        )
+        object_store = ObjectStore.create(
+            chunk_store, ObjectStoreConfig(locking=False), registry
+        )
+        collections = CollectionStore(object_store, CollectionStoreConfig())
+        indexer = Indexer("by-id", AccountRec, lambda r: r.rec_id, kind=kind)
+        ct = collections.transaction()
+        handle = ct.create_collection("records", indexer)
+        for index in range(members):
+            handle.insert(AccountRec(index))
+        ct.commit()
+        rng = random.Random(11)
+        start = time.perf_counter()
+        ct = collections.transaction()
+        handle = ct.read_collection("records")
+        for _ in range(lookups):
+            iterator = handle.query_match(indexer, rng.randrange(members))
+            assert not iterator.end()
+            iterator.close()
+        ct.abort()
+        elapsed_us = (time.perf_counter() - start) * 1e6 / lookups
+        rows.append({"kind": kind, "us_per_lookup": elapsed_us})
+        collections.close()
+    return rows
+
+
+def _print(title: str, rows: List[Dict]) -> None:
+    print("=" * 70)
+    print(title)
+    print("=" * 70)
+    for row in rows:
+        print("  " + "  ".join(f"{key}={value:.3f}" if isinstance(value, float)
+                               else f"{key}={value}" for key, value in row.items()))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "which",
+        nargs="?",
+        default="all",
+        choices=("crypto", "chunking", "cache", "index", "all"),
+    )
+    args = parser.parse_args()
+    if args.which in ("crypto", "all"):
+        _print("abl-crypto: security profile cost", ablate_crypto())
+    if args.which in ("chunking", "all"):
+        _print("abl-chunk: objects per chunk (update cost)", ablate_chunking())
+    if args.which in ("cache", "all"):
+        _print("abl-cache: shared cache size", ablate_cache())
+    if args.which in ("index", "all"):
+        _print("abl-index: exact-match by index kind", ablate_index())
+
+
+if __name__ == "__main__":
+    main()

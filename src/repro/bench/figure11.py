@@ -1,0 +1,169 @@
+"""Figure 11: TDB response time and database size vs maximum utilization.
+
+The paper sweeps the maximum-utilization knob from 0.5 to 0.9 on TDB
+(without security) and finds:
+
+* response time dips slightly up to ~0.7 (denser database, better
+  file-cache hit rate) and climbs steeply after (cleaning copies more
+  live bytes per reclaimed segment),
+* the database size falls as utilization rises, while Berkeley DB's
+  footprint is far larger because it never checkpoints its log during the
+  run.
+
+Run: ``python -m repro.bench.figure11 [--txns N] ...``
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.bench.metrics import DiskModel, TxnMetrics
+from repro.bench.tpcb import BaselineTpcbDriver, TdbTpcbDriver, TpcbScale
+from repro.config import ChunkStoreConfig, SecurityProfile
+
+__all__ = ["run_figure11", "UtilizationPoint"]
+
+UTILIZATIONS = (0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+@dataclass
+class UtilizationPoint:
+    """One point of the sweep."""
+
+    max_utilization: float
+    metrics: TxnMetrics
+    cleaner_bytes_copied: int
+    cleaner_segments_freed: int
+    achieved_utilization: float
+
+
+def _tdb_config(max_utilization: float, secure: bool) -> ChunkStoreConfig:
+    # Small segments and a short residual log so high utilization targets
+    # are actually reachable at benchmark scale: the residual log, the
+    # tail, and one free slot are uncleanable, which caps achievable
+    # utilization at roughly live / (live + residual + 2 segments).
+    return ChunkStoreConfig(
+        segment_size=16 * 1024,
+        initial_segments=4,
+        checkpoint_residual_bytes=32 * 1024,
+        map_fanout=64,
+        max_utilization=max_utilization,
+        fsync=True,
+        security=SecurityProfile() if secure else SecurityProfile.insecure(),
+    )
+
+
+def run_figure11(
+    txns: int = 2000,
+    warmup: int = 500,
+    accounts: int = 2000,
+    tellers: int = 200,
+    branches: int = 20,
+    cache_bytes: int = 128 * 1024,
+    utilizations=UTILIZATIONS,
+) -> Dict[str, object]:
+    """Run the utilization sweep plus one baseline reference run."""
+    scale = TpcbScale(accounts=accounts, tellers=tellers, branches=branches)
+    model = DiskModel()
+    points: List[UtilizationPoint] = []
+    for utilization in utilizations:
+        driver = TdbTpcbDriver(
+            scale,
+            secure=False,
+            chunk_config=_tdb_config(utilization, secure=False),
+            cache_bytes=cache_bytes,
+        )
+        driver.load()
+        driver.run(warmup)
+        before_io = driver.untrusted.stats.snapshot()
+        before_cleaner = driver.chunk_store.cleaner.stats
+        copied_before = before_cleaner.bytes_copied
+        freed_before = before_cleaner.segments_freed
+        latency = driver.run(txns)
+        io_delta = driver.untrusted.stats.delta_since(before_io)
+        stats = driver.chunk_store.stats()
+        metrics = TxnMetrics.collect(
+            f"TDB@{utilization}",
+            latency,
+            io_delta,
+            model,
+            driver.db_size_bytes(),
+        )
+        points.append(
+            UtilizationPoint(
+                max_utilization=utilization,
+                metrics=metrics,
+                cleaner_bytes_copied=stats.cleaner.bytes_copied - copied_before,
+                cleaner_segments_freed=stats.cleaner.segments_freed - freed_before,
+                achieved_utilization=stats.utilization,
+            )
+        )
+        driver.close()
+
+    baseline = BaselineTpcbDriver(scale, cache_bytes=cache_bytes)
+    baseline.load()
+    baseline.run(warmup)
+    before_io = baseline.untrusted.stats.snapshot()
+    latency = baseline.run(txns)
+    io_delta = baseline.untrusted.stats.delta_since(before_io)
+    baseline_metrics = TxnMetrics.collect(
+        "BerkeleyDB", latency, io_delta, model, baseline.db_size_bytes()
+    )
+    baseline.close()
+    return {"points": points, "baseline": baseline_metrics}
+
+
+def print_report(result: Dict[str, object]) -> None:
+    points: List[UtilizationPoint] = result["points"]
+    baseline: TxnMetrics = result["baseline"]
+    print("=" * 78)
+    print("Figure 11 — response time and database size vs maximum utilization")
+    print("=" * 78)
+    print(
+        f"{'max util':>8} {'wall ms':>9} {'modeled ms':>11} {'db size KB':>11} "
+        f"{'achieved':>9} {'cleaner copied KB':>18}"
+    )
+    for point in points:
+        print(
+            f"{point.max_utilization:8.1f} {point.metrics.wall_ms_mean:9.3f} "
+            f"{point.metrics.modeled_disk_ms_per_txn:11.3f} "
+            f"{point.metrics.db_size_bytes / 1024:11.1f} "
+            f"{point.achieved_utilization:9.3f} "
+            f"{point.cleaner_bytes_copied / 1024:18.1f}"
+        )
+    print("-" * 78)
+    print(
+        f"BerkeleyDB reference: wall={baseline.wall_ms_mean:.3f} ms, "
+        f"modeled={baseline.modeled_disk_ms_per_txn:.3f} ms, "
+        f"db={baseline.db_size_bytes / 1024:.1f} KB (log never checkpointed)"
+    )
+    print(
+        "paper shape: response time dips to ~0.7 then climbs; size strictly "
+        "decreasing in utilization; BerkeleyDB size much larger"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--txns", type=int, default=2000)
+    parser.add_argument("--warmup", type=int, default=500)
+    parser.add_argument("--accounts", type=int, default=2000)
+    parser.add_argument("--tellers", type=int, default=200)
+    parser.add_argument("--branches", type=int, default=20)
+    parser.add_argument("--cache-kb", type=int, default=128)
+    args = parser.parse_args()
+    result = run_figure11(
+        txns=args.txns,
+        warmup=args.warmup,
+        accounts=args.accounts,
+        tellers=args.tellers,
+        branches=args.branches,
+        cache_bytes=args.cache_kb * 1024,
+    )
+    print_report(result)
+
+
+if __name__ == "__main__":
+    main()

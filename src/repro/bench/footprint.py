@@ -1,0 +1,171 @@
+"""Figure 8: code footprint per module.
+
+The paper measures the ``.text`` segment of each system on x86:
+
+    Berkeley DB 186 KB | C-ISAM 344 KB | Faircom 211 KB | RDB 284 KB
+    TDB (all modules) 250 KB
+      collection store 45 | object store 41 | backup store 22
+      chunk store 115 | support utilities 27
+    TDB minimal configuration (chunk store + support): 142 KB
+
+Python has no ``.text`` segment; the closest analogues are source size
+and compiled bytecode size, reported here per module group with the same
+breakdown.  What the figure is really arguing — the relative weight of
+the modules, the chunk store dominating, and a minimal configuration
+roughly half the full system — is directly comparable.
+
+Run: ``python -m repro.bench.footprint``
+"""
+
+from __future__ import annotations
+
+import os
+import py_compile
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, List
+
+import repro
+
+__all__ = ["measure_footprint", "ModuleFootprint", "PAPER_TEXT_KB"]
+
+PAPER_TEXT_KB = {
+    "Berkeley DB": 186,
+    "C-ISAM": 344,
+    "Faircom": 211,
+    "RDB": 284,
+    "TDB - all modules": 250,
+    "collection store": 45,
+    "object store": 41,
+    "backup store": 22,
+    "chunk store": 115,
+    "support utilities": 27,
+    "TDB minimal configuration": 142,
+}
+
+# Module groups mirroring the paper's Figure 8 rows.  The crypto package
+# is chunk-store substrate (hashing/encryption are chunk-store features);
+# the platform package and small shared modules are "support utilities".
+GROUPS = {
+    "collection store": ["collectionstore"],
+    "object store": ["objectstore"],
+    "backup store": ["backupstore"],
+    "chunk store": ["chunkstore", "crypto"],
+    "support utilities": ["platform", "cache.py", "config.py", "errors.py", "db.py"],
+}
+
+BASELINE_GROUP = ["baseline"]
+
+
+@dataclass
+class ModuleFootprint:
+    """Measured sizes of one module group."""
+
+    name: str
+    source_lines: int
+    source_bytes: int
+    bytecode_bytes: int
+
+
+def _python_files(root: str, entries: List[str]) -> List[str]:
+    files: List[str] = []
+    for entry in entries:
+        path = os.path.join(root, entry)
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for dirpath, _dirnames, filenames in os.walk(path):
+                files.extend(
+                    os.path.join(dirpath, name)
+                    for name in filenames
+                    if name.endswith(".py")
+                )
+    return sorted(files)
+
+
+def _measure(name: str, files: List[str]) -> ModuleFootprint:
+    lines = 0
+    source_bytes = 0
+    bytecode_bytes = 0
+    with tempfile.TemporaryDirectory() as scratch:
+        for index, path in enumerate(files):
+            with open(path, "rb") as handle:
+                blob = handle.read()
+            source_bytes += len(blob)
+            lines += sum(
+                1
+                for line in blob.decode("utf-8").splitlines()
+                if line.strip() and not line.strip().startswith("#")
+            )
+            target = os.path.join(scratch, f"{index}.pyc")
+            py_compile.compile(path, cfile=target, doraise=True)
+            bytecode_bytes += os.path.getsize(target)
+    return ModuleFootprint(name, lines, source_bytes, bytecode_bytes)
+
+
+def measure_footprint() -> Dict[str, ModuleFootprint]:
+    """Measure every Figure 8 module group of this package."""
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    results: Dict[str, ModuleFootprint] = {}
+    for group, entries in GROUPS.items():
+        results[group] = _measure(group, _python_files(root, entries))
+    results["TDB - all modules"] = ModuleFootprint(
+        "TDB - all modules",
+        sum(f.source_lines for f in results.values()),
+        sum(f.source_bytes for f in results.values()),
+        sum(f.bytecode_bytes for f in results.values()),
+    )
+    results["TDB minimal configuration"] = ModuleFootprint(
+        "TDB minimal configuration",
+        results["chunk store"].source_lines
+        + results["support utilities"].source_lines,
+        results["chunk store"].source_bytes
+        + results["support utilities"].source_bytes,
+        results["chunk store"].bytecode_bytes
+        + results["support utilities"].bytecode_bytes,
+    )
+    results["Berkeley DB (baseline stand-in)"] = _measure(
+        "Berkeley DB (baseline stand-in)", _python_files(root, BASELINE_GROUP)
+    )
+    return results
+
+
+def print_report(results: Dict[str, ModuleFootprint]) -> None:
+    print("=" * 78)
+    print("Figure 8 — code footprint")
+    print("=" * 78)
+    print(f"{'module':<32} {'LoC':>7} {'src KB':>8} {'pyc KB':>8} {'paper .text KB':>15}")
+    order = [
+        "Berkeley DB (baseline stand-in)",
+        "TDB - all modules",
+        "collection store",
+        "object store",
+        "backup store",
+        "chunk store",
+        "support utilities",
+        "TDB minimal configuration",
+    ]
+    for name in order:
+        footprint = results[name]
+        paper_key = "Berkeley DB" if name.startswith("Berkeley DB") else name
+        paper = PAPER_TEXT_KB.get(paper_key, "")
+        print(
+            f"{name:<32} {footprint.source_lines:>7} "
+            f"{footprint.source_bytes / 1024:>8.1f} "
+            f"{footprint.bytecode_bytes / 1024:>8.1f} {paper!s:>15}"
+        )
+    print("-" * 78)
+    full = results["TDB - all modules"]
+    minimal = results["TDB minimal configuration"]
+    print(
+        f"minimal/full ratio: {minimal.bytecode_bytes / full.bytecode_bytes:4.2f} "
+        f"(paper: {142 / 250:4.2f})"
+    )
+
+
+def main() -> None:
+    print_report(measure_footprint())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,421 @@
+"""TPC-B workload, as the paper runs it (section 7.1, Figure 9).
+
+Schema: four collections — Account, Teller, Branch, History.  All objects
+are 100 bytes with 4-byte unique ids.  A transaction reads and updates a
+random object from each of Account, Teller and Branch and inserts one new
+History object.  The paper's (already scaled-down) sizes:
+
+    Account  100 000        Teller  1 000
+    Branch       100        History 252 000 (grown during the run)
+
+``TpcbScale.paper()`` reproduces those; the default scale is shrunk
+further so pure-Python runs finish in seconds.  Two drivers implement the
+same workload:
+
+* :class:`TdbTpcbDriver` — the full TDB stack (collection store over
+  object store over chunk store), secure (TDB-S) or not (TDB),
+* :class:`BaselineTpcbDriver` — the Berkeley-DB-style engine.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.baseline import BaselineDB
+from repro.bench.metrics import LatencyStats, Stopwatch
+from repro.cache import SharedLruCache
+from repro.chunkstore import ChunkStore
+from repro.collectionstore import CollectionStore, Indexer
+from repro.config import (
+    BaselineConfig,
+    ChunkStoreConfig,
+    CollectionStoreConfig,
+    ObjectStoreConfig,
+    SecurityProfile,
+)
+from repro.objectstore import (
+    BufferReader,
+    BufferWriter,
+    ClassRegistry,
+    ObjectStore,
+    Persistent,
+)
+from repro.platform import (
+    MemoryOneWayCounter,
+    MemorySecretStore,
+    MemoryUntrustedStore,
+)
+
+__all__ = [
+    "TpcbScale",
+    "AccountRec",
+    "TellerRec",
+    "BranchRec",
+    "HistoryRec",
+    "TdbTpcbDriver",
+    "BaselineTpcbDriver",
+]
+
+_FILLER = b"\x2e" * 76  # pads every record's pickle to ~100 bytes
+
+
+@dataclass(frozen=True)
+class TpcbScale:
+    """Initial collection sizes (Figure 9)."""
+
+    accounts: int = 1000
+    tellers: int = 100
+    branches: int = 10
+
+    @classmethod
+    def paper(cls) -> "TpcbScale":
+        return cls(accounts=100_000, tellers=1_000, branches=100)
+
+    @classmethod
+    def tiny(cls) -> "TpcbScale":
+        return cls(accounts=100, tellers=10, branches=2)
+
+
+class _BalanceRec(Persistent):
+    """Common 100-byte record: 4-byte id, 8-byte balance, filler."""
+
+    def __init__(self, rec_id: int = 0, balance: int = 0) -> None:
+        self.rec_id = rec_id
+        self.balance = balance
+
+    def pickle(self) -> bytes:
+        return (
+            BufferWriter()
+            .write_int(self.rec_id)
+            .write_int(self.balance)
+            .write_bytes(_FILLER)
+            .getvalue()
+        )
+
+    @classmethod
+    def unpickle(cls, data: bytes):
+        reader = BufferReader(data)
+        obj = cls(reader.read_int(), reader.read_int())
+        reader.read_bytes()
+        return obj
+
+    def cache_charge(self) -> int:
+        return 160
+
+
+class AccountRec(_BalanceRec):
+    class_id = "tpcb.account"
+
+
+class TellerRec(_BalanceRec):
+    class_id = "tpcb.teller"
+
+
+class BranchRec(_BalanceRec):
+    class_id = "tpcb.branch"
+
+
+class HistoryRec(Persistent):
+    """History record: ids of the rows a transaction touched + delta."""
+
+    class_id = "tpcb.history"
+
+    def __init__(self, hist_id=0, account=0, teller=0, branch=0, delta=0) -> None:
+        self.hist_id = hist_id
+        self.account = account
+        self.teller = teller
+        self.branch = branch
+        self.delta = delta
+
+    def pickle(self) -> bytes:
+        return (
+            BufferWriter()
+            .write_int(self.hist_id)
+            .write_int(self.account)
+            .write_int(self.teller)
+            .write_int(self.branch)
+            .write_int(self.delta)
+            .write_bytes(_FILLER[:52])
+            .getvalue()
+        )
+
+    @classmethod
+    def unpickle(cls, data: bytes) -> "HistoryRec":
+        reader = BufferReader(data)
+        obj = cls(
+            reader.read_int(),
+            reader.read_int(),
+            reader.read_int(),
+            reader.read_int(),
+            reader.read_int(),
+        )
+        reader.read_bytes()
+        return obj
+
+    def cache_charge(self) -> int:
+        return 160
+
+
+def account_indexer() -> Indexer:
+    return Indexer("acct-id", AccountRec, lambda r: r.rec_id, unique=True, kind="hash")
+
+
+def teller_indexer() -> Indexer:
+    return Indexer("teller-id", TellerRec, lambda r: r.rec_id, unique=True, kind="hash")
+
+
+def branch_indexer() -> Indexer:
+    return Indexer("branch-id", BranchRec, lambda r: r.rec_id, unique=True, kind="hash")
+
+
+def history_indexer() -> Indexer:
+    return Indexer("hist-acct", HistoryRec, lambda r: r.account, kind="list")
+
+
+class TdbTpcbDriver:
+    """TPC-B over the full TDB stack."""
+
+    def __init__(
+        self,
+        scale: TpcbScale,
+        secure: bool,
+        chunk_config: Optional[ChunkStoreConfig] = None,
+        seed: int = 7,
+        durable: bool = True,
+        cache_bytes: int = 4 * 1024 * 1024,
+    ) -> None:
+        self.scale = scale
+        self.secure = secure
+        self.durable = durable
+        self.rng = random.Random(seed)
+        self.untrusted = MemoryUntrustedStore()
+        self.counter = MemoryOneWayCounter()
+        secret = MemorySecretStore(b"tpcb-benchmark-secret-0123456789")
+        if chunk_config is None:
+            chunk_config = ChunkStoreConfig(
+                segment_size=64 * 1024,
+                initial_segments=4,
+                # The paper defers reorganization (checkpointing) to idle
+                # periods; a large residual bound amortizes location-map
+                # writes the same way under continuous load.
+                checkpoint_residual_bytes=1536 * 1024,
+                map_fanout=64,
+                fsync=True,  # memory-store sync is free but *counted*
+                security=(
+                    SecurityProfile() if secure else SecurityProfile.insecure()
+                ),
+            )
+        registry = ClassRegistry()
+        for cls in (AccountRec, TellerRec, BranchRec, HistoryRec):
+            registry.register(cls)
+        cache = SharedLruCache(cache_bytes)  # the paper used 4 MB
+        chunk_store = ChunkStore.format(
+            self.untrusted, secret, self.counter, chunk_config, cache=cache
+        )
+        object_store = ObjectStore.create(
+            chunk_store, ObjectStoreConfig(locking=False), registry
+        )
+        self.store = CollectionStore(
+            object_store, CollectionStoreConfig(list_node_capacity=4)
+        )
+        self.chunk_store = chunk_store
+        self._indexers = {
+            "account": account_indexer(),
+            "teller": teller_indexer(),
+            "branch": branch_indexer(),
+            "history": history_indexer(),
+        }
+        self._history_seq = 0
+
+    # -- setup -----------------------------------------------------------------
+
+    def load(self) -> None:
+        """Populate the four collections (batched commits)."""
+        plan = [
+            ("account", AccountRec, self.scale.accounts, self._indexers["account"]),
+            ("teller", TellerRec, self.scale.tellers, self._indexers["teller"]),
+            ("branch", BranchRec, self.scale.branches, self._indexers["branch"]),
+        ]
+        for name, cls, count, indexer in plan:
+            ct = self.store.transaction()
+            handle = ct.create_collection(name, indexer)
+            for rec_id in range(count):
+                handle.insert(cls(rec_id, balance=0))
+            ct.commit()
+        ct = self.store.transaction()
+        ct.create_collection("history", self._indexers["history"])
+        ct.commit()
+
+    # -- one TPC-B transaction -----------------------------------------------------
+
+    def txn_once(self) -> None:
+        account_id = self.rng.randrange(self.scale.accounts)
+        teller_id = self.rng.randrange(self.scale.tellers)
+        branch_id = self.rng.randrange(self.scale.branches)
+        delta = self.rng.randrange(-99999, 99999)
+        ct = self.store.transaction()
+        try:
+            for name, rec_id in (
+                ("account", account_id),
+                ("teller", teller_id),
+                ("branch", branch_id),
+            ):
+                handle = ct.write_collection(name)
+                iterator = handle.query_match(self._indexers[name], rec_id)
+                record = iterator.write()
+                record.balance += delta
+                iterator.next()
+                iterator.close()
+            history = ct.write_collection("history")
+            self._history_seq += 1
+            history.insert(
+                HistoryRec(self._history_seq, account_id, teller_id, branch_id, delta)
+            )
+            ct.commit(durable=self.durable)
+        except Exception:
+            if ct.active:
+                ct.abort()
+            raise
+
+    # -- measured run ------------------------------------------------------------------
+
+    def run(self, transactions: int) -> LatencyStats:
+        latency = LatencyStats()
+        for _ in range(transactions):
+            with Stopwatch(latency):
+                self.txn_once()
+        return latency
+
+    def db_size_bytes(self) -> int:
+        return self.chunk_store.stats().capacity_bytes
+
+    def close(self) -> None:
+        self.store.close()
+
+
+class BaselineTpcbDriver:
+    """TPC-B over the Berkeley-DB-style baseline engine."""
+
+    RECORD = struct.Struct(">Iq88s")  # id, balance, filler = 100 bytes
+
+    def __init__(
+        self,
+        scale: TpcbScale,
+        config: Optional[BaselineConfig] = None,
+        seed: int = 7,
+        access_method: str = "btree",
+        cache_bytes: int = 4 * 1024 * 1024,
+    ) -> None:
+        self.scale = scale
+        self.rng = random.Random(seed)
+        self.untrusted = MemoryUntrustedStore()
+        self.db = BaselineDB.create(
+            self.untrusted,
+            config
+            or BaselineConfig(page_size=4096, cache_bytes=cache_bytes, fsync=True),
+        )
+        for table in ("account", "teller", "branch"):
+            self.db.create_table(table, access_method)
+        self.db.create_table("history", "btree")
+        self._history_seq = 0
+
+    @staticmethod
+    def key_of(rec_id: int) -> bytes:
+        return struct.pack(">I", rec_id)
+
+    def encode(self, rec_id: int, balance: int) -> bytes:
+        return self.RECORD.pack(rec_id, balance, b"\x2e" * 88)
+
+    def decode_balance(self, value: bytes) -> int:
+        return self.RECORD.unpack(value)[1]
+
+    def load(self) -> None:
+        plan = [
+            ("account", self.scale.accounts),
+            ("teller", self.scale.tellers),
+            ("branch", self.scale.branches),
+        ]
+        for table, count in plan:
+            with self.db.begin() as txn:
+                for rec_id in range(count):
+                    txn.put(table, self.key_of(rec_id), self.encode(rec_id, 0))
+
+    def txn_once(self) -> None:
+        account_id = self.rng.randrange(self.scale.accounts)
+        teller_id = self.rng.randrange(self.scale.tellers)
+        branch_id = self.rng.randrange(self.scale.branches)
+        delta = self.rng.randrange(-99999, 99999)
+        with self.db.begin() as txn:
+            for table, rec_id in (
+                ("account", account_id),
+                ("teller", teller_id),
+                ("branch", branch_id),
+            ):
+                key = self.key_of(rec_id)
+                balance = self.decode_balance(txn.get(table, key))
+                txn.put(table, key, self.encode(rec_id, balance + delta))
+            self._history_seq += 1
+            history_value = struct.pack(
+                ">IIIq76s",
+                account_id,
+                teller_id,
+                branch_id,
+                delta,
+                b"\x2e" * 76,
+            )
+            txn.put("history", self.key_of(self._history_seq), history_value)
+
+    def run(self, transactions: int) -> LatencyStats:
+        latency = LatencyStats()
+        for _ in range(transactions):
+            with Stopwatch(latency):
+                self.txn_once()
+        return latency
+
+    def db_size_bytes(self) -> int:
+        return self.db.stats().total_bytes
+
+    def close(self) -> None:
+        self.db.close()
+
+
+def _print_figure9(scale: TpcbScale) -> None:
+    """Print the Figure 9 table (collections and initial sizes)."""
+    print("Figure 9 — TPC-B collections and sizes")
+    print(f"{'Collection':<12} {'paper size':>12} {'this run':>12}")
+    paper = TpcbScale.paper()
+    rows = [
+        ("Account", paper.accounts, scale.accounts),
+        ("Teller", paper.tellers, scale.tellers),
+        ("Branch", paper.branches, scale.branches),
+        ("History", 252_000, "grows 1/txn"),
+    ]
+    for name, paper_size, ours in rows:
+        print(f"{name:<12} {paper_size:>12} {ours!s:>12}")
+    print(
+        "objects are 100 bytes with 4-byte unique ids; a transaction "
+        "updates one random Account, Teller, and Branch object and "
+        "inserts one History object"
+    )
+
+
+def main() -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description="TPC-B workload utilities")
+    parser.add_argument(
+        "--show-schema", action="store_true", help="print the Figure 9 table"
+    )
+    parser.add_argument("--accounts", type=int, default=TpcbScale().accounts)
+    parser.add_argument("--tellers", type=int, default=TpcbScale().tellers)
+    parser.add_argument("--branches", type=int, default=TpcbScale().branches)
+    args = parser.parse_args()
+    scale = TpcbScale(args.accounts, args.tellers, args.branches)
+    _print_figure9(scale)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""The chunk store: TDB's log-structured trusted storage layer.
+
+The chunk store stores a set of named, variable-sized byte sequences
+(*chunks*) on untrusted storage with secrecy and tamper detection
+(section 3 of the paper):
+
+* the **log is the only storage** — committed chunks are appended to the
+  tail of a segmented log; there are no copies outside the log,
+* a hierarchical **location map** finds the current version of each chunk;
+  the Merkle hash tree is embedded in the map, so validating a chunk and
+  locating it are the same tree walk,
+* multiple chunk writes commit **atomically**; commits may be durable
+  (fsync + one-way-counter bump) or nondurable (guaranteed *not* to
+  survive a crash until a later durable commit),
+* the **master record** authenticates the map root, the residual-log hash
+  chain and the expected one-way-counter value with a MAC under the
+  secret key; replaying an old database image trips the counter check,
+* a **cleaner** reclaims obsolete chunk versions, growing the store
+  instead when the configured maximum utilization is reached,
+* **snapshots** freeze the map root copy-on-write for fast full and
+  incremental backups.
+"""
+
+from repro.chunkstore.store import ChunkStore, ChunkStoreStats
+from repro.chunkstore.snapshot import Snapshot
+
+__all__ = ["ChunkStore", "ChunkStoreStats", "Snapshot"]

@@ -1,0 +1,241 @@
+"""The master record: the trusted root of the whole database.
+
+The master record lives at a known location in the untrusted store and
+authenticates everything else: the location-map root locator (and hence,
+transitively, every chunk), the hash-chain anchor of the residual log,
+and the expected one-way counter value.  It is MACed with a key derived
+from the secret store, so an attacker can neither forge one nor swap in
+a stale one without tripping either the MAC or the counter check.
+
+Updates are made atomic with two alternating files (``master-a`` /
+``master-b``) carrying a generation number: the loader picks the valid
+record with the highest generation, so a crash mid-write leaves the
+previous master intact.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.chunkstore.format import FORMAT_VERSION, Locator
+from repro.chunkstore.segments import SegmentInfo
+from repro.errors import ChunkStoreError, RecoveryError, TamperDetectedError
+from repro.platform.untrusted import UntrustedStore
+
+__all__ = ["MasterRecord", "MasterIO", "MASTER_FILES"]
+
+MASTER_FILES = ("master-a", "master-b")
+
+_MAGIC = b"TDBMASTR"
+_HEAD = struct.Struct(">8sHQ")          # magic, version, generation
+_CONFIG = struct.Struct(">IHBB16s")     # segment_size, fanout, hash_size, secure, uuid
+_STATE = struct.Struct(">BBQQQQ")       # depth, has_root, next_cid, seqno, counter, next_seg
+_ANCHOR = struct.Struct(">IQ")          # anchor segment, anchor offset
+_SEG = struct.Struct(">IQQQQB")         # number, accountable, dead, overhead, file_bytes, state
+_CRC = struct.Struct(">I")
+
+
+@dataclass
+class MasterRecord:
+    """Decoded master record contents."""
+
+    generation: int
+    db_uuid: bytes
+    segment_size: int
+    map_fanout: int
+    hash_size: int
+    secure: bool
+    depth: int
+    root: Optional[Locator]
+    next_chunk_id: int
+    commit_seqno: int
+    expected_counter: int
+    next_segment_number: int
+    anchor_segment: int
+    anchor_offset: int
+    chain_anchor: bytes
+    segments: List[SegmentInfo] = field(default_factory=list)
+
+    def encode(self) -> bytes:
+        parts = [
+            _HEAD.pack(_MAGIC, FORMAT_VERSION, self.generation),
+            _CONFIG.pack(
+                self.segment_size,
+                self.map_fanout,
+                self.hash_size,
+                1 if self.secure else 0,
+                self.db_uuid,
+            ),
+            _STATE.pack(
+                self.depth,
+                1 if self.root is not None else 0,
+                self.next_chunk_id,
+                self.commit_seqno,
+                self.expected_counter,
+                self.next_segment_number,
+            ),
+        ]
+        if self.root is not None:
+            parts.append(self.root.encode(self.hash_size))
+        parts.append(_ANCHOR.pack(self.anchor_segment, self.anchor_offset))
+        parts.append(struct.pack(">H", len(self.chain_anchor)))
+        parts.append(self.chain_anchor)
+        parts.append(struct.pack(">I", len(self.segments)))
+        for info in self.segments:
+            parts.append(
+                _SEG.pack(
+                    info.number,
+                    info.accountable_bytes,
+                    info.dead_bytes,
+                    info.overhead_bytes,
+                    info.file_bytes,
+                    info.state,
+                )
+            )
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "MasterRecord":
+        try:
+            magic, version, generation = _HEAD.unpack_from(data, 0)
+            if magic != _MAGIC:
+                raise ChunkStoreError("bad master record magic")
+            if version != FORMAT_VERSION:
+                raise ChunkStoreError(f"unsupported master format version {version}")
+            offset = _HEAD.size
+            segment_size, fanout, hash_size, secure, db_uuid = _CONFIG.unpack_from(
+                data, offset
+            )
+            offset += _CONFIG.size
+            depth, has_root, next_cid, seqno, counter, next_seg = _STATE.unpack_from(
+                data, offset
+            )
+            offset += _STATE.size
+            root = None
+            if has_root:
+                root, offset = Locator.decode(data, offset, hash_size)
+            anchor_segment, anchor_offset = _ANCHOR.unpack_from(data, offset)
+            offset += _ANCHOR.size
+            (chain_len,) = struct.unpack_from(">H", data, offset)
+            offset += 2
+            chain_anchor = bytes(data[offset:offset + chain_len])
+            if len(chain_anchor) != chain_len:
+                raise ChunkStoreError("truncated master chain anchor")
+            offset += chain_len
+            (n_segments,) = struct.unpack_from(">I", data, offset)
+            offset += 4
+            segments = []
+            for _ in range(n_segments):
+                (
+                    number,
+                    accountable,
+                    dead,
+                    overhead,
+                    file_bytes,
+                    state,
+                ) = _SEG.unpack_from(data, offset)
+                offset += _SEG.size
+                segments.append(
+                    SegmentInfo.with_state(
+                        number, accountable, dead, overhead, file_bytes, state
+                    )
+                )
+        except struct.error as exc:
+            raise ChunkStoreError(f"malformed master record: {exc}") from exc
+        return cls(
+            generation=generation,
+            db_uuid=db_uuid,
+            segment_size=segment_size,
+            map_fanout=fanout,
+            hash_size=hash_size,
+            secure=bool(secure),
+            depth=depth,
+            root=root,
+            next_chunk_id=next_cid,
+            commit_seqno=seqno,
+            expected_counter=counter,
+            next_segment_number=next_seg,
+            anchor_segment=anchor_segment,
+            anchor_offset=anchor_offset,
+            chain_anchor=chain_anchor,
+            segments=segments,
+        )
+
+
+class MasterIO:
+    """Reads and writes the two master files with authentication."""
+
+    def __init__(self, untrusted: UntrustedStore, mac=None) -> None:
+        self.untrusted = untrusted
+        self._mac = mac  # None => insecure profile, CRC only
+
+    def _seal(self, body: bytes) -> bytes:
+        if self._mac is not None:
+            tag = self._mac.tag(body)
+        else:
+            tag = _CRC.pack(zlib.crc32(body) & 0xFFFFFFFF)
+        return struct.pack(">I", len(body)) + body + tag
+
+    def _unseal(self, blob: bytes) -> bytes:
+        if len(blob) < 4:
+            raise ChunkStoreError("master file too short")
+        (body_len,) = struct.unpack_from(">I", blob, 0)
+        body = blob[4:4 + body_len]
+        if len(body) != body_len:
+            raise ChunkStoreError("master file truncated")
+        tag = blob[4 + body_len:]
+        if self._mac is not None:
+            if not self._mac.verify(body, tag[:self._mac.tag_size]):
+                raise TamperDetectedError("master record authentication failed")
+        else:
+            if tag[:_CRC.size] != _CRC.pack(zlib.crc32(body) & 0xFFFFFFFF):
+                raise TamperDetectedError("master record checksum failed")
+        return body
+
+    def write(self, record: MasterRecord, sync: bool = True) -> None:
+        """Write ``record`` to the slot its generation selects."""
+        name = MASTER_FILES[record.generation % 2]
+        blob = self._seal(record.encode())
+        if self.untrusted.exists(name):
+            self.untrusted.truncate(name, 0)
+        self.untrusted.write(name, 0, blob)
+        if sync:
+            self.untrusted.sync(name)
+
+    def load_latest(self) -> MasterRecord:
+        """Return the valid master record with the highest generation.
+
+        A single unreadable slot is tolerated (it may be a torn write of
+        the newer generation); if both slots are bad the database is
+        unrecoverable and the error distinguishes tampering from absence.
+        """
+        candidates: List[Tuple[int, MasterRecord]] = []
+        tamper_evidence: Optional[TamperDetectedError] = None
+        found_any = False
+        for name in MASTER_FILES:
+            if not self.untrusted.exists(name):
+                continue
+            found_any = True
+            try:
+                record = MasterRecord.decode(self._unseal(self.untrusted.read(name)))
+            except TamperDetectedError as exc:
+                tamper_evidence = exc
+                continue
+            except ChunkStoreError:
+                continue
+            candidates.append((record.generation, record))
+        if not found_any:
+            raise RecoveryError(
+                "no master record found; the store was never formatted here"
+            )
+        if not candidates:
+            if tamper_evidence is not None:
+                raise TamperDetectedError(
+                    "both master records failed validation"
+                ) from tamper_evidence
+            raise RecoveryError("both master records are unreadable")
+        candidates.sort(key=lambda pair: pair[0])
+        return candidates[-1][1]

@@ -1,0 +1,285 @@
+"""Persistent B+tree index.
+
+Index meta-objects (tree nodes) are ordinary persistent objects locked
+under two-phase locking like everything else (paper section 5.2.4);
+there is no early lock release — the paper explicitly trades index
+concurrency tricks for implementation simplicity.
+
+Design notes:
+
+* The root object id is **stable**: when the root overflows, its content
+  moves into two fresh children and the root becomes their parent in
+  place, so the index descriptor never changes.
+* Non-unique indexes keep a posting list of object ids per key.
+* Deletion is lazy about structure: emptied keys leave their leaf, but
+  underfull leaves are not merged (the leaf chain stays intact and scans
+  skip empty leaves).  DRM-scale collections rebuild indexes cheaply if
+  compaction is ever needed; DESIGN.md records this simplification.
+* Separator convention: equal keys route right (``bisect_right``), and a
+  leaf split publishes the right node's first key as the separator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.collectionstore.keys import compare_keys, decode_key, encode_key
+from repro.errors import CollectionStoreError, DuplicateKeyError
+from repro.objectstore.encoding import BufferReader, BufferWriter
+from repro.objectstore.persistent import Persistent
+
+__all__ = ["BTreeNode", "BTreeIndex"]
+
+
+class BTreeNode(Persistent):
+    """One B+tree node: leaf (keys + posting lists) or internal."""
+
+    class_id = "tdb.btree.node"
+
+    def __init__(self, is_leaf: bool = True) -> None:
+        self.is_leaf = is_leaf
+        self.keys: List[object] = []
+        self.postings: List[List[int]] = []  # leaf only
+        self.children: List[int] = []        # internal only
+        self.next_leaf: Optional[int] = None  # leaf only
+
+    def pickle(self) -> bytes:
+        writer = BufferWriter()
+        writer.write_bool(self.is_leaf)
+        writer.write_list(self.keys, lambda w, k: w.write_bytes(encode_key(k)))
+        if self.is_leaf:
+            writer.write_list(self.postings, lambda w, p: w.write_uint_list(p))
+            writer.write_optional_uint(self.next_leaf)
+        else:
+            writer.write_uint_list(self.children)
+        return writer.getvalue()
+
+    @classmethod
+    def unpickle(cls, data: bytes) -> "BTreeNode":
+        reader = BufferReader(data)
+        node = cls(reader.read_bool())
+        node.keys = reader.read_list(lambda r: decode_key(r.read_bytes()))
+        if node.is_leaf:
+            node.postings = reader.read_list(lambda r: r.read_uint_list())
+            node.next_leaf = reader.read_optional_uint()
+        else:
+            node.children = reader.read_uint_list()
+        reader.expect_end()
+        return node
+
+    def cache_charge(self) -> int:
+        return 128 + 48 * len(self.keys) + 16 * sum(
+            len(posting) for posting in self.postings
+        ) + 16 * len(self.children)
+
+
+def _search(keys: List[object], key: object) -> Tuple[int, bool]:
+    """Binary search with the index comparator: (position, exact?)."""
+    low, high = 0, len(keys)
+    while low < high:
+        mid = (low + high) // 2
+        result = compare_keys(keys[mid], key)
+        if result == 0:
+            return mid, True
+        if result < 0:
+            low = mid + 1
+        else:
+            high = mid
+    return low, False
+
+
+def _child_slot(keys: List[object], key: object) -> int:
+    """Route ``key`` to a child: equal keys go right of their separator."""
+    position, exact = _search(keys, key)
+    return position + 1 if exact else position
+
+
+class BTreeIndex:
+    """Operations on one B+tree, bound to a transaction."""
+
+    def __init__(self, txn, root_oid: int, order: int) -> None:
+        if order < 4:
+            raise CollectionStoreError("B+tree order must be at least 4")
+        self.txn = txn
+        self.root_oid = root_oid
+        self.order = order
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @classmethod
+    def create(cls, txn, order: int) -> int:
+        """Create an empty tree; return the (stable) root object id."""
+        return txn.insert(BTreeNode(is_leaf=True))
+
+    def destroy(self) -> None:
+        """Remove every node of the tree, including the root."""
+        for oid in self._all_node_oids():
+            self.txn.remove(oid)
+
+    def _all_node_oids(self) -> List[int]:
+        oids: List[int] = []
+        stack = [self.root_oid]
+        while stack:
+            oid = stack.pop()
+            oids.append(oid)
+            node = self._read(oid)
+            if not node.is_leaf:
+                stack.extend(node.children)
+        return oids
+
+    # -- node access -----------------------------------------------------------------
+
+    def _read(self, oid: int) -> BTreeNode:
+        return self.txn.open_readonly(oid, BTreeNode).deref()
+
+    def _write(self, oid: int) -> BTreeNode:
+        return self.txn.open_writable(oid, BTreeNode).deref()
+
+    # -- queries -----------------------------------------------------------------------
+
+    def lookup(self, key: object) -> List[int]:
+        """Object ids stored under ``key`` (empty list when absent)."""
+        node = self._read(self.root_oid)
+        while not node.is_leaf:
+            node = self._read(node.children[_child_slot(node.keys, key)])
+        position, exact = _search(node.keys, key)
+        return list(node.postings[position]) if exact else []
+
+    def scan(self) -> Iterator[Tuple[object, int]]:
+        """Yield ``(key, oid)`` in ascending key order."""
+        yield from self.range(None, None)
+
+    def range(
+        self, low: Optional[object], high: Optional[object]
+    ) -> Iterator[Tuple[object, int]]:
+        """Yield ``(key, oid)`` for keys in the inclusive range [low, high]."""
+        node = self._read(self.root_oid)
+        while not node.is_leaf:
+            slot = 0 if low is None else _child_slot(node.keys, low)
+            node = self._read(node.children[slot])
+        while True:
+            for position, key in enumerate(node.keys):
+                if low is not None and compare_keys(key, low) < 0:
+                    continue
+                if high is not None and compare_keys(key, high) > 0:
+                    return
+                for oid in node.postings[position]:
+                    yield key, oid
+            if node.next_leaf is None:
+                return
+            node = self._read(node.next_leaf)
+
+    # -- updates --------------------------------------------------------------------------
+
+    def insert(self, key: object, oid: int, unique: bool) -> None:
+        """Add ``(key, oid)``; raise :class:`DuplicateKeyError` if unique
+        and the key is already present."""
+        split = self._insert_into(self.root_oid, key, oid, unique, is_root=True)
+        if split is not None:
+            raise CollectionStoreError("root split must be absorbed in place")
+
+    def _insert_into(
+        self, node_oid: int, key: object, oid: int, unique: bool, is_root: bool
+    ) -> Optional[Tuple[object, int]]:
+        node = self._read(node_oid)
+        if node.is_leaf:
+            position, exact = _search(node.keys, key)
+            if exact and unique:
+                raise DuplicateKeyError(
+                    f"duplicate key {key!r} in unique index", key=key
+                )
+            node = self._write(node_oid)
+            if exact:
+                if oid not in node.postings[position]:
+                    node.postings[position].append(oid)
+            else:
+                node.keys.insert(position, key)
+                node.postings.insert(position, [oid])
+        else:
+            slot = _child_slot(node.keys, key)
+            split = self._insert_into(node.children[slot], key, oid, unique, False)
+            if split is None:
+                return None
+            separator, new_oid = split
+            node = self._write(node_oid)
+            position, _ = _search(node.keys, separator)
+            node.keys.insert(position, separator)
+            node.children.insert(position + 1, new_oid)
+        if len(node.keys) <= self.order:
+            return None
+        if is_root:
+            self._split_root(node)
+            return None
+        return self._split(node)
+
+    def _split(self, node: BTreeNode) -> Tuple[object, int]:
+        """Split an overflowing non-root node; return (separator, new oid)."""
+        mid = len(node.keys) // 2
+        right = BTreeNode(is_leaf=node.is_leaf)
+        if node.is_leaf:
+            separator = node.keys[mid]
+            right.keys = node.keys[mid:]
+            right.postings = node.postings[mid:]
+            node.keys = node.keys[:mid]
+            node.postings = node.postings[:mid]
+            right.next_leaf = node.next_leaf
+            right_oid = self.txn.insert(right)
+            node.next_leaf = right_oid
+        else:
+            separator = node.keys[mid]
+            right.keys = node.keys[mid + 1:]
+            right.children = node.children[mid + 1:]
+            node.keys = node.keys[:mid]
+            node.children = node.children[:mid + 1]
+            right_oid = self.txn.insert(right)
+        return separator, right_oid
+
+    def _split_root(self, root: BTreeNode) -> None:
+        """Split the root in place, keeping its object id stable."""
+        left = BTreeNode(is_leaf=root.is_leaf)
+        mid = len(root.keys) // 2
+        if root.is_leaf:
+            separator = root.keys[mid]
+            right = BTreeNode(is_leaf=True)
+            right.keys = root.keys[mid:]
+            right.postings = root.postings[mid:]
+            right.next_leaf = root.next_leaf
+            left.keys = root.keys[:mid]
+            left.postings = root.postings[:mid]
+            right_oid = self.txn.insert(right)
+            left.next_leaf = right_oid
+            left_oid = self.txn.insert(left)
+        else:
+            separator = root.keys[mid]
+            right = BTreeNode(is_leaf=False)
+            right.keys = root.keys[mid + 1:]
+            right.children = root.children[mid + 1:]
+            left.keys = root.keys[:mid]
+            left.children = root.children[:mid + 1]
+            right_oid = self.txn.insert(right)
+            left_oid = self.txn.insert(left)
+        root = self._write(self.root_oid)
+        root.is_leaf = False
+        root.keys = [separator]
+        root.children = [left_oid, right_oid]
+        root.postings = []
+        root.next_leaf = None
+
+    def remove(self, key: object, oid: int) -> bool:
+        """Drop ``(key, oid)``; return whether the pair was present."""
+        node_oid = self.root_oid
+        node = self._read(node_oid)
+        while not node.is_leaf:
+            node_oid = node.children[_child_slot(node.keys, key)]
+            node = self._read(node_oid)
+        position, exact = _search(node.keys, key)
+        if not exact:
+            return False
+        if oid not in node.postings[position]:
+            return False
+        node = self._write(node_oid)
+        node.postings[position].remove(oid)
+        if not node.postings[position]:
+            del node.keys[position]
+            del node.postings[position]
+        return True

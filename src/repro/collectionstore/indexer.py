@@ -1,0 +1,107 @@
+"""Indexers: functional index definitions (paper section 5.1.2).
+
+An :class:`Indexer` is the runtime identity of one index on a collection:
+the collection schema class, a **pure extractor function** computing the
+key from an object, a uniqueness flag, and the index implementation kind.
+Because extractor functions cannot be persisted, each indexer carries a
+stable ``name``; the persistent side of the index is an
+:class:`IndexDescriptor` stored inside the collection object and matched
+to indexers by that name.
+
+The paper's C++ encodes all of this in a template instantiation
+(``Indexer<Schema, Key, extractor>``); the Python equivalent is this
+explicit object, with the same role: it is the only schema-aware piece of
+the collection store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Type
+
+from repro.errors import SchemaError
+from repro.objectstore.encoding import BufferReader, BufferWriter
+from repro.objectstore.persistent import Persistent
+
+__all__ = ["Indexer", "IndexDescriptor", "INDEX_KINDS"]
+
+INDEX_KINDS = ("btree", "hash", "list")
+
+
+@dataclass(frozen=True)
+class Indexer:
+    """Runtime definition of one functional index.
+
+    ``extractor`` must be *pure*: its output may depend only on its input
+    object (the paper's requirement — the collection store compares key
+    snapshots computed at different times and relies on them being
+    reproducible).
+    """
+
+    name: str
+    schema_class: Type[Persistent]
+    extractor: Callable[[Persistent], object]
+    unique: bool = False
+    kind: str = "btree"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("indexer needs a non-empty name")
+        if self.kind not in INDEX_KINDS:
+            raise SchemaError(
+                f"unknown index kind {self.kind!r}; choose from {INDEX_KINDS}"
+            )
+        if not (
+            isinstance(self.schema_class, type)
+            and issubclass(self.schema_class, Persistent)
+        ):
+            raise SchemaError("indexer schema class must subclass Persistent")
+        if not callable(self.extractor):
+            raise SchemaError("indexer extractor must be callable")
+
+    def extract(self, obj: Persistent) -> object:
+        """Apply the extractor with a type check on the input."""
+        if not isinstance(obj, self.schema_class):
+            raise SchemaError(
+                f"extractor for index {self.name!r} expects "
+                f"{self.schema_class.__name__}, got {type(obj).__name__}"
+            )
+        return self.extractor(obj)
+
+
+@dataclass
+class IndexDescriptor:
+    """Persistent metadata of one index (lives inside the collection)."""
+
+    name: str
+    kind: str
+    unique: bool
+    root_oid: int
+
+    def write_to(self, writer: BufferWriter) -> None:
+        writer.write_str(self.name)
+        writer.write_str(self.kind)
+        writer.write_bool(self.unique)
+        writer.write_uint(self.root_oid)
+
+    @classmethod
+    def read_from(cls, reader: BufferReader) -> "IndexDescriptor":
+        return cls(
+            name=reader.read_str(),
+            kind=reader.read_str(),
+            unique=reader.read_bool(),
+            root_oid=reader.read_uint(),
+        )
+
+    def matches(self, indexer: Indexer) -> None:
+        """Raise :class:`SchemaError` when an indexer mis-describes us."""
+        if indexer.kind != self.kind:
+            raise SchemaError(
+                f"index {self.name!r} is a {self.kind} index but the "
+                f"indexer says {indexer.kind}"
+            )
+        if indexer.unique != self.unique:
+            raise SchemaError(
+                f"index {self.name!r} uniqueness mismatch: stored "
+                f"{self.unique}, indexer {indexer.unique}"
+            )

@@ -1,0 +1,158 @@
+"""Index key encoding, decoding, hashing and comparison.
+
+Extractor functions return Python values; indexes persist them inside
+their node objects, so keys need a stable, architecture-independent
+encoding.  Supported key types: ``int``, ``float``, ``str``, ``bytes``,
+``bool``, and flat tuples of those (composite keys from multiple
+fields).
+
+Comparison is defined between keys of the same type only — one index
+holds one key type, and mixing types raises :class:`SchemaError` rather
+than producing an arbitrary order.  Hashing (for the dynamic hash table)
+is computed over the encoded bytes with FNV-1a, which is stable across
+processes, unlike Python's randomized ``hash()``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Tuple
+
+from repro.errors import SchemaError
+from repro.objectstore.encoding import BufferReader, BufferWriter
+
+__all__ = ["encode_key", "decode_key", "compare_keys", "hash_key", "key_type_tag"]
+
+_TAG_INT = 1
+_TAG_FLOAT = 2
+_TAG_STR = 3
+_TAG_BYTES = 4
+_TAG_BOOL = 5
+_TAG_TUPLE = 6
+
+_TAG_NAMES = {
+    _TAG_INT: "int",
+    _TAG_FLOAT: "float",
+    _TAG_STR: "str",
+    _TAG_BYTES: "bytes",
+    _TAG_BOOL: "bool",
+    _TAG_TUPLE: "tuple",
+}
+
+
+def key_type_tag(key: Any) -> int:
+    """Return the type tag for ``key``; reject unsupported types."""
+    # bool before int: bool is an int subclass but must not mix orders.
+    if isinstance(key, bool):
+        return _TAG_BOOL
+    if isinstance(key, int):
+        return _TAG_INT
+    if isinstance(key, float):
+        return _TAG_FLOAT
+    if isinstance(key, str):
+        return _TAG_STR
+    if isinstance(key, (bytes, bytearray)):
+        return _TAG_BYTES
+    if isinstance(key, tuple):
+        return _TAG_TUPLE
+    raise SchemaError(
+        f"unsupported index key type {type(key).__name__}; supported: "
+        "int, float, str, bytes, bool, and flat tuples of those"
+    )
+
+
+def encode_key(key: Any) -> bytes:
+    """Encode a key value to stable bytes."""
+    writer = BufferWriter()
+    _encode_into(writer, key, top_level=True)
+    return writer.getvalue()
+
+
+def _encode_into(writer: BufferWriter, key: Any, top_level: bool) -> None:
+    tag = key_type_tag(key)
+    writer.write_raw(bytes([tag]))
+    if tag == _TAG_INT:
+        writer.write_int(key)
+    elif tag == _TAG_FLOAT:
+        writer.write_float(key)
+    elif tag == _TAG_STR:
+        writer.write_str(key)
+    elif tag == _TAG_BYTES:
+        writer.write_bytes(bytes(key))
+    elif tag == _TAG_BOOL:
+        writer.write_bool(key)
+    else:  # tuple
+        if not top_level:
+            raise SchemaError("nested tuples are not supported as index keys")
+        writer.write_raw(struct.pack(">H", len(key)))
+        for item in key:
+            _encode_into(writer, item, top_level=False)
+
+
+def decode_key(data: bytes) -> Any:
+    """Invert :func:`encode_key`."""
+    reader = BufferReader(data)
+    key = _decode_from(reader, top_level=True)
+    reader.expect_end()
+    return key
+
+
+def _decode_from(reader: BufferReader, top_level: bool) -> Any:
+    tag = reader._take(1)[0]
+    if tag == _TAG_INT:
+        return reader.read_int()
+    if tag == _TAG_FLOAT:
+        return reader.read_float()
+    if tag == _TAG_STR:
+        return reader.read_str()
+    if tag == _TAG_BYTES:
+        return reader.read_bytes()
+    if tag == _TAG_BOOL:
+        return reader.read_bool()
+    if tag == _TAG_TUPLE:
+        if not top_level:
+            raise SchemaError("nested tuple inside encoded key")
+        (count,) = struct.unpack(">H", reader._take(2))
+        return tuple(_decode_from(reader, top_level=False) for _ in range(count))
+    raise SchemaError(f"unknown key type tag {tag}")
+
+
+def compare_keys(a: Any, b: Any) -> int:
+    """Three-way comparison of two keys of the same type.
+
+    Returns -1, 0, or 1.  Raises :class:`SchemaError` on a type mismatch
+    (one index must hold keys of one type).
+    """
+    tag_a, tag_b = key_type_tag(a), key_type_tag(b)
+    if tag_a != tag_b:
+        raise SchemaError(
+            f"cannot compare {_TAG_NAMES[tag_a]} key with "
+            f"{_TAG_NAMES[tag_b]} key in the same index"
+        )
+    if tag_a == _TAG_TUPLE:
+        if len(a) != len(b):
+            raise SchemaError(
+                f"composite keys differ in arity: {len(a)} vs {len(b)}"
+            )
+        for item_a, item_b in zip(a, b):
+            result = compare_keys(item_a, item_b)
+            if result:
+                return result
+        return 0
+    if tag_a == _TAG_BYTES:
+        a, b = bytes(a), bytes(b)
+    if a < b:
+        return -1
+    if a > b:
+        return 1
+    return 0
+
+
+def hash_key(key: Any) -> int:
+    """Stable 64-bit FNV-1a hash of the encoded key."""
+    data = encode_key(key)
+    value = 0xCBF29CE484222325
+    for byte in data:
+        value ^= byte
+        value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value

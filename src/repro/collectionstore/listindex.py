@@ -1,0 +1,174 @@
+"""Persistent list index: insertion-ordered (key, oid) entries, scan only.
+
+The cheapest index kind (paper section 5.2.4): entries append to the tail
+of a chunked linked list.  Exact-match degenerates to a scan; range
+queries are unsupported.  Useful for history-style collections (the
+TPC-B History table uses one) where the workload only ever appends and
+occasionally scans.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.collectionstore.keys import compare_keys, decode_key, encode_key
+from repro.errors import CollectionStoreError, DuplicateKeyError
+from repro.objectstore.encoding import BufferReader, BufferWriter
+from repro.objectstore.persistent import Persistent
+
+__all__ = ["ListRoot", "ListNode", "ListIndex"]
+
+
+class ListRoot(Persistent):
+    """Root object: head/tail node ids.
+
+    Deliberately *not* a per-insert hot spot: it is only rewritten when a
+    node fills up, so a history-style append workload writes one small
+    list-node delta per insert, not three meta-objects (member counts live
+    in the collection object, which the workload updates anyway).
+    """
+
+    class_id = "tdb.list.root"
+
+    def __init__(self) -> None:
+        self.head_oid: Optional[int] = None
+        self.tail_oid: Optional[int] = None
+        self.entry_count = 0  # retained in the format; no longer maintained
+
+    def pickle(self) -> bytes:
+        writer = BufferWriter()
+        writer.write_optional_uint(self.head_oid)
+        writer.write_optional_uint(self.tail_oid)
+        writer.write_uint(self.entry_count)
+        return writer.getvalue()
+
+    @classmethod
+    def unpickle(cls, data: bytes) -> "ListRoot":
+        reader = BufferReader(data)
+        root = cls()
+        root.head_oid = reader.read_optional_uint()
+        root.tail_oid = reader.read_optional_uint()
+        root.entry_count = reader.read_uint()
+        reader.expect_end()
+        return root
+
+
+class ListNode(Persistent):
+    """One chunk of the list: entries plus the next-node link."""
+
+    class_id = "tdb.list.node"
+
+    def __init__(self) -> None:
+        self.entries: List[Tuple[object, int]] = []
+        self.next_node: Optional[int] = None
+
+    def pickle(self) -> bytes:
+        writer = BufferWriter()
+        writer.write_list(
+            self.entries,
+            lambda w, entry: (
+                w.write_bytes(encode_key(entry[0])),
+                w.write_uint(entry[1]),
+            ),
+        )
+        writer.write_optional_uint(self.next_node)
+        return writer.getvalue()
+
+    @classmethod
+    def unpickle(cls, data: bytes) -> "ListNode":
+        reader = BufferReader(data)
+        node = cls()
+        node.entries = reader.read_list(
+            lambda r: (decode_key(r.read_bytes()), r.read_uint())
+        )
+        node.next_node = reader.read_optional_uint()
+        reader.expect_end()
+        return node
+
+    def cache_charge(self) -> int:
+        return 96 + 64 * len(self.entries)
+
+
+class ListIndex:
+    """Operations on one list index, bound to a transaction."""
+
+    def __init__(self, txn, root_oid: int, node_capacity: int = 64) -> None:
+        if node_capacity < 1:
+            raise CollectionStoreError("list node capacity must be positive")
+        self.txn = txn
+        self.root_oid = root_oid
+        self.node_capacity = node_capacity
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @classmethod
+    def create(cls, txn) -> int:
+        return txn.insert(ListRoot())
+
+    def destroy(self) -> None:
+        root = self._read_root()
+        oid = root.head_oid
+        while oid is not None:
+            node = self.txn.open_readonly(oid, ListNode).deref()
+            self.txn.remove(oid)
+            oid = node.next_node
+        self.txn.remove(self.root_oid)
+
+    def _read_root(self) -> ListRoot:
+        return self.txn.open_readonly(self.root_oid, ListRoot).deref()
+
+    # -- queries -----------------------------------------------------------------
+
+    def scan(self) -> Iterator[Tuple[object, int]]:
+        root = self._read_root()
+        oid = root.head_oid
+        while oid is not None:
+            node = self.txn.open_readonly(oid, ListNode).deref()
+            yield from list(node.entries)
+            oid = node.next_node
+
+    def lookup(self, key: object) -> List[int]:
+        """Exact match by full scan (lists have no access structure)."""
+        return [
+            oid for entry_key, oid in self.scan()
+            if compare_keys(entry_key, key) == 0
+        ]
+
+    # -- updates ------------------------------------------------------------------
+
+    def insert(self, key: object, oid: int, unique: bool) -> None:
+        if unique and self.lookup(key):
+            raise DuplicateKeyError(
+                f"duplicate key {key!r} in unique index", key=key
+            )
+        root = self._read_root()
+        if root.tail_oid is None:
+            node_oid = self.txn.insert(ListNode())
+            root = self.txn.open_writable(self.root_oid, ListRoot).deref()
+            root.head_oid = node_oid
+            root.tail_oid = node_oid
+        else:
+            tail = self.txn.open_readonly(root.tail_oid, ListNode).deref()
+            if len(tail.entries) >= self.node_capacity:
+                node_oid = self.txn.insert(ListNode())
+                tail = self.txn.open_writable(root.tail_oid, ListNode).deref()
+                tail.next_node = node_oid
+                root = self.txn.open_writable(self.root_oid, ListRoot).deref()
+                root.tail_oid = node_oid
+            else:
+                node_oid = root.tail_oid
+        node = self.txn.open_writable(node_oid, ListNode).deref()
+        node.entries.append((key, oid))
+
+    def remove(self, key: object, oid: int) -> bool:
+        root = self._read_root()
+        node_oid = root.head_oid
+        while node_oid is not None:
+            node = self.txn.open_readonly(node_oid, ListNode).deref()
+            for index, (entry_key, entry_oid) in enumerate(node.entries):
+                if entry_oid == oid and compare_keys(entry_key, key) == 0:
+                    writable = self.txn.open_writable(node_oid, ListNode).deref()
+                    del writable.entries[index]
+                    return True
+            node_oid = node.next_node
+        return False

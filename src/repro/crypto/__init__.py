@@ -1,0 +1,55 @@
+"""Cryptographic substrate of the chunk store.
+
+The paper's TDB-S configuration hashes with SHA-1 and encrypts with 3DES.
+Nothing here depends on third-party packages: SHA-1, DES/3DES and AES are
+implemented from scratch (``hashlib`` remains available as an accelerated
+hash engine, and the pure implementations are verified against it and
+against the FIPS test vectors in the test suite).
+
+The chunk store consumes three small interfaces:
+
+* :class:`~repro.crypto.hashes.HashEngine` — one-way hash for the Merkle
+  tree (``create_hash_engine``),
+* :class:`~repro.crypto.cipher.PayloadCipher` — encrypt/decrypt a chunk
+  payload (``create_payload_cipher``),
+* :class:`~repro.crypto.mac.Hmac` — keyed MAC for the master record and
+  commit trailers (``create_mac``).
+"""
+
+from repro.crypto.hashes import (
+    HashEngine,
+    HashlibEngine,
+    PureSha1Engine,
+    create_hash_engine,
+)
+from repro.crypto.cipher import (
+    BlockCipher,
+    PayloadCipher,
+    NullPayloadCipher,
+    CbcPayloadCipher,
+    create_payload_cipher,
+)
+from repro.crypto.mac import Hmac, create_mac
+from repro.crypto.sha1 import sha1
+from repro.crypto.des import Des, TripleDes
+from repro.crypto.aes import Aes
+from repro.crypto import modes
+
+__all__ = [
+    "HashEngine",
+    "HashlibEngine",
+    "PureSha1Engine",
+    "create_hash_engine",
+    "BlockCipher",
+    "PayloadCipher",
+    "NullPayloadCipher",
+    "CbcPayloadCipher",
+    "create_payload_cipher",
+    "Hmac",
+    "create_mac",
+    "sha1",
+    "Des",
+    "TripleDes",
+    "Aes",
+    "modes",
+]

@@ -1,0 +1,182 @@
+"""Pure-Python AES-128/192/256 (FIPS 197).
+
+The paper notes that ciphers "as secure as 3DES [that] run significantly
+faster" exist; AES is the obvious modern choice and is the default cipher
+of the secure profile here.  Verified against the FIPS 197 appendix-C
+vectors in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CryptoError
+
+__all__ = ["Aes"]
+
+_SBOX = bytes.fromhex(
+    "637c777bf26b6fc53001672bfed7ab76"
+    "ca82c97dfa5947f0add4a2af9ca472c0"
+    "b7fd9326363ff7cc34a5e5f171d83115"
+    "04c723c31896059a071280e2eb27b275"
+    "09832c1a1b6e5aa0523bd6b329e32f84"
+    "53d100ed20fcb15b6acbbe394a4c58cf"
+    "d0efaafb434d338545f9027f503c9fa8"
+    "51a3408f929d38f5bcb6da2110fff3d2"
+    "cd0c13ec5f974417c4a77e3d645d1973"
+    "60814fdc222a908846eeb814de5e0bdb"
+    "e0323a0a4906245cc2d3ac629195e479"
+    "e7c8376d8dd54ea96c56f4ea657aae08"
+    "ba78252e1ca6b4c6e8dd741f4bbd8b8a"
+    "703eb5664803f60e613557b986c11d9e"
+    "e1f8981169d98e949b1e87e9ce5528df"
+    "8ca1890dbfe6426841992d0fb054bb16"
+)
+
+_INV_SBOX = bytearray(256)
+for _i, _v in enumerate(_SBOX):
+    _INV_SBOX[_v] = _i
+_INV_SBOX = bytes(_INV_SBOX)
+
+_ROUNDS_BY_KEY_SIZE = {16: 10, 24: 12, 32: 14}
+
+
+def _xtime(value: int) -> int:
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def _gmul(a: int, b: int) -> int:
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+# Precomputed multiplication tables for the MixColumns coefficients.
+_MUL = {
+    factor: bytes(_gmul(value, factor) for value in range(256))
+    for factor in (2, 3, 9, 11, 13, 14)
+}
+
+
+class Aes:
+    """AES block cipher over 16-byte blocks; key may be 16/24/32 bytes."""
+
+    block_size = 16
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in _ROUNDS_BY_KEY_SIZE:
+            raise CryptoError(
+                f"AES key must be 16, 24, or 32 bytes, got {len(key)}"
+            )
+        self.rounds = _ROUNDS_BY_KEY_SIZE[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    def _expand_key(self, key: bytes):
+        key_words = len(key) // 4
+        words = [list(key[4 * i:4 * i + 4]) for i in range(key_words)]
+        rcon = 1
+        total_words = 4 * (self.rounds + 1)
+        for index in range(key_words, total_words):
+            word = list(words[index - 1])
+            if index % key_words == 0:
+                word = word[1:] + word[:1]                      # RotWord
+                word = [_SBOX[b] for b in word]                 # SubWord
+                word[0] ^= rcon
+                rcon = _xtime(rcon)
+            elif key_words == 8 and index % key_words == 4:
+                word = [_SBOX[b] for b in word]                 # AES-256 extra SubWord
+            words.append([a ^ b for a, b in zip(word, words[index - key_words])])
+        return [
+            bytes(sum(words[4 * r:4 * r + 4], []))
+            for r in range(self.rounds + 1)
+        ]
+
+    # -- state helpers: state is a flat 16-byte list in column-major order --
+
+    @staticmethod
+    def _add_round_key(state: list, round_key: bytes) -> None:
+        for index in range(16):
+            state[index] ^= round_key[index]
+
+    @staticmethod
+    def _sub_bytes(state: list, box: bytes) -> None:
+        for index in range(16):
+            state[index] = box[state[index]]
+
+    @staticmethod
+    def _shift_rows(state: list) -> None:
+        # Row r of the state lives at indices r, r+4, r+8, r+12.
+        for row in range(1, 4):
+            indices = [row + 4 * col for col in range(4)]
+            values = [state[i] for i in indices]
+            rotated = values[row:] + values[:row]
+            for i, value in zip(indices, rotated):
+                state[i] = value
+
+    @staticmethod
+    def _inv_shift_rows(state: list) -> None:
+        for row in range(1, 4):
+            indices = [row + 4 * col for col in range(4)]
+            values = [state[i] for i in indices]
+            rotated = values[-row:] + values[:-row]
+            for i, value in zip(indices, rotated):
+                state[i] = value
+
+    @staticmethod
+    def _mix_columns(state: list) -> None:
+        mul2, mul3 = _MUL[2], _MUL[3]
+        for col in range(4):
+            base = 4 * col
+            a0, a1, a2, a3 = state[base:base + 4]
+            state[base + 0] = mul2[a0] ^ mul3[a1] ^ a2 ^ a3
+            state[base + 1] = a0 ^ mul2[a1] ^ mul3[a2] ^ a3
+            state[base + 2] = a0 ^ a1 ^ mul2[a2] ^ mul3[a3]
+            state[base + 3] = mul3[a0] ^ a1 ^ a2 ^ mul2[a3]
+
+    @staticmethod
+    def _inv_mix_columns(state: list) -> None:
+        mul9, mul11, mul13, mul14 = _MUL[9], _MUL[11], _MUL[13], _MUL[14]
+        for col in range(4):
+            base = 4 * col
+            a0, a1, a2, a3 = state[base:base + 4]
+            state[base + 0] = mul14[a0] ^ mul11[a1] ^ mul13[a2] ^ mul9[a3]
+            state[base + 1] = mul9[a0] ^ mul14[a1] ^ mul11[a2] ^ mul13[a3]
+            state[base + 2] = mul13[a0] ^ mul9[a1] ^ mul14[a2] ^ mul11[a3]
+            state[base + 3] = mul11[a0] ^ mul13[a1] ^ mul9[a2] ^ mul14[a3]
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(block) != 16:
+            raise CryptoError(f"AES block must be 16 bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for round_index in range(1, self.rounds):
+            self._sub_bytes(state, _SBOX)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[round_index])
+        self._sub_bytes(state, _SBOX)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 16-byte block."""
+        if len(block) != 16:
+            raise CryptoError(f"AES block must be 16 bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        for round_index in range(self.rounds - 1, 0, -1):
+            self._inv_shift_rows(state)
+            self._sub_bytes(state, _INV_SBOX)
+            self._add_round_key(state, self._round_keys[round_index])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._sub_bytes(state, _INV_SBOX)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

@@ -1,0 +1,119 @@
+"""Payload ciphers: what the chunk store calls to (de)crypt chunk states.
+
+A :class:`PayloadCipher` turns a variable-length plaintext into an opaque
+ciphertext and back.  The CBC implementation prepends a random IV and pads
+with PKCS#7 — exactly the "padding for block encryption" overhead the paper
+charges to TDB-S.  The null cipher is the insecure profile: it passes data
+through unchanged (and unpadded), matching plain TDB.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Protocol
+
+from repro.crypto import modes
+from repro.crypto.aes import Aes
+from repro.crypto.des import Des, TripleDes
+from repro.errors import CryptoError
+
+__all__ = [
+    "BlockCipher",
+    "PayloadCipher",
+    "NullPayloadCipher",
+    "CbcPayloadCipher",
+    "create_payload_cipher",
+]
+
+
+class BlockCipher(Protocol):
+    """Structural interface of the raw block ciphers in this package."""
+
+    block_size: int
+
+    def encrypt_block(self, block: bytes) -> bytes: ...
+
+    def decrypt_block(self, block: bytes) -> bytes: ...
+
+
+class PayloadCipher(ABC):
+    """Encrypt/decrypt a whole chunk payload."""
+
+    name: str
+
+    @abstractmethod
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Return the ciphertext of ``plaintext``."""
+
+    @abstractmethod
+    def decrypt(self, data: bytes) -> bytes:
+        """Invert :meth:`encrypt`; raise :class:`CryptoError` if malformed."""
+
+    @abstractmethod
+    def ciphertext_overhead(self, plaintext_length: int) -> int:
+        """Bytes of expansion for a plaintext of the given length."""
+
+
+class NullPayloadCipher(PayloadCipher):
+    """Identity transform for the insecure (plain TDB) profile."""
+
+    name = "null"
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        return plaintext
+
+    def decrypt(self, data: bytes) -> bytes:
+        return data
+
+    def ciphertext_overhead(self, plaintext_length: int) -> int:
+        return 0
+
+
+class CbcPayloadCipher(PayloadCipher):
+    """CBC over a block cipher with random IV and PKCS#7 padding."""
+
+    def __init__(self, block_cipher: BlockCipher, name: str) -> None:
+        self._cipher = block_cipher
+        self.name = name
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        return modes.cbc_encrypt(self._cipher, plaintext)
+
+    def decrypt(self, data: bytes) -> bytes:
+        return modes.cbc_decrypt(self._cipher, data)
+
+    def ciphertext_overhead(self, plaintext_length: int) -> int:
+        block = self._cipher.block_size
+        padding = block - (plaintext_length % block)
+        return block + padding  # IV + PKCS#7
+
+
+def create_payload_cipher(name: str, key: bytes) -> PayloadCipher:
+    """Build a payload cipher from a profile name and raw key material.
+
+    ``key`` may be longer than needed; the required prefix is used.  Names:
+    ``"null"``, ``"aes-128"``, ``"aes-192"``, ``"aes-256"``, ``"des"``,
+    ``"3des"``.
+    """
+    if name == "null":
+        return NullPayloadCipher()
+    key_sizes = {
+        "aes-128": 16,
+        "aes-192": 24,
+        "aes-256": 32,
+        "des": 8,
+        "3des": 24,
+    }
+    if name not in key_sizes:
+        raise ValueError(f"unknown cipher: {name!r}")
+    needed = key_sizes[name]
+    if len(key) < needed:
+        raise CryptoError(
+            f"cipher {name!r} needs {needed} key bytes, got {len(key)}"
+        )
+    key = key[:needed]
+    if name.startswith("aes"):
+        return CbcPayloadCipher(Aes(key), name)
+    if name == "des":
+        return CbcPayloadCipher(Des(key), name)
+    return CbcPayloadCipher(TripleDes(key), name)

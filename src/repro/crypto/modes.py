@@ -1,0 +1,98 @@
+"""Block-cipher modes of operation and PKCS#7 padding.
+
+The chunk store encrypts each chunk independently in CBC mode with a fresh
+random IV (the paper pads to the block size; that padding is part of
+TDB-S's measured write overhead).  CTR mode is provided for length-
+preserving streams (used by the backup store).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import CryptoError
+
+__all__ = [
+    "pkcs7_pad",
+    "pkcs7_unpad",
+    "cbc_encrypt",
+    "cbc_decrypt",
+    "ctr_transform",
+]
+
+
+def pkcs7_pad(data: bytes, block_size: int) -> bytes:
+    """Pad ``data`` to a multiple of ``block_size`` (always adds >= 1 byte)."""
+    if not 1 <= block_size <= 255:
+        raise CryptoError("PKCS#7 block size must be in [1, 255]")
+    pad_length = block_size - (len(data) % block_size)
+    return data + bytes([pad_length]) * pad_length
+
+
+def pkcs7_unpad(data: bytes, block_size: int) -> bytes:
+    """Strip and validate PKCS#7 padding."""
+    if not data or len(data) % block_size:
+        raise CryptoError("PKCS#7: ciphertext length is not a block multiple")
+    pad_length = data[-1]
+    if not 1 <= pad_length <= block_size:
+        raise CryptoError("PKCS#7: invalid padding length byte")
+    if data[-pad_length:] != bytes([pad_length]) * pad_length:
+        raise CryptoError("PKCS#7: padding bytes are inconsistent")
+    return data[:-pad_length]
+
+
+def _xor_bytes(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def cbc_encrypt(cipher, plaintext: bytes, iv: bytes = None) -> bytes:
+    """CBC-encrypt ``plaintext`` (PKCS#7 padded) and prepend the IV."""
+    block = cipher.block_size
+    if iv is None:
+        iv = os.urandom(block)
+    if len(iv) != block:
+        raise CryptoError(f"IV must be {block} bytes, got {len(iv)}")
+    padded = pkcs7_pad(plaintext, block)
+    out = bytearray(iv)
+    previous = iv
+    for offset in range(0, len(padded), block):
+        encrypted = cipher.encrypt_block(
+            _xor_bytes(padded[offset:offset + block], previous)
+        )
+        out.extend(encrypted)
+        previous = encrypted
+    return bytes(out)
+
+
+def cbc_decrypt(cipher, data: bytes) -> bytes:
+    """Invert :func:`cbc_encrypt`: strip IV, decrypt, unpad."""
+    block = cipher.block_size
+    if len(data) < 2 * block or len(data) % block:
+        raise CryptoError("CBC ciphertext too short or not block-aligned")
+    iv, body = data[:block], data[block:]
+    out = bytearray()
+    previous = iv
+    for offset in range(0, len(body), block):
+        chunk = body[offset:offset + block]
+        out.extend(_xor_bytes(cipher.decrypt_block(chunk), previous))
+        previous = chunk
+    return pkcs7_unpad(bytes(out), block)
+
+
+def ctr_transform(cipher, data: bytes, nonce: bytes) -> bytes:
+    """Encrypt or decrypt ``data`` in CTR mode (the operation is its own
+    inverse).  ``nonce`` must be at most ``block_size - 4`` bytes; the
+    remaining bytes carry a big-endian block counter."""
+    block = cipher.block_size
+    if len(nonce) > block - 4:
+        raise CryptoError(
+            f"CTR nonce must leave 4 counter bytes (max {block - 4})"
+        )
+    prefix = nonce.ljust(block - 4, b"\x00")
+    out = bytearray()
+    for counter in range((len(data) + block - 1) // block):
+        keystream = cipher.encrypt_block(prefix + counter.to_bytes(4, "big"))
+        start = counter * block
+        segment = data[start:start + block]
+        out.extend(_xor_bytes(segment, keystream[:len(segment)]))
+    return bytes(out)

@@ -1,0 +1,109 @@
+"""Pure-Python SHA-1 (FIPS 180-1), the hash the paper's TDB-S uses.
+
+``hashlib`` obviously ships SHA-1; this module exists because the brief for
+this reproduction is to build every substrate from scratch.  The test suite
+cross-checks this implementation against ``hashlib`` on random inputs and
+the classic published vectors.  The default hash engine uses ``hashlib``
+for speed; select ``hash_name="sha1-pure"`` to run the Merkle tree on this
+implementation.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["Sha1", "sha1"]
+
+_H0 = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+_MASK = 0xFFFFFFFF
+
+
+def _rotl(value: int, amount: int) -> int:
+    return ((value << amount) | (value >> (32 - amount))) & _MASK
+
+
+class Sha1:
+    """Incremental SHA-1 with the familiar ``update`` / ``digest`` API."""
+
+    digest_size = 20
+    block_size = 64
+    name = "sha1-pure"
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._h = list(_H0)
+        self._buffer = bytearray()
+        self._length = 0  # total message length in bytes
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> None:
+        """Absorb ``data`` into the running hash."""
+        self._length += len(data)
+        self._buffer.extend(data)
+        offset = 0
+        while len(self._buffer) - offset >= 64:
+            self._process(bytes(self._buffer[offset:offset + 64]))
+            offset += 64
+        del self._buffer[:offset]
+
+    def digest(self) -> bytes:
+        """Return the 20-byte digest of everything absorbed so far."""
+        # Work on copies so the object stays usable after digest().
+        h = list(self._h)
+        buffer = bytes(self._buffer)
+        bit_length = self._length * 8
+        padding = b"\x80" + b"\x00" * ((55 - self._length) % 64)
+        tail = buffer + padding + struct.pack(">Q", bit_length)
+        for block_start in range(0, len(tail), 64):
+            self._process(tail[block_start:block_start + 64], h)
+        return struct.pack(">5I", *h)
+
+    def hexdigest(self) -> str:
+        """Return the digest as a lowercase hex string."""
+        return self.digest().hex()
+
+    def copy(self) -> "Sha1":
+        """Return an independent clone of the running state."""
+        clone = Sha1()
+        clone._h = list(self._h)
+        clone._buffer = bytearray(self._buffer)
+        clone._length = self._length
+        return clone
+
+    def _process(self, block: bytes, h: list = None) -> None:
+        if h is None:
+            h = self._h
+        w = list(struct.unpack(">16I", block))
+        for index in range(16, 80):
+            w.append(_rotl(w[index - 3] ^ w[index - 8] ^ w[index - 14] ^ w[index - 16], 1))
+        a, b, c, d, e = h
+        for index in range(80):
+            if index < 20:
+                f = (b & c) | ((~b & _MASK) & d)
+                k = 0x5A827999
+            elif index < 40:
+                f = b ^ c ^ d
+                k = 0x6ED9EBA1
+            elif index < 60:
+                f = (b & c) | (b & d) | (c & d)
+                k = 0x8F1BBCDC
+            else:
+                f = b ^ c ^ d
+                k = 0xCA62C1D6
+            a, b, c, d, e = (
+                (_rotl(a, 5) + f + e + k + w[index]) & _MASK,
+                a,
+                _rotl(b, 30),
+                c,
+                d,
+            )
+        h[0] = (h[0] + a) & _MASK
+        h[1] = (h[1] + b) & _MASK
+        h[2] = (h[2] + c) & _MASK
+        h[3] = (h[3] + d) & _MASK
+        h[4] = (h[4] + e) & _MASK
+
+
+def sha1(data: bytes) -> bytes:
+    """One-shot pure-Python SHA-1 of ``data``."""
+    return Sha1(data).digest()

@@ -1,0 +1,240 @@
+"""Top-level database facade: the whole TDB stack in one object.
+
+Most applications want the full stack — chunk store, object store,
+collection store, backups — wired together with one shared cache and one
+secret.  :class:`Database` does exactly that::
+
+    from repro import Database
+
+    db = Database.create("/path/to/dbdir")         # file-backed, secure
+    db = Database.open_existing("/path/to/dbdir")  # after a restart
+    db = Database.in_memory()                      # tests and demos
+
+    db.register_class(Meter)
+    with db.transaction() as txn:                  # object-level work
+        oid = txn.insert(Meter())
+
+    db.register_indexer(my_indexer)
+    with db.ctransaction() as ct:                  # collection-level work
+        handle = ct.create_collection("profile", my_indexer)
+
+    backups = db.backup_store()                    # full/incremental backups
+    db.close()
+
+The file layout under the directory is::
+
+    data/        untrusted store (log segments + master records)
+    archive/     archival store (backup streams)
+    counter      one-way counter file
+    secret.key   the device secret
+
+A real DRM deployment keeps ``secret.key`` and ``counter`` in trusted
+hardware; on a development machine they live next to the data for
+convenience, which obviously voids the threat model — see README.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Type
+
+from repro.backupstore import BackupStore
+from repro.cache import SharedLruCache
+from repro.chunkstore import ChunkStore
+from repro.collectionstore import CollectionStore, CTransaction, Indexer
+from repro.config import (
+    ChunkStoreConfig,
+    CollectionStoreConfig,
+    ObjectStoreConfig,
+)
+from repro.objectstore import ClassRegistry, ObjectStore, Persistent, Transaction
+from repro.platform import (
+    ArchivalStore,
+    FileArchivalStore,
+    FileOneWayCounter,
+    FileSecretStore,
+    FileUntrustedStore,
+    MemoryArchivalStore,
+    MemoryOneWayCounter,
+    MemorySecretStore,
+    MemoryUntrustedStore,
+    OneWayCounter,
+    SecretStore,
+    UntrustedStore,
+)
+
+__all__ = ["Database"]
+
+
+class Database:
+    """The assembled TDB stack."""
+
+    def __init__(
+        self,
+        chunk_store: ChunkStore,
+        object_store: ObjectStore,
+        collection_store: CollectionStore,
+        archival: ArchivalStore,
+    ) -> None:
+        self.chunk_store = chunk_store
+        self.object_store = object_store
+        self.collection_store = collection_store
+        self.archival = archival
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def _assemble(
+        cls,
+        untrusted: UntrustedStore,
+        secret: SecretStore,
+        counter: OneWayCounter,
+        archival: ArchivalStore,
+        chunk_config: ChunkStoreConfig,
+        object_config: ObjectStoreConfig,
+        collection_config: CollectionStoreConfig,
+        registry: Optional[ClassRegistry],
+        fresh: bool,
+    ) -> "Database":
+        cache = SharedLruCache(object_config.cache_bytes)
+        if fresh:
+            chunk_store = ChunkStore.format(
+                untrusted, secret, counter, chunk_config, cache=cache
+            )
+            object_store = ObjectStore.create(chunk_store, object_config, registry)
+        else:
+            chunk_store = ChunkStore.open(
+                untrusted, secret, counter, chunk_config, cache=cache
+            )
+            object_store = ObjectStore.attach(chunk_store, object_config, registry)
+        collection_store = CollectionStore(object_store, collection_config)
+        return cls(chunk_store, object_store, collection_store, archival)
+
+    @classmethod
+    def create(
+        cls,
+        directory: str,
+        chunk_config: Optional[ChunkStoreConfig] = None,
+        object_config: Optional[ObjectStoreConfig] = None,
+        collection_config: Optional[CollectionStoreConfig] = None,
+        registry: Optional[ClassRegistry] = None,
+    ) -> "Database":
+        """Create a new file-backed database under ``directory``."""
+        parts = cls._file_parts(directory, create_secret=True)
+        return cls._assemble(
+            *parts,
+            chunk_config or ChunkStoreConfig(),
+            object_config or ObjectStoreConfig(),
+            collection_config or CollectionStoreConfig(),
+            registry,
+            fresh=True,
+        )
+
+    @classmethod
+    def open_existing(
+        cls,
+        directory: str,
+        chunk_config: Optional[ChunkStoreConfig] = None,
+        object_config: Optional[ObjectStoreConfig] = None,
+        collection_config: Optional[CollectionStoreConfig] = None,
+        registry: Optional[ClassRegistry] = None,
+    ) -> "Database":
+        """Open (and crash-recover) a file-backed database."""
+        parts = cls._file_parts(directory, create_secret=False)
+        return cls._assemble(
+            *parts,
+            chunk_config or ChunkStoreConfig(),
+            object_config or ObjectStoreConfig(),
+            collection_config or CollectionStoreConfig(),
+            registry,
+            fresh=False,
+        )
+
+    @classmethod
+    def in_memory(
+        cls,
+        chunk_config: Optional[ChunkStoreConfig] = None,
+        object_config: Optional[ObjectStoreConfig] = None,
+        collection_config: Optional[CollectionStoreConfig] = None,
+        registry: Optional[ClassRegistry] = None,
+        secret: bytes = b"in-memory-demo-secret-0123456789",
+    ) -> "Database":
+        """Build a throwaway in-memory database (tests, examples)."""
+        return cls._assemble(
+            MemoryUntrustedStore(),
+            MemorySecretStore(secret),
+            MemoryOneWayCounter(),
+            MemoryArchivalStore(),
+            chunk_config or ChunkStoreConfig(),
+            object_config or ObjectStoreConfig(),
+            collection_config or CollectionStoreConfig(),
+            registry,
+            fresh=True,
+        )
+
+    @staticmethod
+    def _file_parts(directory: str, create_secret: bool):
+        directory = os.path.abspath(directory)
+        os.makedirs(directory, exist_ok=True)
+        untrusted = FileUntrustedStore(os.path.join(directory, "data"))
+        secret = FileSecretStore(
+            os.path.join(directory, "secret.key"), create=create_secret
+        )
+        counter = FileOneWayCounter(os.path.join(directory, "counter"))
+        archival = FileArchivalStore(os.path.join(directory, "archive"))
+        return untrusted, secret, counter, archival
+
+    # ------------------------------------------------------------------
+    # Registration conveniences
+    # ------------------------------------------------------------------
+
+    def register_class(self, cls: Type[Persistent]) -> Type[Persistent]:
+        """Register a persistent class with this database's registry."""
+        return self.object_store.registry.register(cls)
+
+    def register_indexer(self, indexer: Indexer) -> Indexer:
+        """Register an indexer (must be repeated after each open)."""
+        return self.collection_store.register_indexer(indexer)
+
+    # ------------------------------------------------------------------
+    # Work
+    # ------------------------------------------------------------------
+
+    def transaction(self) -> Transaction:
+        """Begin an object-store transaction."""
+        return self.object_store.transaction()
+
+    def ctransaction(self) -> CTransaction:
+        """Begin a collection-store transaction."""
+        return self.collection_store.transaction()
+
+    def backup_store(self) -> BackupStore:
+        """A backup store over this database's archival store and secret."""
+        return BackupStore(self.archival, self.chunk_store.secret_store)
+
+    def snapshot(self):
+        """Copy-on-write snapshot of the chunk level."""
+        return self.chunk_store.snapshot()
+
+    def stats(self):
+        """Chunk-store statistics (size, utilization, cleaner counters)."""
+        return self.chunk_store.stats()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.collection_store.close()  # closes the whole stack
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

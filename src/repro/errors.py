@@ -1,0 +1,212 @@
+"""Exception hierarchy for the TDB reproduction.
+
+Every error raised by the library derives from :class:`TDBError`, so an
+embedding application can catch one type at its top level.  Security
+failures (tampering, replay) form their own branch because DRM
+applications typically treat them very differently from ordinary
+programming or resource errors: the paper's chunk store *signals tamper
+detection* rather than returning corrupt data.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TDBError",
+    "SecurityError",
+    "TamperDetectedError",
+    "ReplayDetectedError",
+    "CryptoError",
+    "StoreError",
+    "ChunkStoreError",
+    "ChunkNotFoundError",
+    "ChunkStoreFullError",
+    "RecoveryError",
+    "SnapshotError",
+    "BackupError",
+    "RestoreSequenceError",
+    "ObjectStoreError",
+    "ObjectNotFoundError",
+    "TransactionError",
+    "TransactionInactiveError",
+    "StaleRefError",
+    "ReadOnlyViolationError",
+    "TypeCheckError",
+    "LockTimeoutError",
+    "PicklingError",
+    "UnknownClassError",
+    "CollectionStoreError",
+    "DuplicateKeyError",
+    "IndexIntegrityError",
+    "IteratorStateError",
+    "SchemaError",
+    "BaselineError",
+]
+
+
+class TDBError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Security failures
+# ---------------------------------------------------------------------------
+
+class SecurityError(TDBError):
+    """Base class for secrecy / integrity failures."""
+
+
+class TamperDetectedError(SecurityError):
+    """Persistent state failed hash or MAC validation.
+
+    Raised when a chunk, a location-map node, a commit record, the master
+    record, or a backup stream does not match its authenticated digest,
+    i.e. an attacker (or bit rot) modified the untrusted store.
+    """
+
+
+class ReplayDetectedError(TamperDetectedError):
+    """The database image is internally consistent but *old*.
+
+    Detected by comparing the one-way counter value bound into the latest
+    durable commit with the actual hardware counter: a consumer restored a
+    saved copy of the database to roll back purchases (paper section 3).
+    """
+
+
+class CryptoError(SecurityError):
+    """Malformed ciphertext, bad padding, wrong key size, etc."""
+
+
+# ---------------------------------------------------------------------------
+# Storage layers
+# ---------------------------------------------------------------------------
+
+class StoreError(TDBError):
+    """Base class for platform-store errors (untrusted/archival/counter)."""
+
+
+class ChunkStoreError(TDBError):
+    """Base class for chunk-store errors."""
+
+
+class ChunkNotFoundError(ChunkStoreError, KeyError):
+    """The chunk id is not allocated or has no written state."""
+
+    def __str__(self) -> str:  # KeyError quotes its argument; keep message readable
+        return Exception.__str__(self)
+
+
+class ChunkStoreFullError(ChunkStoreError):
+    """The store cannot grow and cleaning freed no space."""
+
+
+class RecoveryError(ChunkStoreError):
+    """The residual log or master record is structurally unusable."""
+
+
+class SnapshotError(ChunkStoreError):
+    """Invalid snapshot handle or snapshot-related misuse."""
+
+
+class BackupError(TDBError):
+    """Base class for backup-store errors."""
+
+
+class RestoreSequenceError(BackupError):
+    """Incremental backups presented out of order or on the wrong base."""
+
+
+# ---------------------------------------------------------------------------
+# Object store
+# ---------------------------------------------------------------------------
+
+class ObjectStoreError(TDBError):
+    """Base class for object-store errors."""
+
+
+class ObjectNotFoundError(ObjectStoreError, KeyError):
+    """No object is stored under the given object id."""
+
+    def __str__(self) -> str:
+        return Exception.__str__(self)
+
+
+class TransactionError(ObjectStoreError):
+    """Transaction-level misuse (commit twice, use after abort, ...)."""
+
+
+class TransactionInactiveError(TransactionError):
+    """Operation attempted on a committed or aborted transaction."""
+
+
+class StaleRefError(TransactionError):
+    """A Ref outlived the transaction that created it (paper section 4.1)."""
+
+
+class ReadOnlyViolationError(ObjectStoreError):
+    """Attempt to mutate an object through a ReadonlyRef."""
+
+
+class TypeCheckError(ObjectStoreError, TypeError):
+    """Dynamic type check failed when dereferencing or inserting."""
+
+
+class LockTimeoutError(ObjectStoreError):
+    """A transactional lock could not be acquired within the timeout.
+
+    The paper breaks potential deadlocks with lock timeouts; applications
+    are expected to retry the operation or abort the transaction.
+    """
+
+
+class PicklingError(ObjectStoreError):
+    """Object could not be pickled or unpickled."""
+
+
+class UnknownClassError(PicklingError):
+    """No unpickler registered for the stored class id."""
+
+
+# ---------------------------------------------------------------------------
+# Collection store
+# ---------------------------------------------------------------------------
+
+class CollectionStoreError(TDBError):
+    """Base class for collection-store errors."""
+
+
+class DuplicateKeyError(CollectionStoreError):
+    """Immediate uniqueness violation on insert or index creation."""
+
+    def __init__(self, message: str, key: object = None) -> None:
+        super().__init__(message)
+        self.key = key
+
+
+class IndexIntegrityError(CollectionStoreError):
+    """Deferred uniqueness violation detected at iterator close.
+
+    The collection store removed the violating objects from the collection
+    (paper section 5.2.3); their ids are carried so the application can
+    re-integrate them.
+    """
+
+    def __init__(self, message: str, removed_object_ids: list) -> None:
+        super().__init__(message)
+        self.removed_object_ids = list(removed_object_ids)
+
+
+class IteratorStateError(CollectionStoreError):
+    """Iterator misuse: second writable iterator, dereference past end, ..."""
+
+
+class SchemaError(CollectionStoreError):
+    """Object or key does not conform to the collection schema."""
+
+
+# ---------------------------------------------------------------------------
+# Baseline engine
+# ---------------------------------------------------------------------------
+
+class BaselineError(TDBError):
+    """Base class for errors from the Berkeley-DB-style baseline engine."""

@@ -1,0 +1,47 @@
+"""The object store: typed, transactional storage of application objects.
+
+Python adaptation of the paper's C++-integrated object store (section 4):
+
+* applications define persistent classes by subclassing
+  :class:`Persistent` and registering them under a stable ``class_id``
+  with explicit pickle/unpickle implementations (helpers for basic types
+  live in :mod:`repro.objectstore.encoding`),
+* a :class:`Transaction` inserts, opens, and removes objects; objects are
+  accessed through :class:`ReadonlyRef` / :class:`WritableRef` proxies
+  that enforce the paper's checks at runtime — refs die with their
+  transaction, read-only refs reject mutation, dereferences are
+  type-checked,
+* isolation is strict two-phase locking with shared/exclusive object
+  locks and timeout-based deadlock breaking; locking can be switched off
+  for single-threaded embeddings,
+* recently-used and dirty objects live in the shared LRU cache (one
+  object per chunk, so ``ObjectId == ChunkId``); dirty objects are pinned
+  until commit (the no-steal policy).
+"""
+
+from repro.objectstore.persistent import (
+    Persistent,
+    ClassRegistry,
+    global_registry,
+    register_class,
+)
+from repro.objectstore.encoding import BufferReader, BufferWriter
+from repro.objectstore.refs import ReadonlyRef, WritableRef
+from repro.objectstore.locks import LockManager, LockMode
+from repro.objectstore.transaction import Transaction
+from repro.objectstore.store import ObjectStore
+
+__all__ = [
+    "Persistent",
+    "ClassRegistry",
+    "global_registry",
+    "register_class",
+    "BufferReader",
+    "BufferWriter",
+    "ReadonlyRef",
+    "WritableRef",
+    "LockManager",
+    "LockMode",
+    "Transaction",
+    "ObjectStore",
+]

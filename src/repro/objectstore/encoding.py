@@ -1,0 +1,166 @@
+"""Architecture-independent pickling helpers for basic types.
+
+The paper: "TDB provides implementations of pickling and unpickling
+operations for basic types" and suggests an architecture-independent
+format so a database can move between platforms.  All encodings here are
+big-endian and fixed-width or length-prefixed — no platform-dependent
+sizes, no Python ``pickle``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, List, Optional
+
+from repro.errors import PicklingError
+
+__all__ = ["BufferWriter", "BufferReader"]
+
+_I64 = struct.Struct(">q")
+_U64 = struct.Struct(">Q")
+_U32 = struct.Struct(">I")
+_F64 = struct.Struct(">d")
+
+
+class BufferWriter:
+    """Accumulates an architecture-independent byte encoding."""
+
+    def __init__(self) -> None:
+        self._parts: List[bytes] = []
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+    def write_raw(self, data: bytes) -> "BufferWriter":
+        """Append raw bytes (caller owns framing)."""
+        self._parts.append(bytes(data))
+        return self
+
+    def write_int(self, value: int) -> "BufferWriter":
+        """Signed 64-bit integer."""
+        try:
+            self._parts.append(_I64.pack(value))
+        except struct.error as exc:
+            raise PicklingError(f"integer out of 64-bit range: {value}") from exc
+        return self
+
+    def write_uint(self, value: int) -> "BufferWriter":
+        """Unsigned 64-bit integer (object ids, counters)."""
+        try:
+            self._parts.append(_U64.pack(value))
+        except struct.error as exc:
+            raise PicklingError(f"value out of unsigned 64-bit range: {value}") from exc
+        return self
+
+    def write_bool(self, value: bool) -> "BufferWriter":
+        self._parts.append(b"\x01" if value else b"\x00")
+        return self
+
+    def write_float(self, value: float) -> "BufferWriter":
+        """IEEE-754 double."""
+        self._parts.append(_F64.pack(value))
+        return self
+
+    def write_bytes(self, value: bytes) -> "BufferWriter":
+        """Length-prefixed byte string."""
+        self._parts.append(_U32.pack(len(value)))
+        self._parts.append(bytes(value))
+        return self
+
+    def write_str(self, value: str) -> "BufferWriter":
+        """Length-prefixed UTF-8 string."""
+        return self.write_bytes(value.encode("utf-8"))
+
+    def write_optional_uint(self, value: Optional[int]) -> "BufferWriter":
+        """``None`` or an unsigned 64-bit integer."""
+        if value is None:
+            return self.write_bool(False)
+        self.write_bool(True)
+        return self.write_uint(value)
+
+    def write_list(self, values, item_writer: Callable) -> "BufferWriter":
+        """Length-prefixed list; ``item_writer(writer, item)`` per item."""
+        items = list(values)
+        self._parts.append(_U32.pack(len(items)))
+        for item in items:
+            item_writer(self, item)
+        return self
+
+    def write_uint_list(self, values) -> "BufferWriter":
+        """Length-prefixed list of unsigned 64-bit integers (bulk-packed)."""
+        items = list(values)
+        try:
+            self._parts.append(_U32.pack(len(items)))
+            self._parts.append(struct.pack(f">{len(items)}Q", *items))
+        except struct.error as exc:
+            raise PicklingError(f"uint list out of range: {exc}") from exc
+        return self
+
+
+class BufferReader:
+    """Cursor over a :class:`BufferWriter` encoding."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._offset = 0
+
+    def _take(self, nbytes: int) -> bytes:
+        end = self._offset + nbytes
+        if end > len(self._data):
+            raise PicklingError(
+                f"truncated pickle: wanted {nbytes} bytes at offset "
+                f"{self._offset}, only {len(self._data) - self._offset} left"
+            )
+        piece = self._data[self._offset:end]
+        self._offset = end
+        return piece
+
+    def at_end(self) -> bool:
+        return self._offset == len(self._data)
+
+    def expect_end(self) -> None:
+        """Raise unless the whole pickle was consumed (catches drift)."""
+        if not self.at_end():
+            raise PicklingError(
+                f"{len(self._data) - self._offset} unread bytes after unpickle"
+            )
+
+    def read_int(self) -> int:
+        return _I64.unpack(self._take(_I64.size))[0]
+
+    def read_uint(self) -> int:
+        return _U64.unpack(self._take(_U64.size))[0]
+
+    def read_bool(self) -> bool:
+        flag = self._take(1)[0]
+        if flag not in (0, 1):
+            raise PicklingError(f"invalid boolean byte {flag}")
+        return flag == 1
+
+    def read_float(self) -> float:
+        return _F64.unpack(self._take(_F64.size))[0]
+
+    def read_bytes(self) -> bytes:
+        length = _U32.unpack(self._take(_U32.size))[0]
+        return self._take(length)
+
+    def read_str(self) -> str:
+        try:
+            return self.read_bytes().decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise PicklingError(f"invalid UTF-8 in pickled string: {exc}") from exc
+
+    def read_optional_uint(self) -> Optional[int]:
+        if not self.read_bool():
+            return None
+        return self.read_uint()
+
+    def read_list(self, item_reader: Callable) -> list:
+        count = _U32.unpack(self._take(_U32.size))[0]
+        return [item_reader(self) for _ in range(count)]
+
+    def read_uint_list(self) -> List[int]:
+        """Bulk-unpacked counterpart of :meth:`BufferWriter.write_uint_list`."""
+        count = _U32.unpack(self._take(_U32.size))[0]
+        raw = self._take(count * _U64.size)
+        return list(struct.unpack(f">{count}Q", raw))

@@ -1,0 +1,144 @@
+"""Persistent object base class and the class registry.
+
+Every persistent object is an instance of an application-defined
+subclass of :class:`Persistent` (the paper's ``Object``).  A subclass
+must
+
+* declare a ``class_id`` that is unique across all persistent classes and
+  stable across restarts (it is stored with every pickled object),
+* implement ``pickle()`` returning bytes and the classmethod
+  ``unpickle(data)`` returning a new instance, and
+* be registered (``register_class`` or ``ClassRegistry.register``) so the
+  object store can find the unpickler.
+
+The stored representation of an object is ``class_id`` (length-prefixed)
+followed by the subclass's pickled body.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Tuple, Type
+
+from repro.errors import PicklingError, UnknownClassError
+
+__all__ = ["Persistent", "ClassRegistry", "global_registry", "register_class"]
+
+_U16 = struct.Struct(">H")
+
+
+class Persistent:
+    """Base class for objects stored in the object store."""
+
+    #: Unique, stable identifier of the persistent class.  The object
+    #: store provides no automatic assignment — collisions would corrupt
+    #: unpickling, so applications own this namespace explicitly.
+    class_id: str = ""
+
+    def pickle(self) -> bytes:
+        """Serialize this object's state to bytes (subclass hook)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement pickle()"
+        )
+
+    @classmethod
+    def unpickle(cls, data: bytes) -> "Persistent":
+        """Construct an instance from :meth:`pickle` output (subclass hook)."""
+        raise NotImplementedError(
+            f"{cls.__name__} does not implement unpickle()"
+        )
+
+    def cache_charge(self) -> int:
+        """Approximate in-memory footprint for the shared cache.
+
+        Subclasses with large transient state may override; the default
+        charges a flat object overhead plus the instance dict.
+        """
+        base = 96
+        attrs = getattr(self, "__dict__", None)
+        if attrs:
+            base += 64 * len(attrs)
+        return base
+
+
+class ClassRegistry:
+    """Maps class ids to unpickling constructors (paper section 4.1)."""
+
+    def __init__(self) -> None:
+        self._classes: Dict[str, Type[Persistent]] = {}
+
+    def register(self, cls: Type[Persistent]) -> Type[Persistent]:
+        """Register a persistent class; usable as a decorator."""
+        if not issubclass(cls, Persistent):
+            raise PicklingError(f"{cls.__name__} is not a Persistent subclass")
+        class_id = cls.class_id
+        if not class_id:
+            raise PicklingError(f"{cls.__name__} has an empty class_id")
+        existing = self._classes.get(class_id)
+        if existing is not None and existing is not cls:
+            raise PicklingError(
+                f"class_id {class_id!r} already registered by "
+                f"{existing.__name__}"
+            )
+        self._classes[class_id] = cls
+        return cls
+
+    def lookup(self, class_id: str) -> Type[Persistent]:
+        cls = self._classes.get(class_id)
+        if cls is None:
+            raise UnknownClassError(
+                f"no persistent class registered under {class_id!r}"
+            )
+        return cls
+
+    def is_registered(self, class_id: str) -> bool:
+        return class_id in self._classes
+
+    # -- stored representation -------------------------------------------------
+
+    def pickle_object(self, obj: Persistent) -> bytes:
+        """Produce the stored form: class id header + subclass body."""
+        cls = type(obj)
+        if not self.is_registered(cls.class_id) or self._classes[cls.class_id] is not cls:
+            raise PicklingError(
+                f"{cls.__name__} (class_id {cls.class_id!r}) is not registered"
+            )
+        class_id_bytes = cls.class_id.encode("utf-8")
+        if len(class_id_bytes) > 0xFFFF:
+            raise PicklingError("class_id longer than 65535 bytes")
+        body = obj.pickle()
+        if not isinstance(body, (bytes, bytearray)):
+            raise PicklingError(
+                f"{cls.__name__}.pickle() returned {type(body).__name__}, "
+                "expected bytes"
+            )
+        return _U16.pack(len(class_id_bytes)) + class_id_bytes + bytes(body)
+
+    def unpickle_object(self, data: bytes) -> Persistent:
+        """Invert :meth:`pickle_object`, dispatching on the class id."""
+        if len(data) < _U16.size:
+            raise PicklingError("stored object shorter than its class header")
+        (id_length,) = _U16.unpack_from(data, 0)
+        end = _U16.size + id_length
+        if len(data) < end:
+            raise PicklingError("stored object truncated inside class id")
+        try:
+            class_id = data[_U16.size:end].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise PicklingError(f"invalid class id encoding: {exc}") from exc
+        cls = self.lookup(class_id)
+        obj = cls.unpickle(bytes(data[end:]))
+        if not isinstance(obj, cls):
+            raise PicklingError(
+                f"{cls.__name__}.unpickle() returned {type(obj).__name__}"
+            )
+        return obj
+
+
+#: Default registry used by stores unless one is injected.
+global_registry = ClassRegistry()
+
+
+def register_class(cls: Type[Persistent]) -> Type[Persistent]:
+    """Register ``cls`` with the global registry (decorator-friendly)."""
+    return global_registry.register(cls)

@@ -1,0 +1,119 @@
+"""Smart references: the ``ReadonlyRef`` / ``WritableRef`` proxies.
+
+The paper's C++ store hands out templatized smart pointers whose misuse
+is caught by static and dynamic checks.  In Python everything is dynamic,
+so the refs enforce at runtime that
+
+* a ref is only dereferenced while its transaction is active — reusing a
+  ref from a previous transaction raises :class:`StaleRefError`, forcing
+  the application to re-open (and therefore re-lock) the object,
+* a :class:`ReadonlyRef` rejects attribute assignment and deletion with
+  :class:`ReadOnlyViolationError`,
+* a typed dereference (``expected_type`` at open, mirroring
+  ``Ref<MyObject>`` construction) raises :class:`TypeCheckError` on a
+  subtype mismatch.
+
+As in the paper, these checks catch common programming mistakes rather
+than provide an unyielding safe environment: a read-only ref cannot stop
+code that reaches *through* an attribute and mutates shared state.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ReadOnlyViolationError, StaleRefError
+
+__all__ = ["ReadonlyRef", "WritableRef"]
+
+_INTERNAL = ("_transaction", "_oid", "_target")
+
+
+class _RefBase:
+    """Common proxy machinery; never instantiated directly."""
+
+    def __init__(self, transaction, oid: int, target) -> None:
+        object.__setattr__(self, "_transaction", transaction)
+        object.__setattr__(self, "_oid", oid)
+        object.__setattr__(self, "_target", target)
+
+    # -- validity ---------------------------------------------------------------
+
+    def _check_valid(self):
+        transaction = object.__getattribute__(self, "_transaction")
+        if not transaction.active:
+            raise StaleRefError(
+                "ref used outside its transaction: open the object again "
+                "in the current transaction"
+            )
+        return object.__getattribute__(self, "_target")
+
+    @property
+    def oid(self) -> int:
+        """The persistent object id this ref points at (always readable)."""
+        return object.__getattribute__(self, "_oid")
+
+    @property
+    def valid(self) -> bool:
+        return object.__getattribute__(self, "_transaction").active
+
+    def deref(self):
+        """Return the underlying object after the validity check.
+
+        The dereference also refreshes the object's LRU position, like
+        the paper's ``operator->``.
+        """
+        target = self._check_valid()
+        transaction = object.__getattribute__(self, "_transaction")
+        transaction._touch(self.oid)
+        return target
+
+    # -- attribute proxying -------------------------------------------------------
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.deref(), name)
+
+    def __repr__(self) -> str:
+        kind = type(self).__name__
+        state = "valid" if self.valid else "stale"
+        return f"<{kind} oid={self.oid} {state}>"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, _RefBase):
+            return NotImplemented
+        return (
+            self.oid == other.oid
+            and object.__getattribute__(self, "_transaction")
+            is object.__getattribute__(other, "_transaction")
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(object.__getattribute__(self, "_transaction")), self.oid))
+
+
+class ReadonlyRef(_RefBase):
+    """Read-only view of a persistent object (const access in the paper)."""
+
+    def __setattr__(self, name: str, value) -> None:
+        raise ReadOnlyViolationError(
+            f"cannot set {name!r} through a ReadonlyRef; open the object "
+            "writable instead"
+        )
+
+    def __delattr__(self, name: str) -> None:
+        raise ReadOnlyViolationError(
+            f"cannot delete {name!r} through a ReadonlyRef"
+        )
+
+
+class WritableRef(_RefBase):
+    """Read-write view of a persistent object."""
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in _INTERNAL:
+            object.__setattr__(self, name, value)
+            return
+        setattr(self.deref(), name, value)
+
+    def __delattr__(self, name: str) -> None:
+        delattr(self.deref(), name)

@@ -1,0 +1,57 @@
+"""Platform substrates assumed (dashed boxes) by the TDB architecture.
+
+The paper expects the hosting device to provide four infrastructure
+modules (Figure 1):
+
+* an **untrusted store** — file-system-like random-access storage holding
+  the database; an attacker may read and modify it arbitrarily,
+* an **archival store** — stream-based sequential storage for backups,
+  equally untrusted,
+* a **secret store** — a small store readable only by authorized programs,
+  holding the database secret key (ROM / battery-backed SRAM on a device),
+* a **one-way counter** — a persistent counter that cannot be decremented
+  (special-purpose hardware on a device; the paper's own evaluation
+  emulated it with a file, as we do in :class:`FileOneWayCounter`).
+
+Each substrate has an in-memory implementation (fast, introspectable — the
+attacker toolkit and the test suite use it) and a file-backed one (real
+persistence for the benchmarks and examples).
+"""
+
+from repro.platform.iostats import IOStats
+from repro.platform.untrusted import (
+    UntrustedStore,
+    MemoryUntrustedStore,
+    FileUntrustedStore,
+)
+from repro.platform.secret import SecretStore, MemorySecretStore, FileSecretStore
+from repro.platform.counter import (
+    OneWayCounter,
+    MemoryOneWayCounter,
+    FileOneWayCounter,
+)
+from repro.platform.archival import (
+    ArchivalStore,
+    MemoryArchivalStore,
+    FileArchivalStore,
+)
+from repro.platform.staging import StagedArchivalStore
+from repro.platform.attacker import Attacker
+
+__all__ = [
+    "IOStats",
+    "UntrustedStore",
+    "MemoryUntrustedStore",
+    "FileUntrustedStore",
+    "SecretStore",
+    "MemorySecretStore",
+    "FileSecretStore",
+    "OneWayCounter",
+    "MemoryOneWayCounter",
+    "FileOneWayCounter",
+    "ArchivalStore",
+    "MemoryArchivalStore",
+    "FileArchivalStore",
+    "StagedArchivalStore",
+    "Attacker",
+]

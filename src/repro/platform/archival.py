@@ -1,0 +1,149 @@
+"""The archival store: stream-based sequential storage for backups.
+
+The backup store writes validated backup streams here and reads them back
+at restore time.  Like the untrusted store, the archival store is under
+attacker control — a typical deployment stages backups locally and
+opportunistically migrates them to a remote server — so backup streams are
+encrypted and authenticated by the backup store, never by this layer.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import threading
+from abc import ABC, abstractmethod
+from typing import Dict, List, BinaryIO
+
+from repro.errors import StoreError
+
+__all__ = ["ArchivalStore", "MemoryArchivalStore", "FileArchivalStore"]
+
+
+class ArchivalStore(ABC):
+    """Abstract store of named append-once byte streams."""
+
+    @abstractmethod
+    def create_stream(self, name: str) -> BinaryIO:
+        """Open a new stream for writing; fails if ``name`` exists."""
+
+    @abstractmethod
+    def open_stream(self, name: str) -> BinaryIO:
+        """Open an existing stream for sequential reading."""
+
+    @abstractmethod
+    def list_streams(self) -> List[str]:
+        """Return the names of all streams, sorted."""
+
+    @abstractmethod
+    def delete_stream(self, name: str) -> None:
+        """Remove a stream; raise :class:`StoreError` if absent."""
+
+    @abstractmethod
+    def exists(self, name: str) -> bool:
+        """Return whether a stream called ``name`` exists."""
+
+
+class _MemoryStreamWriter(io.BytesIO):
+    """BytesIO that publishes its contents into the store on close."""
+
+    def __init__(self, store: "MemoryArchivalStore", name: str) -> None:
+        super().__init__()
+        self._store = store
+        self._name = name
+
+    def close(self) -> None:
+        if not self.closed:
+            self._store._publish(self._name, self.getvalue())
+        super().close()
+
+
+class MemoryArchivalStore(ArchivalStore):
+    """In-memory archival store for tests and demos."""
+
+    def __init__(self) -> None:
+        self._streams: Dict[str, bytes] = {}
+        self._lock = threading.Lock()
+
+    def _publish(self, name: str, data: bytes) -> None:
+        with self._lock:
+            self._streams[name] = data
+
+    def create_stream(self, name: str) -> BinaryIO:
+        with self._lock:
+            if name in self._streams:
+                raise StoreError(f"archival stream already exists: {name!r}")
+            # Reserve the name so concurrent creators collide immediately.
+            self._streams[name] = b""
+        return _MemoryStreamWriter(self, name)
+
+    def open_stream(self, name: str) -> BinaryIO:
+        with self._lock:
+            if name not in self._streams:
+                raise StoreError(f"no such archival stream: {name!r}")
+            return io.BytesIO(self._streams[name])
+
+    def list_streams(self) -> List[str]:
+        with self._lock:
+            return sorted(self._streams)
+
+    def delete_stream(self, name: str) -> None:
+        with self._lock:
+            if name not in self._streams:
+                raise StoreError(f"no such archival stream: {name!r}")
+            del self._streams[name]
+
+    def exists(self, name: str) -> bool:
+        with self._lock:
+            return name in self._streams
+
+    # -- attacker access ---------------------------------------------------
+
+    def corrupt(self, name: str, offset: int, replacement: bytes) -> None:
+        """Overwrite bytes of a stored stream (attacker interface)."""
+        with self._lock:
+            if name not in self._streams:
+                raise StoreError(f"no such archival stream: {name!r}")
+            data = bytearray(self._streams[name])
+            data[offset:offset + len(replacement)] = replacement
+            self._streams[name] = bytes(data)
+
+
+class FileArchivalStore(ArchivalStore):
+    """Directory-backed archival store using one file per stream."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def _path(self, name: str) -> str:
+        if not name or "/" in name or os.sep in name or name in (".", ".."):
+            raise StoreError(f"invalid archival stream name: {name!r}")
+        return os.path.join(self.root, name)
+
+    def create_stream(self, name: str) -> BinaryIO:
+        path = self._path(name)
+        if os.path.exists(path):
+            raise StoreError(f"archival stream already exists: {name!r}")
+        return open(path, "wb")
+
+    def open_stream(self, name: str) -> BinaryIO:
+        path = self._path(name)
+        if not os.path.isfile(path):
+            raise StoreError(f"no such archival stream: {name!r}")
+        return open(path, "rb")
+
+    def list_streams(self) -> List[str]:
+        return sorted(
+            entry for entry in os.listdir(self.root)
+            if os.path.isfile(os.path.join(self.root, entry))
+        )
+
+    def delete_stream(self, name: str) -> None:
+        path = self._path(name)
+        if not os.path.isfile(path):
+            raise StoreError(f"no such archival stream: {name!r}")
+        os.remove(path)
+
+    def exists(self, name: str) -> bool:
+        return os.path.isfile(self._path(name))

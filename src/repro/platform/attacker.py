@@ -1,0 +1,123 @@
+"""Attacker toolkit: offline manipulation of the untrusted store.
+
+The paper's threat model gives the consumer full control of the device's
+storage: they can read it, flip bits, splice records, or save an old copy
+of the whole database and replay it later to erase purchases.  This module
+packages those manipulations so tests and examples can demonstrate that the
+chunk store *detects* each of them (it cannot prevent them).
+
+This is defensive tooling: it attacks only the reproduction's own stores to
+verify tamper detection, mirroring the paper's security argument.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import StoreError
+from repro.platform.untrusted import UntrustedStore
+
+__all__ = ["Attacker"]
+
+
+class Attacker:
+    """Wraps an :class:`UntrustedStore` with attack operations."""
+
+    def __init__(self, store: UntrustedStore) -> None:
+        self.store = store
+
+    # -- reading (secrecy attacks) ------------------------------------------
+
+    def dump(self) -> Dict[str, bytes]:
+        """Read the entire untrusted store (offline media analysis)."""
+        return {name: self.store.read(name) for name in self.store.list_files()}
+
+    def search_plaintext(self, needle: bytes) -> List[str]:
+        """Return the files whose raw contents contain ``needle``.
+
+        Used to verify secrecy: with encryption on, application plaintext
+        must never be found in the untrusted store.
+        """
+        if not needle:
+            raise ValueError("needle must be non-empty")
+        return [name for name, data in self.dump().items() if needle in data]
+
+    # -- modification (integrity attacks) ------------------------------------
+
+    def flip_bit(self, name: str, offset: int, bit: int = 0) -> None:
+        """Flip one bit of ``name`` at byte ``offset``."""
+        if not 0 <= bit < 8:
+            raise ValueError("bit index must be in [0, 8)")
+        size = self.store.size(name)
+        if not 0 <= offset < size:
+            raise StoreError(f"offset {offset} outside {name!r} (size {size})")
+        original = self.store.read(name, offset, 1)
+        self.store.write(name, offset, bytes([original[0] ^ (1 << bit)]))
+
+    def overwrite(self, name: str, offset: int, data: bytes) -> None:
+        """Overwrite bytes of ``name`` starting at ``offset``."""
+        self.store.write(name, offset, data)
+
+    def truncate(self, name: str, size: int) -> None:
+        """Truncate ``name`` to ``size`` bytes (chop off log tail)."""
+        self.store.truncate(name, size)
+
+    def delete(self, name: str) -> None:
+        """Delete ``name`` outright."""
+        self.store.delete(name)
+
+    def splice(self, source: str, target: str) -> None:
+        """Replace the contents of ``target`` with those of ``source``.
+
+        Models moving valid-looking records between locations to confuse
+        the store with authentic-but-misplaced data.
+        """
+        self.store.truncate(target, 0)
+        self.store.write(target, 0, self.store.read(source))
+
+    # -- replay attacks -------------------------------------------------------
+
+    def save_image(self) -> Dict[str, bytes]:
+        """Save a full copy of the database (step one of a replay)."""
+        return self.dump()
+
+    def replay_image(self, image: Dict[str, bytes]) -> None:
+        """Restore a previously saved copy over the current database.
+
+        The classic DRM attack: purchase content, then roll the database
+        back to before the purchase.  The one-way counter cannot be rolled
+        back, which is how the chunk store catches this.
+        """
+        for name in self.store.list_files():
+            if name not in image:
+                self.store.delete(name)
+        for name, data in image.items():
+            if self.store.exists(name):
+                self.store.truncate(name, 0)
+            self.store.write(name, 0, data)
+
+    # -- reconnaissance -------------------------------------------------------
+
+    def traffic_profile(self, before: Optional[Dict[str, bytes]] = None) -> Dict[str, int]:
+        """Byte-level diff sizes per file against a previous dump.
+
+        A traffic analyst watching removable media sees which regions
+        changed; log-structuring makes linking those regions to logical
+        records hard (paper section 3.2.1).  Returns changed-byte counts.
+        """
+        current = self.dump()
+        if before is None:
+            return {name: len(data) for name, data in current.items()}
+        profile: Dict[str, int] = {}
+        for name, data in current.items():
+            old = before.get(name, b"")
+            limit = max(len(data), len(old))
+            padded_new = data.ljust(limit, b"\x00")
+            padded_old = old.ljust(limit, b"\x00")
+            changed = sum(1 for a, b in zip(padded_new, padded_old) if a != b)
+            if changed:
+                profile[name] = changed
+        for name in before:
+            if name not in current:
+                profile[name] = len(before[name])
+        return profile

@@ -1,0 +1,114 @@
+"""The one-way counter: a persistent counter that cannot be decremented.
+
+The chunk store binds the counter value into every durable commit.  If a
+consumer saves a copy of the database, buys content, and then restores the
+old copy, the counter (which the attacker cannot rewind) exceeds the value
+authenticated in the restored image and the replay is detected.
+
+The paper points at special-purpose hardware (Infineon Eurochip) but its
+own evaluation emulated the counter with a file; :class:`FileOneWayCounter`
+does the same with an atomic rename protocol.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from abc import ABC, abstractmethod
+
+from repro.errors import StoreError
+
+__all__ = ["OneWayCounter", "MemoryOneWayCounter", "FileOneWayCounter"]
+
+
+class OneWayCounter(ABC):
+    """Abstract monotonic persistent counter."""
+
+    @abstractmethod
+    def read(self) -> int:
+        """Return the current counter value."""
+
+    @abstractmethod
+    def increment(self) -> int:
+        """Advance the counter by one and return the new value."""
+
+
+class MemoryOneWayCounter(OneWayCounter):
+    """In-memory counter for tests and CPU-isolated benchmarks."""
+
+    def __init__(self, value: int = 0) -> None:
+        if value < 0:
+            raise StoreError("counter cannot start negative")
+        self._value = value
+        self._lock = threading.Lock()
+
+    def read(self) -> int:
+        with self._lock:
+            return self._value
+
+    def increment(self) -> int:
+        with self._lock:
+            self._value += 1
+            return self._value
+
+
+class FileOneWayCounter(OneWayCounter):
+    """File-backed counter with crash-safe, monotonic updates.
+
+    The new value is written to a sibling temp file and renamed over the
+    current one, so a crash leaves either the old or the new value, never
+    garbage.  Reads refuse to go backwards even if the file was replaced
+    with a smaller value while the process ran — the hardware contract is
+    monotonicity, so regression is treated as a platform fault.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = os.path.abspath(path)
+        self._lock = threading.Lock()
+        self._high_water = 0
+        if not os.path.exists(self.path):
+            self._persist(0)
+        self._high_water = self._load()
+
+    def _load(self) -> int:
+        try:
+            with open(self.path, "rb") as handle:
+                raw = handle.read().strip()
+            value = int(raw.decode("ascii"))
+        except (OSError, ValueError) as exc:
+            raise StoreError(f"one-way counter file unreadable: {exc}") from exc
+        if value < 0:
+            raise StoreError("one-way counter file holds a negative value")
+        return value
+
+    def _persist(self, value: int) -> None:
+        tmp = self.path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(str(value).encode("ascii"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+
+    def read(self) -> int:
+        with self._lock:
+            value = self._load()
+            if value < self._high_water:
+                raise StoreError(
+                    "one-way counter regressed on disk "
+                    f"({value} < {self._high_water}); platform violated monotonicity"
+                )
+            self._high_water = value
+            return value
+
+    def increment(self) -> int:
+        with self._lock:
+            value = self._load()
+            if value < self._high_water:
+                raise StoreError(
+                    "one-way counter regressed on disk "
+                    f"({value} < {self._high_water}); platform violated monotonicity"
+                )
+            value += 1
+            self._persist(value)
+            self._high_water = value
+            return value

@@ -1,0 +1,83 @@
+"""I/O accounting shared by the platform stores.
+
+The paper attributes TDB's TPC-B win mostly to write volume (~523 bytes
+per transaction vs ~1100 for Berkeley DB, section 7.4).  Since absolute
+wall-clock numbers on a 2001 disk are not reproducible, the benchmark
+harness relies on these counters to compare the mechanisms, so every
+store implementation funnels its traffic through an :class:`IOStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["IOStats"]
+
+
+@dataclass
+class IOStats:
+    """Mutable counters of traffic through a platform store.
+
+    ``random_writes`` counts writes that did not continue where the
+    previous write to the same file ended — on a disk those pay a seek,
+    which is the cost difference between a log-structured store's
+    sequential appends and a page store's scattered write-back.
+    """
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    read_calls: int = 0
+    write_calls: int = 0
+    sync_calls: int = 0
+    random_writes: int = 0
+    _write_cursors: Dict[str, int] = field(default_factory=dict, repr=False)
+
+    def record_read(self, nbytes: int) -> None:
+        self.bytes_read += nbytes
+        self.read_calls += 1
+
+    def record_write(
+        self, nbytes: int, name: Optional[str] = None, offset: Optional[int] = None
+    ) -> None:
+        self.bytes_written += nbytes
+        self.write_calls += 1
+        if name is not None and offset is not None:
+            if self._write_cursors.get(name) != offset:
+                self.random_writes += 1
+            self._write_cursors[name] = offset + nbytes
+
+    def record_sync(self) -> None:
+        self.sync_calls += 1
+
+    def reset(self) -> None:
+        """Zero all counters (used between benchmark phases)."""
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.read_calls = 0
+        self.write_calls = 0
+        self.sync_calls = 0
+        self.random_writes = 0
+        self._write_cursors.clear()
+
+    def snapshot(self) -> "IOStats":
+        """Return an independent copy of the current counters."""
+        return IOStats(
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+            read_calls=self.read_calls,
+            write_calls=self.write_calls,
+            sync_calls=self.sync_calls,
+            random_writes=self.random_writes,
+        )
+
+    def delta_since(self, earlier: "IOStats") -> "IOStats":
+        """Return the difference between these counters and ``earlier``."""
+        return IOStats(
+            bytes_read=self.bytes_read - earlier.bytes_read,
+            bytes_written=self.bytes_written - earlier.bytes_written,
+            read_calls=self.read_calls - earlier.read_calls,
+            write_calls=self.write_calls - earlier.write_calls,
+            sync_calls=self.sync_calls - earlier.sync_calls,
+            random_writes=self.random_writes - earlier.random_writes,
+        )

@@ -1,0 +1,129 @@
+"""Staged archival store: local staging + opportunistic remote migration.
+
+The paper (section 2): "A typical implementation of the backup store may
+stage backups in the untrusted store and opportunistically migrate them
+to a remote server."  :class:`StagedArchivalStore` implements exactly
+that composition: new streams land in a staging area carved out of the
+local untrusted store (``bak-<name>`` files), and :meth:`migrate` pushes
+completed streams to a remote :class:`ArchivalStore` when connectivity
+allows — reads fall through to the remote for already-migrated streams,
+so callers never care where a backup currently lives.
+
+Security note: the staging area needs no protection of its own — backup
+streams are already encrypted and MACed by the backup store, and restore
+re-validates them wherever they come from.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import BinaryIO, List
+
+from repro.errors import StoreError
+from repro.platform.archival import ArchivalStore
+from repro.platform.untrusted import UntrustedStore
+
+__all__ = ["StagedArchivalStore"]
+
+_PREFIX = "bak-"
+
+
+class _StagingWriter(io.BytesIO):
+    """Buffers a stream and lands it in the staging area on close."""
+
+    def __init__(self, store: "StagedArchivalStore", name: str) -> None:
+        super().__init__()
+        self._store = store
+        self._name = name
+
+    def close(self) -> None:
+        if not self.closed:
+            self._store._finish_staging(self._name, self.getvalue())
+        super().close()
+
+
+class StagedArchivalStore(ArchivalStore):
+    """Archival store staging locally, migrating to a remote store."""
+
+    def __init__(self, local: UntrustedStore, remote: ArchivalStore) -> None:
+        self.local = local
+        self.remote = remote
+
+    # -- helpers -------------------------------------------------------------
+
+    def _staged_name(self, name: str) -> str:
+        if not name or "/" in name:
+            raise StoreError(f"invalid archival stream name: {name!r}")
+        return _PREFIX + name
+
+    def _finish_staging(self, name: str, data: bytes) -> None:
+        self.local.write(self._staged_name(name), 0, data)
+
+    def staged_streams(self) -> List[str]:
+        """Streams still waiting in the local staging area."""
+        return sorted(
+            name[len(_PREFIX):]
+            for name in self.local.list_files()
+            if name.startswith(_PREFIX)
+        )
+
+    # -- ArchivalStore interface -----------------------------------------------
+
+    def create_stream(self, name: str) -> BinaryIO:
+        if self.exists(name):
+            raise StoreError(f"archival stream already exists: {name!r}")
+        # Reserve the staging slot immediately.
+        self.local.write(self._staged_name(name), 0, b"")
+        return _StagingWriter(self, name)
+
+    def open_stream(self, name: str) -> BinaryIO:
+        staged = self._staged_name(name)
+        if self.local.exists(staged):
+            return io.BytesIO(self.local.read(staged))
+        return self.remote.open_stream(name)
+
+    def list_streams(self) -> List[str]:
+        names = set(self.staged_streams())
+        names.update(self.remote.list_streams())
+        return sorted(names)
+
+    def delete_stream(self, name: str) -> None:
+        found = False
+        staged = self._staged_name(name)
+        if self.local.exists(staged):
+            self.local.delete(staged)
+            found = True
+        if self.remote.exists(name):
+            self.remote.delete_stream(name)
+            found = True
+        if not found:
+            raise StoreError(f"no such archival stream: {name!r}")
+
+    def exists(self, name: str) -> bool:
+        return self.local.exists(self._staged_name(name)) or self.remote.exists(name)
+
+    # -- migration ------------------------------------------------------------------
+
+    def migrate(self, limit: int = None) -> List[str]:
+        """Push staged streams to the remote store; return those migrated.
+
+        Idempotent and crash-safe in the right order: the remote copy is
+        written completely before the staged copy is deleted, so a crash
+        can leave a duplicate (harmless — same bytes) but never lose a
+        backup.  A stream whose name already exists remotely is treated
+        as previously migrated.
+        """
+        migrated = []
+        for name in self.staged_streams():
+            if limit is not None and len(migrated) >= limit:
+                break
+            data = self.local.read(self._staged_name(name))
+            if not self.remote.exists(name):
+                writer = self.remote.create_stream(name)
+                try:
+                    writer.write(data)
+                finally:
+                    writer.close()
+            self.local.delete(self._staged_name(name))
+            migrated.append(name)
+        return migrated

@@ -1,0 +1,202 @@
+"""Command-line administration tools for TDB databases.
+
+Two subcommands over a file-backed database directory (the layout
+``Database.create`` produces):
+
+* ``inspect`` — open the database (which already validates the master
+  record, the residual log, and the replay counter) and print a summary:
+  store statistics, segment table, named objects, backups in the archive.
+* ``verify``  — full integrity audit: walk the location map and read
+  every chunk, forcing every Merkle path and payload digest to be
+  checked; then validate every backup stream in the archive.  Exits
+  non-zero if anything fails.
+
+Usage::
+
+    python -m repro.tools inspect /path/to/dbdir
+    python -m repro.tools verify  /path/to/dbdir [--secure/--insecure]
+
+Both tools are read-only: they never modify the database.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.backupstore import BackupStore
+from repro.chunkstore import ChunkStore
+from repro.collectionstore.collection import Collection
+from repro.collectionstore.store import register_collection_classes
+from repro.config import ChunkStoreConfig, SecurityProfile
+from repro.errors import TDBError
+from repro.objectstore import ClassRegistry, ObjectStore
+from repro.platform import (
+    FileArchivalStore,
+    FileOneWayCounter,
+    FileSecretStore,
+    FileUntrustedStore,
+)
+
+__all__ = ["main", "open_readonly_stack", "verify_database"]
+
+
+def open_readonly_stack(directory: str, config: Optional[ChunkStoreConfig] = None):
+    """Open the chunk store of a database directory (validating open)."""
+    import os
+
+    untrusted = FileUntrustedStore(os.path.join(directory, "data"))
+    secret = FileSecretStore(os.path.join(directory, "secret.key"))
+    counter = FileOneWayCounter(os.path.join(directory, "counter"))
+    archival = FileArchivalStore(os.path.join(directory, "archive"))
+    chunk_store = ChunkStore.open(untrusted, secret, counter, config)
+    return chunk_store, archival, secret
+
+
+def inspect_database(directory: str, config: Optional[ChunkStoreConfig]) -> int:
+    chunk_store, archival, secret = open_readonly_stack(directory, config)
+    stats = chunk_store.stats()
+    print(f"database: {directory}")
+    print(f"  security        : {'on' if chunk_store.secure else 'off'}")
+    print(f"  chunks          : {len(chunk_store.chunk_ids())}")
+    print(f"  live bytes      : {stats.live_bytes}")
+    print(f"  capacity        : {stats.capacity_bytes}")
+    print(f"  utilization     : {stats.utilization:.3f}")
+    print(f"  on-disk bytes   : {stats.db_file_bytes}")
+    print(f"  segments        : {stats.segment_count} ({stats.free_slots} free)")
+    print(f"  commit seqno    : {stats.commit_seqno}")
+    print(f"  counter value   : {stats.counter_value}")
+    print(f"  checkpoints     : {stats.checkpoints_total}")
+    if stats.possible_lost_commit:
+        print("  NOTE: last session may have lost its final in-flight commit")
+
+    # Named objects via the object-store catalog, if present.
+    registry = ClassRegistry()
+    register_collection_classes(registry)
+    try:
+        object_store = ObjectStore.attach(chunk_store, registry=registry)
+        with object_store.transaction() as txn:
+            catalog = txn.open_readonly(object_store.catalog_oid).deref()
+            print(f"  root object     : {catalog.root_oid}")
+            if catalog.names:
+                print("  named objects:")
+                for name, oid in sorted(catalog.names.items()):
+                    detail = ""
+                    try:
+                        obj = txn.open_readonly(oid).deref()
+                        if isinstance(obj, Collection):
+                            indexes = ", ".join(d.name for d in obj.indexes)
+                            detail = (
+                                f" [collection of {obj.count} "
+                                f"{obj.schema_class_id}; indexes: {indexes}]"
+                            )
+                    except TDBError:
+                        detail = " [not decodable without application classes]"
+                    print(f"    {name} -> object {oid}{detail}")
+            txn.abort()
+    except TDBError as exc:
+        print(f"  (no object-store catalog: {exc})")
+
+    streams = archival.list_streams()
+    print(f"  backups         : {len(streams)}")
+    backups = BackupStore(archival, secret)
+    for name in streams:
+        try:
+            info = backups.inspect(name)
+            kind = "full" if info.is_full else "incremental"
+            print(
+                f"    {name}: {kind}, seq {info.sequence}, "
+                f"{info.entry_count} entries, {info.stream_bytes} bytes"
+            )
+        except TDBError as exc:
+            print(f"    {name}: INVALID ({exc})")
+    chunk_store.close()
+    return 0
+
+
+def verify_database(directory: str, config: Optional[ChunkStoreConfig]) -> int:
+    """Audit every chunk and backup; return a process exit code."""
+    failures = 0
+    try:
+        chunk_store, archival, secret = open_readonly_stack(directory, config)
+    except TDBError as exc:
+        print(f"FAIL open: {type(exc).__name__}: {exc}")
+        return 1
+    print("master record, residual log, and counter: OK (validated at open)")
+
+    chunk_ids = chunk_store.chunk_ids()
+    checked = 0
+    for chunk_id in chunk_ids:
+        try:
+            chunk_store.read(chunk_id)
+            checked += 1
+        except TDBError as exc:
+            failures += 1
+            print(f"FAIL chunk {chunk_id}: {type(exc).__name__}: {exc}")
+    print(f"chunks: {checked}/{len(chunk_ids)} validated")
+
+    backups = BackupStore(archival, secret)
+    streams = archival.list_streams()
+    valid_streams = 0
+    for name in streams:
+        try:
+            backups.inspect(name)
+            valid_streams += 1
+        except TDBError as exc:
+            failures += 1
+            print(f"FAIL backup {name}: {type(exc).__name__}: {exc}")
+    print(f"backups: {valid_streams}/{len(streams)} validated")
+    chunk_store.close()
+    if failures:
+        print(f"VERIFY FAILED: {failures} problem(s)")
+        return 1
+    print("VERIFY OK")
+    return 0
+
+
+def _config_from_args(args) -> Optional[ChunkStoreConfig]:
+    if args.segment_kb is None and args.fanout is None and args.secure is None:
+        return None
+    base = ChunkStoreConfig()
+    return ChunkStoreConfig(
+        segment_size=(args.segment_kb or base.segment_size // 1024) * 1024,
+        map_fanout=args.fanout or base.map_fanout,
+        security=(
+            SecurityProfile()
+            if args.secure in (None, True)
+            else SecurityProfile.insecure()
+        ),
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in ("inspect", "verify"):
+        cmd = sub.add_parser(name)
+        cmd.add_argument("directory")
+        cmd.add_argument("--segment-kb", type=int, default=None,
+                         help="segment size in KB if non-default")
+        cmd.add_argument("--fanout", type=int, default=None,
+                         help="map fanout if non-default")
+        secure_group = cmd.add_mutually_exclusive_group()
+        secure_group.add_argument("--secure", dest="secure",
+                                  action="store_true", default=None)
+        secure_group.add_argument("--insecure", dest="secure",
+                                  action="store_false")
+    args = parser.parse_args(argv)
+    config = _config_from_args(args)
+    try:
+        if args.command == "inspect":
+            return inspect_database(args.directory, config)
+        return verify_database(args.directory, config)
+    except TDBError as exc:
+        print(f"{type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Shared fixtures for the TDB reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ChunkStoreConfig, ObjectStoreConfig, SecurityProfile
+from repro.platform import (
+    MemoryArchivalStore,
+    MemoryOneWayCounter,
+    MemorySecretStore,
+    MemoryUntrustedStore,
+)
+
+
+@pytest.fixture
+def secret_store():
+    return MemorySecretStore(b"unit-test-secret-0123456789abcdef")
+
+
+@pytest.fixture
+def untrusted_store():
+    return MemoryUntrustedStore()
+
+
+@pytest.fixture
+def counter():
+    return MemoryOneWayCounter()
+
+
+@pytest.fixture
+def archival_store():
+    return MemoryArchivalStore()
+
+
+@pytest.fixture
+def secure_config():
+    """Small-segment secure chunk-store config that exercises the cleaner."""
+    return ChunkStoreConfig(
+        segment_size=8 * 1024,
+        initial_segments=4,
+        checkpoint_residual_bytes=16 * 1024,
+        map_fanout=8,
+        security=SecurityProfile(enabled=True, hash_name="sha1", cipher_name="aes-128"),
+    )
+
+
+@pytest.fixture
+def insecure_config():
+    return ChunkStoreConfig(
+        segment_size=8 * 1024,
+        initial_segments=4,
+        checkpoint_residual_bytes=16 * 1024,
+        map_fanout=8,
+        security=SecurityProfile.insecure(),
+    )
+
+
+@pytest.fixture
+def object_store_config():
+    return ObjectStoreConfig(cache_bytes=256 * 1024, lock_timeout=0.2)

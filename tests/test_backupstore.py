@@ -1,0 +1,349 @@
+"""Tests for the backup store: full/incremental creation, validated restore."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backupstore import BACKUP_FULL, BACKUP_INCREMENTAL, BackupStore
+from repro.chunkstore import ChunkStore
+from repro.config import ChunkStoreConfig, SecurityProfile
+from repro.errors import (
+    BackupError,
+    RestoreSequenceError,
+    TamperDetectedError,
+)
+from repro.platform import (
+    MemoryArchivalStore,
+    MemoryOneWayCounter,
+    MemorySecretStore,
+    MemoryUntrustedStore,
+)
+
+SECRET = b"0123456789abcdef0123456789abcdef"
+
+
+def make_config():
+    return ChunkStoreConfig(
+        segment_size=8 * 1024,
+        initial_segments=4,
+        checkpoint_residual_bytes=16 * 1024,
+        map_fanout=8,
+    )
+
+
+@pytest.fixture
+def env():
+    untrusted = MemoryUntrustedStore()
+    secret = MemorySecretStore(SECRET)
+    counter = MemoryOneWayCounter()
+    archival = MemoryArchivalStore()
+    store = ChunkStore.format(untrusted, secret, counter, make_config())
+    backup_store = BackupStore(archival, secret)
+    return store, backup_store, archival, secret
+
+
+def restore_target(secret):
+    return MemoryUntrustedStore(), secret, MemoryOneWayCounter()
+
+
+def populate(store, count=10):
+    ids = [store.allocate_chunk_id() for _ in range(count)]
+    store.commit({cid: f"state-{cid}".encode() for cid in ids})
+    return ids
+
+
+class TestFullBackup:
+    def test_full_backup_and_restore(self, env):
+        store, backups, archival, secret = env
+        ids = populate(store)
+        info = backups.create_full(store, "full-1")
+        assert info.is_full
+        assert info.entry_count == len(ids)
+        untrusted2, secret2, counter2 = restore_target(secret)
+        restored = backups.restore(
+            ["full-1"], untrusted2, secret2, counter2, make_config()
+        )
+        for cid in ids:
+            assert restored.read(cid) == f"state-{cid}".encode()
+        assert set(restored.chunk_ids()) == set(ids)
+
+    def test_restored_store_is_fully_usable(self, env):
+        store, backups, archival, secret = env
+        ids = populate(store, 5)
+        backups.create_full(store, "full-1")
+        untrusted2, secret2, counter2 = restore_target(secret)
+        restored = backups.restore(
+            ["full-1"], untrusted2, secret2, counter2, make_config()
+        )
+        new_cid = restored.allocate_chunk_id()
+        assert new_cid not in ids  # adopted ids are reserved
+        restored.write(new_cid, b"fresh data")
+        assert restored.read(new_cid) == b"fresh data"
+        reopened = ChunkStore.open(untrusted2, secret2, counter2, make_config())
+        assert reopened.read(new_cid) == b"fresh data"
+
+    def test_backup_snapshot_does_not_block_store(self, env):
+        store, backups, archival, secret = env
+        ids = populate(store)
+        backups.create_full(store, "full-1")
+        # The store continues to run with the retained snapshot pinned.
+        store.write(ids[0], b"post-backup update")
+        assert store.read(ids[0]) == b"post-backup update"
+        backups.close()
+
+    def test_inspect_reports_metadata(self, env):
+        store, backups, archival, secret = env
+        populate(store, 7)
+        backups.create_full(store, "full-1")
+        info = backups.inspect("full-1")
+        assert info.backup_type == BACKUP_FULL
+        assert info.entry_count == 7
+        assert info.stream_bytes > 0
+
+    def test_backup_stream_is_encrypted(self, env):
+        store, backups, archival, secret = env
+        cid = store.allocate_chunk_id()
+        store.write(cid, b"SECRET-BACKUP-BODY")
+        backups.create_full(store, "full-1")
+        with archival.open_stream("full-1") as stream:
+            blob = stream.read()
+        assert b"SECRET-BACKUP-BODY" not in blob
+
+    def test_empty_store_backup(self, env):
+        store, backups, archival, secret = env
+        backups.create_full(store, "full-empty")
+        untrusted2, secret2, counter2 = restore_target(secret)
+        restored = backups.restore(
+            ["full-empty"], untrusted2, secret2, counter2, make_config()
+        )
+        assert restored.chunk_ids() == []
+
+
+class TestIncrementalBackup:
+    def test_incremental_contains_only_changes(self, env):
+        store, backups, archival, secret = env
+        ids = populate(store, 20)
+        backups.create_full(store, "full-1")
+        store.write(ids[3], b"updated-3")
+        extra = store.allocate_chunk_id()  # fresh id, taken before dealloc
+        store.write(extra, b"added")
+        store.deallocate(ids[7])
+        info = backups.create_incremental(store, "incr-1")
+        assert info.backup_type == BACKUP_INCREMENTAL
+        assert info.entry_count == 3  # one change, one add, one removal
+
+    def test_incremental_chain_restores_exactly(self, env):
+        store, backups, archival, secret = env
+        ids = populate(store, 15)
+        backups.create_full(store, "full-1")
+        store.write(ids[0], b"gen-1")
+        backups.create_incremental(store, "incr-1")
+        store.write(ids[1], b"gen-2")
+        store.deallocate(ids[2])
+        backups.create_incremental(store, "incr-2")
+        untrusted2, secret2, counter2 = restore_target(secret)
+        restored = backups.restore(
+            ["full-1", "incr-1", "incr-2"],
+            untrusted2,
+            secret2,
+            counter2,
+            make_config(),
+        )
+        assert restored.read(ids[0]) == b"gen-1"
+        assert restored.read(ids[1]) == b"gen-2"
+        assert not restored.contains(ids[2])
+        for cid in ids[3:]:
+            assert restored.read(cid) == f"state-{cid}".encode()
+
+    def test_incremental_without_full_rejected(self, env):
+        store, backups, archival, secret = env
+        populate(store)
+        with pytest.raises(BackupError):
+            backups.create_incremental(store, "incr-orphan")
+
+    def test_incrementals_are_small(self, env):
+        store, backups, archival, secret = env
+        ids = populate(store, 50)
+        full = backups.create_full(store, "full-1")
+        store.write(ids[0], b"tiny change")
+        incr = backups.create_incremental(store, "incr-1")
+        assert incr.stream_bytes < full.stream_bytes / 5
+
+
+class TestRestoreValidation:
+    def _chain(self, env):
+        store, backups, archival, secret = env
+        ids = populate(store, 10)
+        backups.create_full(store, "full-1")
+        store.write(ids[0], b"delta-1")
+        backups.create_incremental(store, "incr-1")
+        store.write(ids[1], b"delta-2")
+        backups.create_incremental(store, "incr-2")
+        return ids
+
+    def test_out_of_order_incrementals_rejected(self, env):
+        store, backups, archival, secret = env
+        self._chain(env)
+        untrusted2, secret2, counter2 = restore_target(secret)
+        with pytest.raises(RestoreSequenceError):
+            backups.restore(
+                ["full-1", "incr-2", "incr-1"],
+                untrusted2,
+                secret2,
+                counter2,
+                make_config(),
+            )
+
+    def test_skipped_incremental_rejected(self, env):
+        store, backups, archival, secret = env
+        self._chain(env)
+        untrusted2, secret2, counter2 = restore_target(secret)
+        with pytest.raises(RestoreSequenceError):
+            backups.restore(
+                ["full-1", "incr-2"], untrusted2, secret2, counter2, make_config()
+            )
+
+    def test_restore_starting_from_incremental_rejected(self, env):
+        store, backups, archival, secret = env
+        self._chain(env)
+        untrusted2, secret2, counter2 = restore_target(secret)
+        with pytest.raises(RestoreSequenceError):
+            backups.restore(
+                ["incr-1"], untrusted2, secret2, counter2, make_config()
+            )
+
+    def test_full_in_middle_rejected(self, env):
+        store, backups, archival, secret = env
+        self._chain(env)
+        untrusted2, secret2, counter2 = restore_target(secret)
+        with pytest.raises(RestoreSequenceError):
+            backups.restore(
+                ["full-1", "full-1"], untrusted2, secret2, counter2, make_config()
+            )
+
+    def test_empty_restore_list_rejected(self, env):
+        store, backups, archival, secret = env
+        with pytest.raises(BackupError):
+            backups.restore([], MemoryUntrustedStore(), secret, MemoryOneWayCounter())
+
+    def test_corrupted_body_rejected_as_tampering(self, env):
+        store, backups, archival, secret = env
+        populate(store)
+        backups.create_full(store, "full-1")
+        # Flip encrypted-body bytes (past the 87-byte header).
+        archival.corrupt("full-1", 120, b"\xff\xff\xff\xff")
+        untrusted2, secret2, counter2 = restore_target(secret)
+        with pytest.raises(TamperDetectedError):
+            backups.restore(
+                ["full-1"], untrusted2, secret2, counter2, make_config()
+            )
+
+    def test_corrupted_header_rejected(self, env):
+        from repro.errors import TDBError
+
+        store, backups, archival, secret = env
+        populate(store)
+        backups.create_full(store, "full-1")
+        # Corrupt the plaintext header (length fields are validated
+        # structurally before the MAC can be checked).
+        archival.corrupt("full-1", 80, b"\xff\xff\xff\xff")
+        untrusted2, secret2, counter2 = restore_target(secret)
+        with pytest.raises(TDBError):
+            backups.restore(
+                ["full-1"], untrusted2, secret2, counter2, make_config()
+            )
+
+    def test_truncated_backup_rejected(self, env):
+        store, backups, archival, secret = env
+        populate(store)
+        backups.create_full(store, "full-1")
+        with archival.open_stream("full-1") as stream:
+            blob = stream.read()
+        archival.delete_stream("full-1")
+        writer = archival.create_stream("full-1")
+        writer.write(blob[:-10])
+        writer.close()
+        untrusted2, secret2, counter2 = restore_target(secret)
+        with pytest.raises(BackupError):
+            backups.restore(
+                ["full-1"], untrusted2, secret2, counter2, make_config()
+            )
+
+    def test_wrong_secret_cannot_read_backup(self, env):
+        store, backups, archival, secret = env
+        populate(store)
+        backups.create_full(store, "full-1")
+        other_backups = BackupStore(
+            archival, MemorySecretStore(b"another-secret-another-secret!!!")
+        )
+        with pytest.raises(TamperDetectedError):
+            other_backups.inspect("full-1")
+
+    def test_backup_from_other_database_rejected_in_chain(self, env):
+        store, backups, archival, secret = env
+        populate(store)
+        backups.create_full(store, "full-1")
+        backups.create_incremental(store, "incr-1")
+        # A second database, backed up through the same backup store.
+        untrusted_b = MemoryUntrustedStore()
+        counter_b = MemoryOneWayCounter()
+        store_b = ChunkStore.format(untrusted_b, secret, counter_b, make_config())
+        populate(store_b, 3)
+        backups_b = BackupStore(archival, secret)
+        backups_b.create_full(store_b, "full-B")
+        store_b.write(store_b.chunk_ids()[0], b"update")
+        backups_b.create_incremental(store_b, "incr-B")
+        untrusted2, secret2, counter2 = restore_target(secret)
+        with pytest.raises(RestoreSequenceError):
+            backups.restore(
+                ["full-1", "incr-B"], untrusted2, secret2, counter2, make_config()
+            )
+
+
+class TestStreamFuzzing:
+    """No mutated backup stream may decode successfully."""
+
+    def _blob(self, env):
+        store, backups, archival, secret = env
+        populate(store, 6)
+        backups.create_full(store, "full-1")
+        with archival.open_stream("full-1") as stream:
+            return backups, stream.read()
+
+    def test_every_truncation_rejected(self, env):
+        from repro.backupstore.stream import decode_backup
+
+        backups, blob = self._blob(env)
+        for cut in range(0, len(blob), max(1, len(blob) // 40)):
+            with pytest.raises((BackupError, TamperDetectedError)):
+                decode_backup(blob[:cut], backups._encryption_key, backups._mac)
+
+    def test_single_byte_mutations_rejected(self, env):
+        from repro.backupstore.stream import decode_backup
+
+        backups, blob = self._blob(env)
+        import random as rnd
+
+        rng = rnd.Random(13)
+        for _ in range(60):
+            position = rng.randrange(len(blob))
+            mutated = bytearray(blob)
+            mutated[position] ^= 1 + rng.randrange(255)
+            with pytest.raises((BackupError, TamperDetectedError)):
+                decode_backup(bytes(mutated), backups._encryption_key, backups._mac)
+
+    def test_appended_garbage_rejected(self, env):
+        from repro.backupstore.stream import decode_backup
+
+        backups, blob = self._blob(env)
+        with pytest.raises((BackupError, TamperDetectedError)):
+            decode_backup(blob + b"extra", backups._encryption_key, backups._mac)
+
+    def test_pristine_blob_decodes(self, env):
+        from repro.backupstore.stream import decode_backup
+
+        backups, blob = self._blob(env)
+        header, writes, removes = decode_backup(
+            blob, backups._encryption_key, backups._mac
+        )
+        assert header.entry_count == len(writes) + len(removes) == 6

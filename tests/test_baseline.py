@@ -1,0 +1,414 @@
+"""Tests for the Berkeley-DB-style baseline engine."""
+
+from __future__ import annotations
+
+import random
+import struct
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baseline import BaselineDB
+from repro.baseline.bufferpool import BufferPool, PageFile
+from repro.baseline.page import (
+    BTreeInternalPage,
+    BTreeLeafPage,
+    HashBucketPage,
+    MetaPage,
+    decode_page,
+)
+from repro.config import BaselineConfig
+from repro.errors import BaselineError
+from repro.platform import MemoryUntrustedStore
+
+
+def key_of(value: int) -> bytes:
+    return struct.pack(">I", value)
+
+
+def small_config(**overrides):
+    defaults = dict(page_size=2048, cache_bytes=64 * 1024)
+    defaults.update(overrides)
+    return BaselineConfig(**defaults)
+
+
+@pytest.fixture
+def db():
+    database = BaselineDB.create(MemoryUntrustedStore(), small_config())
+    database.create_table("t", "btree")
+    yield database
+
+
+class TestPages:
+    def test_meta_page_roundtrip(self):
+        page = MetaPage()
+        page.next_page_no = 42
+        page.free_pages = [3, 5]
+        page.clean = True
+        page.clean_log_size = 1000
+        page.tables["a"] = {"method": "btree", "root": 7}
+        page.tables["h"] = {
+            "method": "hash",
+            "root": 9,
+            "level": 1,
+            "split_pointer": 2,
+            "entry_count": 30,
+            "initial_buckets": 8,
+            "buckets": [9, 10, 11],
+        }
+        decoded = decode_page(0, page.encode(2048))
+        assert isinstance(decoded, MetaPage)
+        assert decoded.next_page_no == 42
+        assert decoded.clean and decoded.clean_log_size == 1000
+        assert decoded.tables["a"] == {"method": "btree", "root": 7}
+        assert decoded.tables["h"]["buckets"] == [9, 10, 11]
+
+    def test_leaf_page_roundtrip(self):
+        page = BTreeLeafPage(5)
+        page.entries = [(b"a", b"1"), (b"b", b"2")]
+        page.next_leaf = 9
+        page.recompute_used()
+        decoded = decode_page(5, page.encode(2048))
+        assert decoded.entries == [(b"a", b"1"), (b"b", b"2")]
+        assert decoded.next_leaf == 9
+
+    def test_internal_page_roundtrip(self):
+        page = BTreeInternalPage(4)
+        page.keys = [b"m"]
+        page.children = [2, 3]
+        decoded = decode_page(4, page.encode(2048))
+        assert decoded.keys == [b"m"]
+        assert decoded.children == [2, 3]
+
+    def test_bucket_page_roundtrip(self):
+        page = HashBucketPage(6)
+        page.entries = [(b"k", b"v")]
+        page.overflow = 8
+        decoded = decode_page(6, page.encode(2048))
+        assert decoded.entries == [(b"k", b"v")]
+        assert decoded.overflow == 8
+
+    def test_oversized_page_rejected(self):
+        page = BTreeLeafPage(1)
+        page.entries = [(b"k" * 100, b"v" * 3000)]
+        with pytest.raises(BaselineError):
+            page.encode(2048)
+
+
+class TestBufferPool:
+    def test_eviction_writes_back_dirty_pages(self):
+        untrusted = MemoryUntrustedStore()
+        page_file = PageFile(untrusted, 2048)
+        pool = BufferPool(page_file, capacity_pages=4)
+        for page_no in range(1, 10):
+            page = BTreeLeafPage(page_no)
+            page.entries = [(key_of(page_no), b"x")]
+            page.recompute_used()
+            pool.put_new(page)
+        assert pool.cached_pages() <= 4
+        # Evicted pages must be readable back from disk.
+        early = pool.get(1)
+        assert early.entries == [(key_of(1), b"x")]
+
+    def test_uncommitted_dirty_pages_are_pinned(self):
+        untrusted = MemoryUntrustedStore()
+        page_file = PageFile(untrusted, 2048)
+        pool = BufferPool(page_file, capacity_pages=4)
+        pinned_pages = []
+        for page_no in range(1, 6):
+            page = BTreeLeafPage(page_no)
+            pool.put_new(page)
+            pool.mark_dirty(page, txn_id=1)
+            pinned_pages.append(page_no)
+        # All pinned: the pool exceeds its budget rather than stealing.
+        assert pool.cached_pages() == 5
+        pool.release_txn(1)
+        page = BTreeLeafPage(99)
+        pool.put_new(page)
+        assert pool.cached_pages() <= 4 + 1
+
+
+class TestBasicOperations:
+    def test_put_get_roundtrip(self, db):
+        with db.begin() as txn:
+            txn.put("t", b"key", b"value")
+        with db.begin() as txn:
+            assert txn.get("t", b"key") == b"value"
+
+    def test_put_replaces(self, db):
+        with db.begin() as txn:
+            txn.put("t", b"k", b"v1")
+            txn.put("t", b"k", b"v2")
+        with db.begin() as txn:
+            assert txn.get("t", b"k") == b"v2"
+
+    def test_delete(self, db):
+        with db.begin() as txn:
+            txn.put("t", b"k", b"v")
+        with db.begin() as txn:
+            assert txn.delete("t", b"k")
+            assert not txn.delete("t", b"k")
+        with db.begin() as txn:
+            assert txn.get("t", b"k") is None
+
+    def test_scan_is_sorted(self, db):
+        values = list(range(100))
+        random.Random(2).shuffle(values)
+        with db.begin() as txn:
+            for value in values:
+                txn.put("t", key_of(value), b"v%d" % value)
+        with db.begin() as txn:
+            keys = [key for key, _ in txn.scan("t")]
+            assert keys == [key_of(v) for v in range(100)]
+
+    def test_missing_table_rejected(self, db):
+        with db.begin() as txn:
+            with pytest.raises(BaselineError):
+                txn.get("nope", b"k")
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(BaselineError):
+            db.create_table("t")
+
+    def test_single_active_transaction(self, db):
+        txn = db.begin()
+        with pytest.raises(BaselineError):
+            db.begin()
+        txn.commit()
+        db.begin().commit()
+
+    def test_create_table_inside_txn_rejected(self, db):
+        txn = db.begin()
+        with pytest.raises(BaselineError):
+            db.create_table("other")
+        txn.abort()
+
+    def test_many_records_split_pages(self, db):
+        with db.begin() as txn:
+            for value in range(2000):
+                txn.put("t", key_of(value), bytes(100))
+        with db.begin() as txn:
+            assert txn.get("t", key_of(1999)) == bytes(100)
+            assert sum(1 for _ in txn.scan("t")) == 2000
+        assert db.stats().page_count > 10
+
+
+class TestHashTable:
+    def test_hash_table_basris(self):
+        db = BaselineDB.create(MemoryUntrustedStore(), small_config())
+        db.create_table("h", "hash")
+        with db.begin() as txn:
+            for value in range(500):
+                txn.put("h", key_of(value), b"v%d" % value)
+        with db.begin() as txn:
+            for value in range(500):
+                assert txn.get("h", key_of(value)) == b"v%d" % value
+            assert txn.get("h", key_of(9999)) is None
+            scanned = sorted(key for key, _ in txn.scan("h"))
+            assert scanned == sorted(key_of(v) for v in range(500))
+
+    def test_hash_delete_and_replace(self):
+        db = BaselineDB.create(MemoryUntrustedStore(), small_config())
+        db.create_table("h", "hash")
+        with db.begin() as txn:
+            txn.put("h", b"a", b"1")
+            txn.put("h", b"a", b"2")
+            assert txn.get("h", b"a") == b"2"
+            assert txn.delete("h", b"a")
+        with db.begin() as txn:
+            assert txn.get("h", b"a") is None
+
+
+class TestTransactions:
+    def test_abort_undoes_puts_and_deletes(self, db):
+        with db.begin() as txn:
+            txn.put("t", b"stable", b"original")
+        txn = db.begin()
+        txn.put("t", b"stable", b"mutated")
+        txn.put("t", b"new", b"inserted")
+        txn.delete("t", b"stable") if False else None
+        txn.abort()
+        with db.begin() as check:
+            assert check.get("t", b"stable") == b"original"
+            assert check.get("t", b"new") is None
+
+    def test_abort_undoes_delete(self, db):
+        with db.begin() as txn:
+            txn.put("t", b"k", b"v")
+        txn = db.begin()
+        txn.delete("t", b"k")
+        txn.abort()
+        with db.begin() as check:
+            assert check.get("t", b"k") == b"v"
+
+    def test_exception_aborts_via_context_manager(self, db):
+        with pytest.raises(RuntimeError):
+            with db.begin() as txn:
+                txn.put("t", b"x", b"1")
+                raise RuntimeError("boom")
+        with db.begin() as check:
+            assert check.get("t", b"x") is None
+
+    def test_finished_transaction_rejects_use(self, db):
+        txn = db.begin()
+        txn.commit()
+        with pytest.raises(BaselineError):
+            txn.put("t", b"k", b"v")
+
+    def test_read_only_transaction_writes_no_log(self, db):
+        with db.begin() as txn:
+            txn.put("t", b"k", b"v")
+        before = db.stats().log_records
+        with db.begin() as txn:
+            txn.get("t", b"k")
+        assert db.stats().log_records == before
+
+
+class TestRecovery:
+    def test_crash_recovery_replays_committed(self):
+        untrusted = MemoryUntrustedStore()
+        db = BaselineDB.create(untrusted, small_config())
+        db.create_table("t")
+        with db.begin() as txn:
+            for value in range(300):
+                txn.put("t", key_of(value), bytes([value % 251]) * 50)
+        # no close: crash
+        recovered = BaselineDB.open(untrusted, small_config())
+        with recovered.begin() as txn:
+            for value in range(300):
+                assert txn.get("t", key_of(value)) == bytes([value % 251]) * 50
+
+    def test_uncommitted_work_not_recovered(self):
+        untrusted = MemoryUntrustedStore()
+        db = BaselineDB.create(untrusted, small_config())
+        db.create_table("t")
+        with db.begin() as txn:
+            txn.put("t", b"committed", b"yes")
+        txn = db.begin()
+        txn.put("t", b"uncommitted", b"no")
+        db.wal.flush()  # even flushed, a BEGIN without COMMIT must not redo
+        recovered = BaselineDB.open(untrusted, small_config())
+        with recovered.begin() as check:
+            assert check.get("t", b"committed") == b"yes"
+            assert check.get("t", b"uncommitted") is None
+
+    def test_clean_close_fast_path(self):
+        untrusted = MemoryUntrustedStore()
+        db = BaselineDB.create(untrusted, small_config())
+        db.create_table("t")
+        with db.begin() as txn:
+            txn.put("t", b"k", b"v")
+        db.close()
+        reopened = BaselineDB.open(untrusted, small_config())
+        with reopened.begin() as txn:
+            assert txn.get("t", b"k") == b"v"
+
+    def test_crash_after_checkpoint_keeps_all_data(self):
+        untrusted = MemoryUntrustedStore()
+        db = BaselineDB.create(untrusted, small_config())
+        db.create_table("t")
+        with db.begin() as txn:
+            txn.put("t", b"before", b"1")
+        db.checkpoint()
+        with db.begin() as txn:
+            txn.put("t", b"after", b"2")
+        # crash (no close); log was truncated at checkpoint
+        recovered = BaselineDB.open(untrusted, small_config())
+        with recovered.begin() as txn:
+            assert txn.get("t", b"before") == b"1"
+            assert txn.get("t", b"after") == b"2"
+
+    def test_repeated_crash_cycles(self):
+        untrusted = MemoryUntrustedStore()
+        config = small_config()
+        db = BaselineDB.create(untrusted, config)
+        db.create_table("t")
+        model = {}
+        rng = random.Random(4)
+        for cycle in range(4):
+            for _ in range(100):
+                key = key_of(rng.randrange(60))
+                with db.begin() as txn:
+                    if key in model and rng.random() < 0.2:
+                        txn.delete("t", key)
+                        del model[key]
+                    else:
+                        value = rng.randbytes(60)
+                        txn.put("t", key, value)
+                        model[key] = value
+            db = BaselineDB.open(untrusted, config)
+            with db.begin() as txn:
+                stored = dict(txn.scan("t"))
+            assert stored == model
+
+    def test_checkpoint_truncates_log(self):
+        untrusted = MemoryUntrustedStore()
+        db = BaselineDB.create(untrusted, small_config())
+        db.create_table("t")
+        with db.begin() as txn:
+            txn.put("t", b"k", b"v" * 200)
+        assert db.stats().log_bytes > 0
+        db.checkpoint()
+        assert db.stats().log_bytes == 0
+
+
+class TestWriteVolume:
+    def test_log_carries_before_and_after_images(self):
+        """The architectural signature the paper measures: updates log
+        roughly 2x the record size."""
+        untrusted = MemoryUntrustedStore()
+        db = BaselineDB.create(untrusted, small_config())
+        db.create_table("t")
+        record = bytes(100)
+        with db.begin() as txn:
+            txn.put("t", b"acct", record)  # insert: after image only
+        written_before = untrusted.stats.bytes_written
+        with db.begin() as txn:
+            txn.put("t", b"acct", record)  # update: before + after images
+        update_bytes = untrusted.stats.bytes_written - written_before
+        assert update_bytes >= 2 * len(record)
+
+    def test_log_grows_without_checkpoint(self):
+        untrusted = MemoryUntrustedStore()
+        db = BaselineDB.create(untrusted, small_config())
+        db.create_table("t")
+        sizes = []
+        for round_no in range(3):
+            for _ in range(50):
+                with db.begin() as txn:
+                    txn.put("t", b"hot", bytes(100))
+            sizes.append(db.stats().log_bytes)
+        assert sizes[0] < sizes[1] < sizes[2]
+
+
+class TestPropertyBased:
+    @given(
+        operations=st.lists(
+            st.tuples(
+                st.booleans(), st.integers(0, 15), st.binary(min_size=1, max_size=40)
+            ),
+            max_size=50,
+        )
+    )
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_matches_dict_model_across_recovery(self, operations):
+        untrusted = MemoryUntrustedStore()
+        db = BaselineDB.create(untrusted, small_config())
+        db.create_table("t")
+        model = {}
+        for is_put, slot, value in operations:
+            key = key_of(slot)
+            with db.begin() as txn:
+                if is_put:
+                    txn.put("t", key, value)
+                    model[key] = value
+                elif key in model:
+                    txn.delete("t", key)
+                    del model[key]
+        recovered = BaselineDB.open(untrusted, small_config())
+        with recovered.begin() as txn:
+            assert dict(txn.scan("t")) == model

@@ -1,0 +1,258 @@
+"""Tests for the benchmark harness (metrics, TPC-B drivers, footprint)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.footprint import GROUPS, measure_footprint
+from repro.bench.metrics import DiskModel, LatencyStats, Stopwatch, TxnMetrics
+from repro.bench.tpcb import (
+    AccountRec,
+    BaselineTpcbDriver,
+    HistoryRec,
+    TdbTpcbDriver,
+    TpcbScale,
+)
+from repro.platform.iostats import IOStats
+
+
+class TestDiskModel:
+    def test_sequential_sync_costs_rotation(self):
+        model = DiskModel()
+        stats = IOStats(sync_calls=2)
+        assert model.cost_ms(stats) == pytest.approx(2 * model.rotational_ms)
+
+    def test_random_writes_cost_damped_seeks(self):
+        model = DiskModel()
+        stats = IOStats(random_writes=4)
+        expected = (
+            4
+            * (model.write_seek_ms + model.rotational_ms)
+            * model.random_write_absorption
+        )
+        assert model.cost_ms(stats) == pytest.approx(expected)
+
+    def test_counter_bumps_priced_separately(self):
+        model = DiskModel()
+        assert model.cost_ms(IOStats(), counter_bumps=3) == pytest.approx(
+            3 * model.counter_write_ms
+        )
+
+    def test_transfer_cost_scales_with_bytes(self):
+        model = DiskModel(bandwidth_mb_s=10.0)
+        stats = IOStats(bytes_written=10_000)
+        assert model.cost_ms(stats) == pytest.approx(1.0)
+
+
+class TestLatencyStats:
+    def test_mean_and_percentiles(self):
+        stats = LatencyStats()
+        for value in (1, 2, 3, 4, 5, 6, 7, 8, 9, 10):
+            stats.record(value / 1000.0)  # seconds
+        assert stats.mean == pytest.approx(5.5)
+        assert stats.p50 == pytest.approx(6.0)
+        assert stats.p95 == pytest.approx(10.0)
+
+    def test_empty_stats_are_zero(self):
+        stats = LatencyStats()
+        assert stats.mean == 0.0
+        assert stats.p50 == 0.0
+
+    def test_stopwatch_records(self):
+        stats = LatencyStats()
+        with Stopwatch(stats):
+            pass
+        assert stats.count == 1
+        assert stats.samples_ms[0] >= 0.0
+
+    def test_txn_metrics_per_txn_division(self):
+        latency = LatencyStats()
+        latency.record(0.001)
+        latency.record(0.003)
+        io = IOStats(bytes_written=2000, write_calls=4, sync_calls=2)
+        metrics = TxnMetrics.collect("x", latency, io, DiskModel(), 1234)
+        assert metrics.bytes_written_per_txn == pytest.approx(1000.0)
+        assert metrics.sync_calls_per_txn == pytest.approx(1.0)
+        assert metrics.db_size_bytes == 1234
+        assert "x" in metrics.row()
+
+
+class TestTpcbRecords:
+    def test_balance_record_roundtrip_and_size(self):
+        record = AccountRec(42, balance=-500)
+        payload = record.pickle()
+        clone = AccountRec.unpickle(payload)
+        assert (clone.rec_id, clone.balance) == (42, -500)
+        assert 90 <= len(payload) <= 110  # the paper's ~100-byte records
+
+    def test_history_record_roundtrip(self):
+        record = HistoryRec(1, 2, 3, 4, -99)
+        clone = HistoryRec.unpickle(record.pickle())
+        assert (clone.hist_id, clone.account, clone.teller, clone.branch,
+                clone.delta) == (1, 2, 3, 4, -99)
+
+    def test_paper_scale_matches_figure9(self):
+        scale = TpcbScale.paper()
+        assert (scale.accounts, scale.tellers, scale.branches) == (
+            100_000,
+            1_000,
+            100,
+        )
+
+
+class TestDrivers:
+    def test_tdb_driver_runs_consistently(self):
+        driver = TdbTpcbDriver(TpcbScale.tiny(), secure=False)
+        driver.load()
+        driver.run(20)
+        # All balances must net to the same total across A/T/B (each txn
+        # applies one delta to each collection).
+        totals = {}
+        ct = driver.store.transaction()
+        for name in ("account", "teller", "branch"):
+            handle = ct.read_collection(name)
+            iterator = handle.query(driver._indexers[name])
+            total = 0
+            while not iterator.end():
+                total += iterator.read().balance
+                iterator.next()
+            iterator.close()
+            totals[name] = total
+        history = ct.read_collection("history")
+        assert history.count == 20
+        ct.abort()
+        assert totals["account"] == totals["teller"] == totals["branch"]
+        driver.close()
+
+    def test_tdb_secure_driver_encrypts(self):
+        driver = TdbTpcbDriver(TpcbScale.tiny(), secure=True)
+        driver.load()
+        driver.run(3)
+        from repro.platform import Attacker
+
+        assert Attacker(driver.untrusted).search_plaintext(b"\x2e" * 40) == []
+        driver.close()
+
+    def test_baseline_driver_runs_consistently(self):
+        driver = BaselineTpcbDriver(TpcbScale.tiny())
+        driver.load()
+        driver.run(20)
+        with driver.db.begin() as txn:
+            account_total = sum(
+                driver.decode_balance(value) for _, value in txn.scan("account")
+            )
+            teller_total = sum(
+                driver.decode_balance(value) for _, value in txn.scan("teller")
+            )
+            history_rows = sum(1 for _ in txn.scan("history"))
+        assert account_total == teller_total
+        assert history_rows == 20
+        driver.close()
+
+    def test_drivers_are_deterministic_given_seed(self):
+        first = TdbTpcbDriver(TpcbScale.tiny(), secure=False, seed=9)
+        second = TdbTpcbDriver(TpcbScale.tiny(), secure=False, seed=9)
+        for driver in (first, second):
+            driver.load()
+            driver.run(10)
+        ct1 = first.store.transaction()
+        ct2 = second.store.transaction()
+        h1 = ct1.read_collection("account")
+        h2 = ct2.read_collection("account")
+        it1, it2 = h1.query(first._indexers["account"]), h2.query(
+            second._indexers["account"]
+        )
+        while not it1.end():
+            assert it1.read().balance == it2.read().balance
+            it1.next()
+            it2.next()
+        it1.close()
+        it2.close()
+        ct1.abort()
+        ct2.abort()
+        first.close()
+        second.close()
+
+
+class TestFootprint:
+    def test_groups_cover_disjoint_modules(self):
+        seen = set()
+        for entries in GROUPS.values():
+            for entry in entries:
+                assert entry not in seen
+                seen.add(entry)
+
+    def test_measurement_structure(self):
+        results = measure_footprint()
+        assert results["TDB - all modules"].source_lines == sum(
+            results[name].source_lines for name in GROUPS
+        )
+        assert results["chunk store"].bytecode_bytes == max(
+            results[name].bytecode_bytes for name in GROUPS
+        )
+        minimal = results["TDB minimal configuration"]
+        full = results["TDB - all modules"]
+        assert 0 < minimal.bytecode_bytes < full.bytecode_bytes
+
+
+class TestFigureHarnesses:
+    def test_run_figure10_smoke(self):
+        from repro.bench.figure10 import print_report, run_figure10
+
+        results = run_figure10(
+            txns=30,
+            warmup=10,
+            accounts=60,
+            tellers=10,
+            branches=2,
+            cache_bytes=32 * 1024,
+        )
+        assert set(results) == {"TDB", "TDB-S", "BerkeleyDB"}
+        for metrics in results.values():
+            assert metrics.transactions == 30
+            assert metrics.bytes_written_per_txn > 0
+        # The headline mechanism: TDB writes fewer bytes per transaction
+        # than the baseline once the cache cannot hold the database.
+        assert (
+            results["TDB"].bytes_written_per_txn
+            < results["BerkeleyDB"].bytes_written_per_txn
+        )
+        print_report(results)  # must not raise
+
+    def test_run_figure11_smoke(self):
+        from repro.bench.figure11 import print_report, run_figure11
+
+        result = run_figure11(
+            txns=30,
+            warmup=10,
+            accounts=60,
+            tellers=10,
+            branches=2,
+            cache_bytes=32 * 1024,
+            utilizations=(0.5, 0.9),
+        )
+        points = result["points"]
+        assert [p.max_utilization for p in points] == [0.5, 0.9]
+        for point in points:
+            assert point.metrics.transactions == 30
+            assert 0.0 < point.achieved_utilization <= 1.0
+        print_report(result)  # must not raise
+
+    def test_ablations_smoke(self):
+        from repro.bench.ablation import (
+            ablate_cache,
+            ablate_chunking,
+            ablate_crypto,
+            ablate_index,
+        )
+
+        crypto = ablate_crypto(operations=5, payload=64)
+        assert any(row["profile"] == "insecure" for row in crypto)
+        chunking = ablate_chunking(objects=16, object_size=50, rounds=5)
+        assert chunking[0]["objects_per_chunk"] == 1
+        # Packing more objects per chunk costs more bytes per update.
+        assert chunking[-1]["bytes_per_update"] > chunking[0]["bytes_per_update"]
+        cache = ablate_cache(objects=200, reads=100)
+        assert len(cache) == 4
+        index = ablate_index(members=100, lookups=20)
+        assert {row["kind"] for row in index} == {"btree", "hash", "list"}

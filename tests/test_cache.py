@@ -1,0 +1,187 @@
+"""Tests for the shared LRU cache (paper section 4.2.2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import SharedLruCache
+
+
+class TestBasics:
+    def test_put_get_roundtrip(self):
+        cache = SharedLruCache(1024)
+        cache.put("obj", 1, "value", 10)
+        assert cache.get("obj", 1) == "value"
+
+    def test_get_missing_returns_none_and_counts_miss(self):
+        cache = SharedLruCache(1024)
+        assert cache.get("obj", 42) is None
+        assert cache.stats.misses == 1
+
+    def test_namespaces_are_disjoint(self):
+        cache = SharedLruCache(1024)
+        cache.put("obj", 1, "object", 10)
+        cache.put("map", 1, "node", 10)
+        assert cache.get("obj", 1) == "object"
+        assert cache.get("map", 1) == "node"
+
+    def test_replace_updates_charge(self):
+        cache = SharedLruCache(1024)
+        cache.put("obj", 1, "small", 10)
+        cache.put("obj", 1, "bigger", 100)
+        assert cache.stats.charged_bytes == 100
+        assert cache.get("obj", 1) == "bigger"
+
+    def test_remove(self):
+        cache = SharedLruCache(1024)
+        cache.put("obj", 1, "v", 10)
+        cache.remove("obj", 1)
+        assert cache.get("obj", 1) is None
+        assert cache.stats.charged_bytes == 0
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            SharedLruCache(0)
+
+    def test_negative_charge_rejected(self):
+        cache = SharedLruCache(100)
+        with pytest.raises(ValueError):
+            cache.put("obj", 1, "v", -1)
+
+
+class TestEviction:
+    def test_lru_order_eviction(self):
+        cache = SharedLruCache(30)
+        cache.put("obj", 1, "a", 10)
+        cache.put("obj", 2, "b", 10)
+        cache.put("obj", 3, "c", 10)
+        cache.get("obj", 1)  # touch 1, making 2 the coldest
+        cache.put("obj", 4, "d", 10)
+        assert cache.get("obj", 2) is None
+        assert cache.get("obj", 1) == "a"
+
+    def test_eviction_callback_runs(self):
+        evicted = []
+        cache = SharedLruCache(20)
+        cache.put("obj", 1, "a", 10, on_evict=lambda k, v: evicted.append((k, v)))
+        cache.put("obj", 2, "b", 10)
+        cache.put("obj", 3, "c", 10)
+        assert evicted == [(1, "a")]
+
+    def test_pinned_entries_survive_eviction(self):
+        cache = SharedLruCache(20)
+        cache.put("obj", 1, "dirty", 10)
+        cache.pin("obj", 1)
+        cache.put("obj", 2, "b", 10)
+        cache.put("obj", 3, "c", 10)
+        assert cache.get("obj", 1) == "dirty"  # pinned: never evicted
+        assert cache.get("obj", 2) is None
+
+    def test_unpin_makes_evictable(self):
+        cache = SharedLruCache(20)
+        cache.put("obj", 1, "a", 10)
+        cache.pin("obj", 1)
+        cache.unpin("obj", 1)
+        cache.put("obj", 2, "b", 10)
+        cache.put("obj", 3, "c", 10)
+        assert cache.get("obj", 1) is None
+
+    def test_pin_is_reference_counted(self):
+        cache = SharedLruCache(20)
+        cache.put("obj", 1, "a", 10)
+        cache.pin("obj", 1)
+        cache.pin("obj", 1)
+        cache.unpin("obj", 1)
+        cache.put("obj", 2, "b", 10)
+        cache.put("obj", 3, "c", 10)
+        assert cache.get("obj", 1) == "a"  # one pin still held
+        assert cache.pin_count("obj", 1) == 1
+
+    def test_unbalanced_unpin_raises(self):
+        cache = SharedLruCache(20)
+        cache.put("obj", 1, "a", 10)
+        with pytest.raises(ValueError):
+            cache.unpin("obj", 1)
+
+    def test_pin_missing_raises(self):
+        cache = SharedLruCache(20)
+        with pytest.raises(KeyError):
+            cache.pin("obj", 404)
+
+    def test_replace_preserves_pins(self):
+        cache = SharedLruCache(100)
+        cache.put("obj", 1, "a", 10)
+        cache.pin("obj", 1)
+        cache.put("obj", 1, "a2", 10)
+        assert cache.pin_count("obj", 1) == 1
+
+    def test_budget_can_be_exceeded_by_pins_only(self):
+        cache = SharedLruCache(15)
+        cache.put("obj", 1, "a", 10)
+        cache.pin("obj", 1)
+        cache.put("obj", 2, "b", 10)
+        cache.pin("obj", 2)
+        # Both pinned: charged bytes exceed the budget, by design.
+        assert cache.stats.charged_bytes == 20
+        cache.put("obj", 3, "c", 10)
+        cache.put("obj", 4, "d", 10)
+        # The freshly inserted entry is protected from its own insertion's
+        # eviction pass, but becomes the victim of the next one.
+        assert cache.get("obj", 3) is None
+        assert cache.get("obj", 4) == "d"
+
+
+class TestMaintenance:
+    def test_update_charge(self):
+        cache = SharedLruCache(100)
+        cache.put("obj", 1, "a", 10)
+        cache.update_charge("obj", 1, 50)
+        assert cache.stats.charged_bytes == 50
+
+    def test_update_charge_missing_raises(self):
+        cache = SharedLruCache(100)
+        with pytest.raises(KeyError):
+            cache.update_charge("obj", 1, 50)
+
+    def test_items_filters_namespace(self):
+        cache = SharedLruCache(100)
+        cache.put("a", 1, "x", 1)
+        cache.put("b", 2, "y", 1)
+        cache.put("a", 3, "z", 1)
+        assert dict(cache.items("a")) == {1: "x", 3: "z"}
+
+    def test_clear_namespace(self):
+        cache = SharedLruCache(100)
+        cache.put("a", 1, "x", 10)
+        cache.put("b", 2, "y", 10)
+        cache.clear_namespace("a")
+        assert cache.get("a", 1) is None
+        assert cache.get("b", 2) == "y"
+        assert cache.stats.charged_bytes == 10
+
+    def test_peek_does_not_touch(self):
+        cache = SharedLruCache(20)
+        cache.put("obj", 1, "a", 10)
+        cache.put("obj", 2, "b", 10)
+        cache.peek("obj", 1)  # must NOT promote 1
+        cache.put("obj", 3, "c", 10)
+        assert cache.get("obj", 1) is None
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10), st.integers(1, 20)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=40)
+    def test_property_charged_bytes_consistent(self, operations):
+        cache = SharedLruCache(64)
+        for key, charge in operations:
+            cache.put("ns", key, f"v{key}", charge)
+        total = sum(
+            entry.charge for entry in cache._entries.values()
+        )
+        assert cache.stats.charged_bytes == total
+        assert cache.stats.charged_bytes <= 64  # nothing pinned here

@@ -1,0 +1,370 @@
+"""Tests for the index implementations (B+tree, linear hashing, list).
+
+These drive the index structures directly through an object-store
+transaction, checking structure-specific behaviour (splits, overflow
+chains, ordering) that the collection-level tests do not reach.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.chunkstore import ChunkStore
+from repro.collectionstore.btree import BTreeIndex, BTreeNode
+from repro.collectionstore.hashtable import HashDirectory, HashIndex
+from repro.collectionstore.listindex import ListIndex
+from repro.collectionstore.store import register_collection_classes
+from repro.config import ChunkStoreConfig, ObjectStoreConfig, SecurityProfile
+from repro.errors import DuplicateKeyError
+from repro.objectstore import ClassRegistry, ObjectStore
+from repro.platform import (
+    MemoryOneWayCounter,
+    MemorySecretStore,
+    MemoryUntrustedStore,
+)
+
+
+@pytest.fixture
+def object_store():
+    untrusted = MemoryUntrustedStore()
+    secret = MemorySecretStore(b"0123456789abcdef0123456789abcdef")
+    counter = MemoryOneWayCounter()
+    config = ChunkStoreConfig(
+        segment_size=16 * 1024,
+        initial_segments=4,
+        checkpoint_residual_bytes=64 * 1024,
+        map_fanout=16,
+        security=SecurityProfile.insecure(),  # speed: structure tests
+    )
+    chunk_store = ChunkStore.format(untrusted, secret, counter, config)
+    registry = ClassRegistry()
+    register_collection_classes(registry)
+    store = ObjectStore.create(
+        chunk_store, ObjectStoreConfig(cache_bytes=1024 * 1024), registry
+    )
+    yield store
+    store.close()
+
+
+class TestBTree:
+    ORDER = 6  # small order so splits happen quickly
+
+    def _tree(self, txn):
+        root = BTreeIndex.create(txn, self.ORDER)
+        return BTreeIndex(txn, root, self.ORDER)
+
+    def test_insert_lookup_single(self, object_store):
+        with object_store.transaction() as txn:
+            tree = self._tree(txn)
+            tree.insert(5, 100, unique=True)
+            assert tree.lookup(5) == [100]
+            assert tree.lookup(6) == []
+
+    def test_many_inserts_cause_splits_and_stay_sorted(self, object_store):
+        with object_store.transaction() as txn:
+            tree = self._tree(txn)
+            keys = list(range(200))
+            random.Random(1).shuffle(keys)
+            for key in keys:
+                tree.insert(key, key + 1000, unique=True)
+            scanned = list(tree.scan())
+            assert [key for key, _ in scanned] == list(range(200))
+            assert all(oid == key + 1000 for key, oid in scanned)
+            # The root must have split into a real tree.
+            root = txn.open_readonly(tree.root_oid, BTreeNode)
+            assert not root.is_leaf
+
+    def test_root_oid_is_stable_across_splits(self, object_store):
+        with object_store.transaction() as txn:
+            tree = self._tree(txn)
+            original_root = tree.root_oid
+            for key in range(100):
+                tree.insert(key, key, unique=True)
+            assert tree.root_oid == original_root
+            assert tree.lookup(99) == [99]
+
+    def test_duplicate_in_unique_index_rejected(self, object_store):
+        with object_store.transaction() as txn:
+            tree = self._tree(txn)
+            tree.insert(1, 10, unique=True)
+            with pytest.raises(DuplicateKeyError):
+                tree.insert(1, 11, unique=True)
+
+    def test_non_unique_posting_lists(self, object_store):
+        with object_store.transaction() as txn:
+            tree = self._tree(txn)
+            for oid in (10, 11, 12):
+                tree.insert("dup", oid, unique=False)
+            assert sorted(tree.lookup("dup")) == [10, 11, 12]
+
+    def test_remove_from_posting_list(self, object_store):
+        with object_store.transaction() as txn:
+            tree = self._tree(txn)
+            tree.insert("k", 1, unique=False)
+            tree.insert("k", 2, unique=False)
+            assert tree.remove("k", 1)
+            assert tree.lookup("k") == [2]
+            assert tree.remove("k", 2)
+            assert tree.lookup("k") == []
+            assert not tree.remove("k", 2)  # already gone
+
+    def test_remove_missing_key(self, object_store):
+        with object_store.transaction() as txn:
+            tree = self._tree(txn)
+            assert not tree.remove("ghost", 1)
+
+    def test_range_query_inclusive(self, object_store):
+        with object_store.transaction() as txn:
+            tree = self._tree(txn)
+            for key in range(0, 100, 2):  # evens
+                tree.insert(key, key, unique=True)
+            assert [k for k, _ in tree.range(10, 20)] == [10, 12, 14, 16, 18, 20]
+            assert [k for k, _ in tree.range(9, 21)] == [10, 12, 14, 16, 18, 20]
+            assert [k for k, _ in tree.range(None, 4)] == [0, 2, 4]
+            assert [k for k, _ in tree.range(96, None)] == [96, 98]
+            assert list(tree.range(51, 51)) == []
+
+    def test_range_across_leaf_boundaries(self, object_store):
+        with object_store.transaction() as txn:
+            tree = self._tree(txn)
+            for key in range(300):
+                tree.insert(key, key, unique=True)
+            assert [k for k, _ in tree.range(90, 210)] == list(range(90, 211))
+
+    def test_string_keys_sort_correctly(self, object_store):
+        with object_store.transaction() as txn:
+            tree = self._tree(txn)
+            words = ["pear", "apple", "fig", "banana", "kiwi", "date"]
+            for index, word in enumerate(words):
+                tree.insert(word, index, unique=True)
+            assert [k for k, _ in tree.scan()] == sorted(words)
+
+    def test_destroy_removes_all_nodes(self, object_store):
+        with object_store.transaction() as txn:
+            tree = self._tree(txn)
+            for key in range(100):
+                tree.insert(key, key, unique=True)
+            oids = tree._all_node_oids()
+            assert len(oids) > 1
+            tree.destroy()
+            from repro.errors import ObjectNotFoundError
+
+            for oid in oids:
+                with pytest.raises(ObjectNotFoundError):
+                    txn.open_readonly(oid)
+
+    def test_persistence_across_restart_of_transaction(self, object_store):
+        with object_store.transaction() as txn:
+            tree = self._tree(txn)
+            root = tree.root_oid
+            for key in range(50):
+                tree.insert(key, key * 2, unique=True)
+        with object_store.transaction() as txn:
+            tree = BTreeIndex(txn, root, self.ORDER)
+            assert tree.lookup(25) == [50]
+            assert len(list(tree.scan())) == 50
+            txn.abort()
+
+    @given(
+        operations=st.lists(
+            st.tuples(st.booleans(), st.integers(0, 30)), max_size=80
+        )
+    )
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+    )
+    def test_property_matches_sorted_dict(self, object_store, operations):
+        with object_store.transaction() as txn:
+            tree = self._tree(txn)
+            model = {}
+            for is_insert, key in operations:
+                if is_insert and key not in model:
+                    tree.insert(key, key + 500, unique=True)
+                    model[key] = key + 500
+                elif not is_insert and key in model:
+                    assert tree.remove(key, model.pop(key))
+            assert list(tree.scan()) == sorted(model.items())
+            txn.abort()
+
+
+class TestHashIndex:
+    def _table(self, txn, buckets=4):
+        root = HashIndex.create(txn, buckets)
+        return HashIndex(
+            txn, root, initial_buckets=buckets, max_load=2.0, bucket_capacity=4
+        )
+
+    def test_insert_lookup(self, object_store):
+        with object_store.transaction() as txn:
+            table = self._table(txn)
+            table.insert("alpha", 1, unique=True)
+            table.insert("beta", 2, unique=True)
+            assert table.lookup("alpha") == [1]
+            assert table.lookup("gamma") == []
+
+    def test_growth_by_splitting(self, object_store):
+        with object_store.transaction() as txn:
+            table = self._table(txn, buckets=2)
+            for key in range(200):
+                table.insert(key, key, unique=True)
+            directory = txn.open_readonly(table.root_oid, HashDirectory).deref()
+            assert len(directory.bucket_oids) > 2  # table grew
+            for key in range(200):
+                assert table.lookup(key) == [key]
+
+    def test_load_factor_bounded_after_growth(self, object_store):
+        with object_store.transaction() as txn:
+            table = self._table(txn, buckets=2)
+            for key in range(300):
+                table.insert(key, key, unique=True)
+            directory = txn.open_readonly(table.root_oid, HashDirectory).deref()
+            load = directory.entry_count / len(directory.bucket_oids)
+            assert load <= 2.0 + 0.01
+
+    def test_duplicate_unique_rejected(self, object_store):
+        with object_store.transaction() as txn:
+            table = self._table(txn)
+            table.insert(7, 70, unique=True)
+            with pytest.raises(DuplicateKeyError):
+                table.insert(7, 71, unique=True)
+
+    def test_non_unique_entries(self, object_store):
+        with object_store.transaction() as txn:
+            table = self._table(txn)
+            table.insert("k", 1, unique=False)
+            table.insert("k", 2, unique=False)
+            assert sorted(table.lookup("k")) == [1, 2]
+
+    def test_remove(self, object_store):
+        with object_store.transaction() as txn:
+            table = self._table(txn)
+            table.insert("x", 9, unique=True)
+            assert table.remove("x", 9)
+            assert table.lookup("x") == []
+            assert not table.remove("x", 9)
+
+    def test_remove_from_overflow_chain(self, object_store):
+        with object_store.transaction() as txn:
+            # bucket_capacity=4 with a single bucket: forces overflow.
+            root = HashIndex.create(txn, 1)
+            table = HashIndex(
+                txn, root, initial_buckets=1, max_load=100.0, bucket_capacity=2
+            )
+            for key in range(10):
+                table.insert(key, key, unique=True)
+            for key in range(10):
+                assert table.remove(key, key), key
+            assert list(table.scan()) == []
+
+    def test_scan_yields_everything(self, object_store):
+        with object_store.transaction() as txn:
+            table = self._table(txn)
+            for key in range(100):
+                table.insert(key, key * 3, unique=True)
+            scanned = sorted(table.scan())
+            assert scanned == [(key, key * 3) for key in range(100)]
+
+    def test_destroy(self, object_store):
+        with object_store.transaction() as txn:
+            table = self._table(txn)
+            for key in range(50):
+                table.insert(key, key, unique=True)
+            table.destroy()
+            from repro.errors import ObjectNotFoundError
+
+            with pytest.raises(ObjectNotFoundError):
+                txn.open_readonly(table.root_oid)
+
+    def test_persistence(self, object_store):
+        with object_store.transaction() as txn:
+            table = self._table(txn)
+            root = table.root_oid
+            for key in range(60):
+                table.insert(key, key, unique=True)
+        with object_store.transaction() as txn:
+            table = HashIndex(txn, root, initial_buckets=4, max_load=2.0)
+            for key in range(60):
+                assert table.lookup(key) == [key]
+            txn.abort()
+
+    @given(keys=st.lists(st.integers(0, 1000), unique=True, max_size=60))
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+    )
+    def test_property_set_semantics(self, object_store, keys):
+        with object_store.transaction() as txn:
+            table = self._table(txn, buckets=2)
+            for key in keys:
+                table.insert(key, key, unique=True)
+            assert sorted(key for key, _ in table.scan()) == sorted(keys)
+            for key in keys:
+                assert table.lookup(key) == [key]
+            txn.abort()
+
+
+class TestListIndex:
+    def _list(self, txn, capacity=4):
+        root = ListIndex.create(txn)
+        return ListIndex(txn, root, node_capacity=capacity)
+
+    def test_preserves_insertion_order(self, object_store):
+        with object_store.transaction() as txn:
+            lst = self._list(txn)
+            for key in (5, 3, 9, 1):
+                lst.insert(key, key * 10, unique=False)
+            assert [key for key, _ in lst.scan()] == [5, 3, 9, 1]
+
+    def test_spills_across_nodes(self, object_store):
+        with object_store.transaction() as txn:
+            lst = self._list(txn, capacity=3)
+            for key in range(20):
+                lst.insert(key, key, unique=False)
+            assert [key for key, _ in lst.scan()] == list(range(20))
+
+    def test_lookup_by_scan(self, object_store):
+        with object_store.transaction() as txn:
+            lst = self._list(txn)
+            lst.insert("a", 1, unique=False)
+            lst.insert("b", 2, unique=False)
+            lst.insert("a", 3, unique=False)
+            assert sorted(lst.lookup("a")) == [1, 3]
+
+    def test_unique_enforced(self, object_store):
+        with object_store.transaction() as txn:
+            lst = self._list(txn)
+            lst.insert("u", 1, unique=True)
+            with pytest.raises(DuplicateKeyError):
+                lst.insert("u", 2, unique=True)
+
+    def test_remove(self, object_store):
+        with object_store.transaction() as txn:
+            lst = self._list(txn, capacity=2)
+            for key in range(6):
+                lst.insert(key, key, unique=False)
+            assert lst.remove(3, 3)
+            assert [key for key, _ in lst.scan()] == [0, 1, 2, 4, 5]
+            assert not lst.remove(3, 3)
+
+    def test_destroy(self, object_store):
+        with object_store.transaction() as txn:
+            lst = self._list(txn, capacity=2)
+            for key in range(10):
+                lst.insert(key, key, unique=False)
+            lst.destroy()
+            from repro.errors import ObjectNotFoundError
+
+            with pytest.raises(ObjectNotFoundError):
+                txn.open_readonly(lst.root_oid)
+
+    def test_empty_scan(self, object_store):
+        with object_store.transaction() as txn:
+            lst = self._list(txn)
+            assert list(lst.scan()) == []
+            assert lst.lookup("missing") == []

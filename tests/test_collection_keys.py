@@ -1,0 +1,113 @@
+"""Tests for index key encoding, comparison, and hashing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectionstore.keys import (
+    compare_keys,
+    decode_key,
+    encode_key,
+    hash_key,
+    key_type_tag,
+)
+from repro.errors import SchemaError
+
+scalar_keys = st.one_of(
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+    st.booleans(),
+)
+
+
+class TestEncoding:
+    @pytest.mark.parametrize(
+        "key",
+        [0, -1, 2**40, 1.5, -0.0, "", "héllo", b"", b"\x00\xff", True, False,
+         (1, "a"), ("x", b"y", 3.0), ()],
+    )
+    def test_roundtrip(self, key):
+        assert decode_key(encode_key(key)) == key
+
+    def test_bool_distinct_from_int(self):
+        assert encode_key(True) != encode_key(1)
+        assert decode_key(encode_key(True)) is True
+
+    def test_nested_tuple_rejected(self):
+        with pytest.raises(SchemaError):
+            encode_key((1, (2, 3)))
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(SchemaError):
+            encode_key([1, 2])
+        with pytest.raises(SchemaError):
+            encode_key(None)
+
+    def test_bytearray_accepted_as_bytes(self):
+        assert decode_key(encode_key(bytearray(b"ab"))) == b"ab"
+
+    @given(scalar_keys)
+    @settings(max_examples=60)
+    def test_property_scalar_roundtrip(self, key):
+        assert decode_key(encode_key(key)) == key
+
+    @given(st.tuples(scalar_keys, scalar_keys))
+    @settings(max_examples=40)
+    def test_property_tuple_roundtrip(self, key):
+        assert decode_key(encode_key(key)) == key
+
+
+class TestComparison:
+    def test_three_way_results(self):
+        assert compare_keys(1, 2) == -1
+        assert compare_keys(2, 1) == 1
+        assert compare_keys(2, 2) == 0
+
+    def test_string_ordering(self):
+        assert compare_keys("apple", "banana") == -1
+
+    def test_tuple_lexicographic(self):
+        assert compare_keys((1, "b"), (1, "c")) == -1
+        assert compare_keys((2, "a"), (1, "z")) == 1
+        assert compare_keys((1, "a"), (1, "a")) == 0
+
+    def test_mixed_types_rejected(self):
+        with pytest.raises(SchemaError):
+            compare_keys(1, "one")
+        with pytest.raises(SchemaError):
+            compare_keys(True, 1)
+
+    def test_tuple_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            compare_keys((1,), (1, 2))
+
+    @given(st.integers(), st.integers())
+    @settings(max_examples=50)
+    def test_property_matches_python_ordering(self, a, b):
+        expected = -1 if a < b else (1 if a > b else 0)
+        assert compare_keys(a, b) == expected
+
+    @given(scalar_keys, scalar_keys)
+    @settings(max_examples=60)
+    def test_property_antisymmetric(self, a, b):
+        if key_type_tag(a) != key_type_tag(b):
+            return
+        assert compare_keys(a, b) == -compare_keys(b, a)
+
+
+class TestHashing:
+    def test_hash_is_stable(self):
+        assert hash_key("stable") == hash_key("stable")
+        assert hash_key((1, "a")) == hash_key((1, "a"))
+
+    def test_hash_spreads(self):
+        values = {hash_key(i) % 64 for i in range(1000)}
+        assert len(values) > 40  # most buckets hit
+
+    @given(scalar_keys)
+    @settings(max_examples=40)
+    def test_property_hash_matches_encoding(self, key):
+        assert hash_key(key) == hash_key(decode_key(encode_key(key)))

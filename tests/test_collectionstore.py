@@ -1,0 +1,654 @@
+"""Integration tests for the collection store (paper section 5).
+
+Covers collection lifecycle, automatic index maintenance, insensitive
+iterators with deferred updates, the Halloween-syndrome defence, deferred
+uniqueness violations, and persistence across restarts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chunkstore import ChunkStore
+from repro.collectionstore import CollectionStore, CTransaction, Indexer
+from repro.config import ChunkStoreConfig, CollectionStoreConfig, SecurityProfile
+from repro.errors import (
+    CollectionStoreError,
+    DuplicateKeyError,
+    IndexIntegrityError,
+    IteratorStateError,
+    ObjectNotFoundError,
+    SchemaError,
+)
+from repro.objectstore import (
+    BufferReader,
+    BufferWriter,
+    ClassRegistry,
+    ObjectStore,
+    Persistent,
+)
+from repro.platform import (
+    MemoryOneWayCounter,
+    MemorySecretStore,
+    MemoryUntrustedStore,
+)
+
+
+class Meter(Persistent):
+    class_id = "coll.meter"
+
+    def __init__(self, meter_id=0, view_count=0, print_count=0):
+        self.meter_id = meter_id
+        self.view_count = view_count
+        self.print_count = print_count
+
+    def pickle(self) -> bytes:
+        return (
+            BufferWriter()
+            .write_int(self.meter_id)
+            .write_int(self.view_count)
+            .write_int(self.print_count)
+            .getvalue()
+        )
+
+    @classmethod
+    def unpickle(cls, data: bytes) -> "Meter":
+        reader = BufferReader(data)
+        return cls(reader.read_int(), reader.read_int(), reader.read_int())
+
+
+class PremiumMeter(Meter):
+    """Schema evolution via subclassing (paper section 5)."""
+
+    class_id = "coll.premium_meter"
+
+    def __init__(self, meter_id=0, view_count=0, print_count=0, tier="gold"):
+        super().__init__(meter_id, view_count, print_count)
+        self.tier = tier
+
+    def pickle(self) -> bytes:
+        return (
+            BufferWriter()
+            .write_int(self.meter_id)
+            .write_int(self.view_count)
+            .write_int(self.print_count)
+            .write_str(self.tier)
+            .getvalue()
+        )
+
+    @classmethod
+    def unpickle(cls, data: bytes) -> "PremiumMeter":
+        reader = BufferReader(data)
+        return cls(
+            reader.read_int(), reader.read_int(), reader.read_int(), reader.read_str()
+        )
+
+
+class Account(Persistent):
+    class_id = "coll.account"
+
+    def __init__(self, number=0, balance=0):
+        self.number = number
+        self.balance = balance
+
+    def pickle(self) -> bytes:
+        return BufferWriter().write_int(self.number).write_int(self.balance).getvalue()
+
+    @classmethod
+    def unpickle(cls, data: bytes) -> "Account":
+        reader = BufferReader(data)
+        return cls(reader.read_int(), reader.read_int())
+
+
+def id_indexer(kind="hash"):
+    return Indexer("meter-id", Meter, lambda m: m.meter_id, unique=True, kind=kind)
+
+
+def usage_indexer():
+    return Indexer(
+        "meter-usage",
+        Meter,
+        lambda m: m.view_count + m.print_count,
+        unique=False,
+        kind="btree",
+    )
+
+
+def build_environment():
+    untrusted = MemoryUntrustedStore()
+    secret = MemorySecretStore(b"0123456789abcdef0123456789abcdef")
+    counter = MemoryOneWayCounter()
+    config = ChunkStoreConfig(
+        segment_size=16 * 1024,
+        initial_segments=4,
+        checkpoint_residual_bytes=64 * 1024,
+        map_fanout=16,
+    )
+    chunk_store = ChunkStore.format(untrusted, secret, counter, config)
+    registry = ClassRegistry()
+    registry.register(Meter)
+    registry.register(PremiumMeter)
+    registry.register(Account)
+    object_store = ObjectStore.create(chunk_store, registry=registry)
+    store = CollectionStore(
+        object_store, CollectionStoreConfig(btree_order=8, hash_initial_buckets=4)
+    )
+    return store, (untrusted, secret, counter, config, registry)
+
+
+@pytest.fixture
+def store():
+    built, _env = build_environment()
+    yield built
+    built.close()
+
+
+def populate(store, count=20):
+    with store.transaction() as ct:
+        handle = ct.create_collection("profile", id_indexer())
+        handle.create_index(usage_indexer())
+        for index in range(count):
+            handle.insert(Meter(index, view_count=index % 5, print_count=index % 3))
+    return count
+
+
+def drain_ids(iterator):
+    ids = []
+    while not iterator.end():
+        ids.append(iterator.read().meter_id)
+        iterator.next()
+    iterator.close()
+    return ids
+
+
+class TestCollectionLifecycle:
+    def test_create_and_reopen_by_name(self, store):
+        populate(store)
+        with store.transaction() as ct:
+            handle = ct.read_collection("profile")
+            assert handle.count == 20
+            assert set(handle.index_names()) == {"meter-id", "meter-usage"}
+            ct.abort()
+
+    def test_duplicate_collection_name_rejected(self, store):
+        populate(store)
+        ct = store.transaction()
+        with pytest.raises(CollectionStoreError):
+            ct.create_collection("profile", id_indexer())
+        ct.abort()
+
+    def test_missing_collection_rejected(self, store):
+        ct = store.transaction()
+        with pytest.raises(CollectionStoreError):
+            ct.read_collection("ghost")
+        ct.abort()
+
+    def test_remove_collection_removes_objects(self, store):
+        populate(store, count=5)
+        with store.transaction() as ct:
+            handle = ct.read_collection("profile")
+            iterator = handle.query(id_indexer())
+            oids = list(iterator._oids)
+            iterator.close()
+            ct.abort()
+        with store.transaction() as ct:
+            ct.remove_collection("profile")
+        with store.transaction() as ct:
+            with pytest.raises(CollectionStoreError):
+                ct.read_collection("profile")
+            for oid in oids:
+                with pytest.raises(ObjectNotFoundError):
+                    ct._txn.open_readonly(oid)
+            ct.abort()
+
+    def test_readonly_handle_rejects_mutation(self, store):
+        populate(store)
+        with store.transaction() as ct:
+            handle = ct.read_collection("profile")
+            with pytest.raises(CollectionStoreError):
+                handle.insert(Meter(99))
+            with pytest.raises(CollectionStoreError):
+                handle.create_index(
+                    Indexer("extra", Meter, lambda m: m.view_count)
+                )
+            ct.abort()
+
+    def test_schema_enforced_on_insert(self, store):
+        populate(store)
+        with store.transaction() as ct:
+            handle = ct.write_collection("profile")
+            with pytest.raises(SchemaError):
+                handle.insert(Account(1, 100))
+            ct.abort()
+
+    def test_subclass_instances_accepted(self, store):
+        populate(store)
+        with store.transaction() as ct:
+            handle = ct.write_collection("profile")
+            handle.insert(PremiumMeter(100, tier="platinum"))
+        with store.transaction() as ct:
+            handle = ct.read_collection("profile")
+            iterator = handle.query_match(id_indexer(), 100)
+            obj = iterator.read().deref()
+            assert isinstance(obj, PremiumMeter)
+            assert obj.tier == "platinum"
+            iterator.close()
+            ct.abort()
+
+
+class TestQueries:
+    def test_exact_match(self, store):
+        populate(store)
+        with store.transaction() as ct:
+            handle = ct.read_collection("profile")
+            assert drain_ids(handle.query_match(id_indexer(), 7)) == [7]
+            assert drain_ids(handle.query_match(id_indexer(), 404)) == []
+            ct.abort()
+
+    def test_scan_on_btree_is_ordered_by_key(self, store):
+        populate(store)
+        with store.transaction() as ct:
+            handle = ct.read_collection("profile")
+            iterator = handle.query(usage_indexer())
+            usages = []
+            while not iterator.end():
+                meter = iterator.read()
+                usages.append(meter.view_count + meter.print_count)
+                iterator.next()
+            iterator.close()
+            assert usages == sorted(usages)
+            assert len(usages) == 20
+            ct.abort()
+
+    def test_range_query(self, store):
+        populate(store)
+        with store.transaction() as ct:
+            handle = ct.read_collection("profile")
+            iterator = handle.query_range(usage_indexer(), 5, None)
+            while not iterator.end():
+                meter = iterator.read()
+                assert meter.view_count + meter.print_count >= 5
+                iterator.next()
+            iterator.close()
+            ct.abort()
+
+    def test_range_on_hash_rejected(self, store):
+        populate(store)
+        with store.transaction() as ct:
+            handle = ct.read_collection("profile")
+            with pytest.raises(CollectionStoreError):
+                handle.query_range(id_indexer(), 0, 5)
+            ct.abort()
+
+    def test_query_with_foreign_indexer_rejected(self, store):
+        populate(store)
+        with store.transaction() as ct:
+            handle = ct.read_collection("profile")
+            foreign = Indexer("not-there", Meter, lambda m: m.meter_id)
+            with pytest.raises(SchemaError):
+                handle.query(foreign)
+            ct.abort()
+
+    def test_indexer_kind_mismatch_rejected(self, store):
+        populate(store)
+        with store.transaction() as ct:
+            handle = ct.read_collection("profile")
+            wrong_kind = Indexer(
+                "meter-id", Meter, lambda m: m.meter_id, unique=True, kind="btree"
+            )
+            with pytest.raises(SchemaError):
+                handle.query(wrong_kind)
+            ct.abort()
+
+
+class TestUniqueness:
+    def test_immediate_duplicate_on_insert(self, store):
+        populate(store)
+        with store.transaction() as ct:
+            handle = ct.write_collection("profile")
+            with pytest.raises(DuplicateKeyError):
+                handle.insert(Meter(5))
+            ct.abort()
+
+    def test_failed_insert_leaves_collection_unchanged(self, store):
+        populate(store)
+        ct = store.transaction()
+        handle = ct.write_collection("profile")
+        before = handle.count
+        with pytest.raises(DuplicateKeyError):
+            handle.insert(Meter(5))
+        assert handle.count == before
+        assert drain_ids(handle.query_match(id_indexer(), 5)) == [5]
+        ct.abort()
+
+    def test_create_unique_index_over_duplicates_rejected(self, store):
+        with store.transaction() as ct:
+            handle = ct.create_collection("dups", usage_indexer())
+            handle.insert(Meter(1, view_count=3))
+            handle.insert(Meter(2, view_count=3))
+        ct = store.transaction()
+        handle = ct.write_collection("dups")
+        unique_usage = Indexer(
+            "unique-usage", Meter, lambda m: m.view_count, unique=True, kind="btree"
+        )
+        with pytest.raises(DuplicateKeyError):
+            handle.create_index(unique_usage)
+        ct.abort()
+
+
+class TestIndexManagement:
+    def test_create_index_on_populated_collection(self, store):
+        populate(store)
+        view_ix = Indexer("views", Meter, lambda m: m.view_count, kind="btree")
+        with store.transaction() as ct:
+            handle = ct.write_collection("profile")
+            handle.create_index(view_ix)
+        with store.transaction() as ct:
+            handle = ct.read_collection("profile")
+            ids = drain_ids(handle.query_match(view_ix, 2))
+            assert sorted(ids) == [2, 7, 12, 17]
+            ct.abort()
+
+    def test_remove_index(self, store):
+        populate(store)
+        with store.transaction() as ct:
+            handle = ct.write_collection("profile")
+            handle.remove_index(usage_indexer())
+            assert handle.index_names() == ["meter-id"]
+
+    def test_cannot_remove_last_index(self, store):
+        with store.transaction() as ct:
+            handle = ct.create_collection("single", id_indexer())
+            with pytest.raises(CollectionStoreError):
+                handle.remove_index(id_indexer())
+
+    def test_duplicate_index_name_rejected(self, store):
+        populate(store)
+        ct = store.transaction()
+        handle = ct.write_collection("profile")
+        with pytest.raises(SchemaError):
+            handle.create_index(id_indexer())
+        ct.abort()
+
+    def test_indexes_maintained_after_dynamic_creation(self, store):
+        populate(store)
+        view_ix = Indexer("views", Meter, lambda m: m.view_count, kind="btree")
+        with store.transaction() as ct:
+            handle = ct.write_collection("profile")
+            handle.create_index(view_ix)
+            handle.insert(Meter(50, view_count=2))
+        with store.transaction() as ct:
+            handle = ct.read_collection("profile")
+            assert 50 in drain_ids(handle.query_match(view_ix, 2))
+            ct.abort()
+
+
+class TestInsensitiveIterators:
+    def test_updates_invisible_until_close(self, store):
+        """The defining property: an open iterator never sees its own
+        updates (paper section 5.2.2)."""
+        populate(store)
+        with store.transaction() as ct:
+            handle = ct.write_collection("profile")
+            iterator = handle.query_range(usage_indexer(), 3, None)
+            seen = 0
+            while not iterator.end():
+                meter = iterator.write()
+                meter.view_count = 0
+                meter.print_count = 0
+                seen += 1
+                iterator.next()
+            iterator.close()
+            # After close, the updates are in the indexes.
+            check = handle.query_range(usage_indexer(), 3, None)
+            assert check.end()
+            check.close()
+            assert seen > 0
+
+    def test_halloween_syndrome_prevented(self, store):
+        """Updating the key of the index used as the access path must not
+        re-enumerate objects (the Halloween syndrome)."""
+        with store.transaction() as ct:
+            handle = ct.create_collection("pay", usage_indexer())
+            for index in range(10):
+                handle.insert(Meter(index, view_count=1))
+        with store.transaction() as ct:
+            handle = ct.write_collection("pay")
+            iterator = handle.query(usage_indexer())
+            touched = 0
+            while not iterator.end():
+                meter = iterator.write()
+                # Push the key upward: naive index-ordered iteration would
+                # revisit these objects forever.
+                meter.view_count += 100
+                touched += 1
+                assert touched <= 10, "Halloween syndrome: object revisited"
+                iterator.next()
+            iterator.close()
+            assert touched == 10
+
+    def test_deleted_object_visible_until_close(self, store):
+        populate(store, count=6)
+        with store.transaction() as ct:
+            handle = ct.write_collection("profile")
+            iterator = handle.query(id_indexer())
+            iterator_length = len(iterator)
+            deleted = 0
+            while not iterator.end():
+                iterator.delete()
+                deleted += 1
+                iterator.next()
+            iterator.close()
+            assert deleted == iterator_length == 6
+            assert handle.count == 0
+
+    def test_delete_updates_all_indexes(self, store):
+        populate(store, count=6)
+        with store.transaction() as ct:
+            handle = ct.write_collection("profile")
+            iterator = handle.query_match(id_indexer(), 3)
+            iterator.delete()
+            iterator.next()
+            iterator.close()
+            assert drain_ids(handle.query_match(id_indexer(), 3)) == []
+            usage_scan = handle.query(usage_indexer())
+            assert 3 not in drain_ids(usage_scan)
+
+    def test_read_after_delete_rejected(self, store):
+        populate(store, count=3)
+        with store.transaction() as ct:
+            handle = ct.write_collection("profile")
+            iterator = handle.query(id_indexer())
+            iterator.delete()
+            with pytest.raises(IteratorStateError):
+                iterator.read()
+            iterator.next()
+            iterator.close()
+
+    def test_unidirectional_and_end_protection(self, store):
+        populate(store, count=2)
+        with store.transaction() as ct:
+            handle = ct.read_collection("profile")
+            iterator = handle.query(id_indexer())
+            iterator.next()
+            iterator.next()
+            assert iterator.end()
+            with pytest.raises(IteratorStateError):
+                iterator.next()
+            with pytest.raises(IteratorStateError):
+                iterator.read()
+            iterator.close()
+            ct.abort()
+
+    def test_second_iterator_blocks_writable_deref(self, store):
+        populate(store)
+        with store.transaction() as ct:
+            handle = ct.write_collection("profile")
+            first = handle.query(id_indexer())
+            second = handle.query(id_indexer())
+            with pytest.raises(IteratorStateError):
+                first.write()
+            second.close()
+            first.write()  # sole open iterator now: allowed
+            first.close()
+
+    def test_commit_with_open_iterator_rejected(self, store):
+        populate(store)
+        ct = store.transaction()
+        handle = ct.read_collection("profile")
+        iterator = handle.query(id_indexer())
+        with pytest.raises(IteratorStateError):
+            ct.commit()
+        iterator.close()
+        ct.commit()
+
+    def test_closed_iterator_rejects_use(self, store):
+        populate(store)
+        with store.transaction() as ct:
+            handle = ct.read_collection("profile")
+            iterator = handle.query(id_indexer())
+            iterator.close()
+            with pytest.raises(IteratorStateError):
+                iterator.read()
+            iterator.close()  # idempotent
+            ct.abort()
+
+    def test_abort_abandons_iterator_updates(self, store):
+        populate(store)
+        ct = store.transaction()
+        handle = ct.write_collection("profile")
+        iterator = handle.query_match(id_indexer(), 4)
+        meter = iterator.write()
+        meter.view_count = 77
+        ct.abort()  # iterator never closed; updates must vanish
+        with store.transaction() as check:
+            handle = check.read_collection("profile")
+            iterator = handle.query_match(id_indexer(), 4)
+            assert iterator.read().view_count == 4 % 5
+            iterator.close()
+            check.abort()
+
+
+class TestDeferredUniqueness:
+    def test_violation_removes_object_and_raises(self, store):
+        with store.transaction() as ct:
+            handle = ct.create_collection(
+                "accounts",
+                Indexer("acct-no", Account, lambda a: a.number, unique=True,
+                        kind="btree"),
+            )
+            handle.insert(Account(1, 100))
+            handle.insert(Account(2, 200))
+        ct = store.transaction()
+        handle = ct.write_collection("accounts")
+        number_ix = Indexer(
+            "acct-no", Account, lambda a: a.number, unique=True, kind="btree"
+        )
+        iterator = handle.query_match(number_ix, 2)
+        account = iterator.write()
+        account.number = 1  # collides with the resident account
+        iterator.next()
+        with pytest.raises(IndexIntegrityError) as excinfo:
+            iterator.close()
+        removed = excinfo.value.removed_object_ids
+        assert len(removed) == 1
+        # The violator left the collection; the resident is intact.
+        assert handle.count == 1
+        survivors = handle.query(number_ix)
+        assert [survivors.read().number] == [1]
+        survivors.next()
+        survivors.close()
+        # The object itself still exists so the app can re-integrate it.
+        resurrected = ct._txn.open_readonly(removed[0], Account)
+        assert resurrected.number == 1
+        ct.abort()
+
+    def test_key_swap_within_iterator_is_legal(self, store):
+        """Two objects exchanging unique keys through one iterator must
+        not trip the deferred check (both end distinct)."""
+        with store.transaction() as ct:
+            handle = ct.create_collection(
+                "accounts",
+                Indexer("acct-no", Account, lambda a: a.number, unique=True,
+                        kind="btree"),
+            )
+            handle.insert(Account(1, 100))
+            handle.insert(Account(2, 200))
+        with store.transaction() as ct:
+            handle = ct.write_collection("accounts")
+            number_ix = Indexer(
+                "acct-no", Account, lambda a: a.number, unique=True, kind="btree"
+            )
+            iterator = handle.query(number_ix)
+            while not iterator.end():
+                account = iterator.write()
+                account.number = 3 - account.number  # 1 <-> 2
+                iterator.next()
+            iterator.close()
+            assert handle.count == 2
+
+
+class TestPersistence:
+    def test_collections_survive_restart(self):
+        store, env = build_environment()
+        untrusted, secret, counter, config, registry = env
+        populate(store)
+        store.close()
+        chunk_store = ChunkStore.open(untrusted, secret, counter, config)
+        object_store = ObjectStore.attach(chunk_store, registry=registry)
+        reopened = CollectionStore(object_store)
+        reopened.register_indexer(id_indexer())
+        reopened.register_indexer(usage_indexer())
+        with reopened.transaction() as ct:
+            handle = ct.read_collection("profile")
+            assert handle.count == 20
+            assert drain_ids(handle.query_match(id_indexer(), 11)) == [11]
+            ct.abort()
+        reopened.close()
+
+    def test_unregistered_indexer_after_restart_is_caught(self):
+        store, env = build_environment()
+        untrusted, secret, counter, config, registry = env
+        populate(store)
+        store.close()
+        chunk_store = ChunkStore.open(untrusted, secret, counter, config)
+        object_store = ObjectStore.attach(chunk_store, registry=registry)
+        reopened = CollectionStore(object_store)
+        # Only one of the two indexers is re-registered.
+        reopened.register_indexer(id_indexer())
+        with reopened.transaction() as ct:
+            handle = ct.write_collection("profile")
+            with pytest.raises(SchemaError):
+                handle.insert(Meter(999))  # needs the usage extractor too
+            ct.abort()
+        reopened.close()
+
+
+class TestHandleWritability:
+    def test_readonly_handle_blocks_iterator_write(self, store):
+        populate(store, 3)
+        with store.transaction() as ct:
+            handle = ct.read_collection("profile")
+            iterator = handle.query_match(id_indexer(), 1)
+            with pytest.raises(CollectionStoreError):
+                iterator.write()
+            with pytest.raises(CollectionStoreError):
+                iterator.delete()
+            iterator.close()
+            ct.abort()
+
+    def test_writable_handle_allows_iterator_write(self, store):
+        populate(store, 3)
+        with store.transaction() as ct:
+            handle = ct.write_collection("profile")
+            iterator = handle.query_match(id_indexer(), 1)
+            meter = iterator.write()
+            meter.view_count = 42
+            iterator.next()
+            iterator.close()
+        with store.transaction() as ct:
+            handle = ct.read_collection("profile")
+            iterator = handle.query_match(id_indexer(), 1)
+            assert iterator.read().view_count == 42
+            iterator.close()
+            ct.abort()

@@ -1,0 +1,331 @@
+"""Stateful property-based testing (hypothesis RuleBasedStateMachine).
+
+Two machines drive long random operation sequences against a reference
+model:
+
+* :class:`ChunkStoreMachine` — writes/overwrites/deallocates chunks with
+  mixed durability, interleaved with checkpoints, explicit cleaner
+  passes, snapshots, and full crash-recovery cycles, asserting the store
+  always equals the model dictionary,
+* :class:`CollectionMachine` — inserts/updates/deletes objects through
+  iterators against a dict model, asserting every index agrees after
+  each step.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.chunkstore import ChunkStore
+from repro.collectionstore import CollectionStore, Indexer
+from repro.config import (
+    ChunkStoreConfig,
+    CollectionStoreConfig,
+    ObjectStoreConfig,
+    SecurityProfile,
+)
+from repro.objectstore import (
+    BufferReader,
+    BufferWriter,
+    ClassRegistry,
+    ObjectStore,
+    Persistent,
+)
+from repro.platform import (
+    MemoryOneWayCounter,
+    MemorySecretStore,
+    MemoryUntrustedStore,
+)
+
+SECRET = b"stateful-testing-secret-01234567"
+
+
+class ChunkStoreMachine(RuleBasedStateMachine):
+    """The chunk store must always behave like a dict of bytes."""
+
+    chunk_handles = Bundle("chunk_handles")
+
+    @initialize()
+    def setup(self):
+        self.untrusted = MemoryUntrustedStore()
+        self.counter = MemoryOneWayCounter()
+        self.secret = MemorySecretStore(SECRET)
+        self.config = ChunkStoreConfig(
+            segment_size=4 * 1024,
+            initial_segments=3,
+            checkpoint_residual_bytes=8 * 1024,
+            map_fanout=8,
+            security=SecurityProfile(),
+        )
+        self.store = ChunkStore.format(
+            self.untrusted, self.secret, self.counter, self.config
+        )
+        self.model = {}
+        self.pending_nondurable = {}
+
+    def _commit(self, writes, deallocs, durable):
+        stats_before = self.store.stats()
+        self.store.commit(writes, deallocs, durable=durable)
+        stats_after = self.store.stats()
+        staged = dict(writes)
+        for chunk_id in deallocs:
+            staged[chunk_id] = None
+        # A nondurable commit becomes durable the moment any durable event
+        # lands after it in the log: an auto-checkpoint or a (durable)
+        # cleaner relocation commit triggered by the space policy.
+        barrier = durable or (
+            stats_after.checkpoints_total > stats_before.checkpoints_total
+            or stats_after.durable_commits_total > stats_before.durable_commits_total
+        )
+        if barrier:
+            self._apply(self.pending_nondurable)
+            self.pending_nondurable = {}
+            self._apply(staged)
+        else:
+            self.pending_nondurable.update(staged)
+
+    def _barrier(self):
+        """A checkpoint just happened: staged nondurables are durable now."""
+        self._apply(self.pending_nondurable)
+        self.pending_nondurable = {}
+
+    def _apply(self, staged):
+        for chunk_id, value in staged.items():
+            if value is None:
+                self.model.pop(chunk_id, None)
+            else:
+                self.model[chunk_id] = value
+
+    @rule(target=chunk_handles, data=st.binary(max_size=120), durable=st.booleans())
+    def write_new(self, data, durable):
+        chunk_id = self.store.allocate_chunk_id()
+        self._commit({chunk_id: data}, [], durable)
+        return chunk_id
+
+    @rule(chunk_id=chunk_handles, data=st.binary(max_size=200), durable=st.booleans())
+    def overwrite(self, chunk_id, data, durable):
+        if self._live(chunk_id):
+            self._commit({chunk_id: data}, [], durable)
+
+    @rule(chunk_id=chunk_handles, durable=st.booleans())
+    def deallocate(self, chunk_id, durable):
+        if self._live(chunk_id):
+            self._commit({}, [chunk_id], durable)
+
+    def _live(self, chunk_id):
+        if chunk_id in self.pending_nondurable:
+            return self.pending_nondurable[chunk_id] is not None
+        return chunk_id in self.model
+
+    @rule()
+    def checkpoint(self):
+        self.store.checkpoint()
+        self._barrier()
+
+    @rule()
+    def clean(self):
+        before = self.store.stats()
+        self.store.clean()
+        after = self.store.stats()
+        if (
+            after.durable_commits_total > before.durable_commits_total
+            or after.checkpoints_total > before.checkpoints_total
+        ):
+            self._barrier()
+
+    @rule()
+    def snapshot_roundtrip(self):
+        with self.store.snapshot() as snap:
+            self._barrier()  # snapshot() checkpoints first
+            current = self._visible()
+            assert set(snap.chunk_ids()) == set(current)
+            for chunk_id, value in current.items():
+                assert snap.read(chunk_id) == value
+
+    @rule()
+    def crash_and_recover(self):
+        # Reopen from the raw files: nondurable staging is legally lost.
+        self.pending_nondurable = {}
+        self.store = ChunkStore.open(
+            self.untrusted, self.secret, self.counter, self.config
+        )
+
+    def _visible(self):
+        merged = dict(self.model)
+        for chunk_id, value in self.pending_nondurable.items():
+            if value is None:
+                merged.pop(chunk_id, None)
+            else:
+                merged[chunk_id] = value
+        return merged
+
+    @invariant()
+    def store_matches_model(self):
+        if not hasattr(self, "store"):
+            return
+        visible = self._visible()
+        assert set(self.store.chunk_ids()) == set(visible)
+        for chunk_id, value in visible.items():
+            assert self.store.read(chunk_id) == value
+
+    @invariant()
+    def accounting_is_sane(self):
+        if not hasattr(self, "store"):
+            return
+        stats = self.store.stats()
+        assert stats.live_bytes >= 0
+        assert stats.capacity_bytes >= stats.live_bytes
+        assert 0.0 <= stats.utilization <= 1.01
+
+    def teardown(self):
+        if hasattr(self, "store"):
+            self.store.close()
+
+
+class Item(Persistent):
+    class_id = "stateful.item"
+
+    def __init__(self, key=0, rank=0):
+        self.key = key
+        self.rank = rank
+
+    def pickle(self) -> bytes:
+        return BufferWriter().write_int(self.key).write_int(self.rank).getvalue()
+
+    @classmethod
+    def unpickle(cls, data: bytes) -> "Item":
+        reader = BufferReader(data)
+        return cls(reader.read_int(), reader.read_int())
+
+
+def key_indexer():
+    return Indexer("by-key", Item, lambda i: i.key, unique=True, kind="hash")
+
+
+def rank_indexer():
+    return Indexer("by-rank", Item, lambda i: i.rank, unique=False, kind="btree")
+
+
+class CollectionMachine(RuleBasedStateMachine):
+    """A collection with two indexes must agree with a dict model."""
+
+    @initialize()
+    def setup(self):
+        registry = ClassRegistry()
+        registry.register(Item)
+        chunk_store = ChunkStore.format(
+            MemoryUntrustedStore(),
+            MemorySecretStore(SECRET),
+            MemoryOneWayCounter(),
+            ChunkStoreConfig(
+                segment_size=16 * 1024,
+                initial_segments=4,
+                checkpoint_residual_bytes=64 * 1024,
+                map_fanout=16,
+                security=SecurityProfile.insecure(),
+            ),
+        )
+        object_store = ObjectStore.create(
+            chunk_store, ObjectStoreConfig(locking=False), registry
+        )
+        self.store = CollectionStore(
+            object_store, CollectionStoreConfig(btree_order=4, list_node_capacity=4)
+        )
+        ct = self.store.transaction()
+        handle = ct.create_collection("items", key_indexer())
+        handle.create_index(rank_indexer())
+        ct.commit()
+        self.model = {}  # key -> rank
+
+    @rule(key=st.integers(0, 25), rank=st.integers(0, 5))
+    def insert(self, key, rank):
+        ct = self.store.transaction()
+        handle = ct.write_collection("items")
+        if key in self.model:
+            from repro.errors import DuplicateKeyError
+
+            try:
+                handle.insert(Item(key, rank))
+                raise AssertionError("duplicate insert must raise")
+            except DuplicateKeyError:
+                ct.abort()
+            return
+        handle.insert(Item(key, rank))
+        ct.commit()
+        self.model[key] = rank
+
+    @rule(key=st.integers(0, 25), rank=st.integers(0, 5))
+    def update_rank(self, key, rank):
+        if key not in self.model:
+            return
+        ct = self.store.transaction()
+        handle = ct.write_collection("items")
+        iterator = handle.query_match(key_indexer(), key)
+        item = iterator.write()
+        item.rank = rank
+        iterator.next()
+        iterator.close()
+        ct.commit()
+        self.model[key] = rank
+
+    @rule(key=st.integers(0, 25))
+    def delete(self, key):
+        if key not in self.model:
+            return
+        ct = self.store.transaction()
+        handle = ct.write_collection("items")
+        iterator = handle.query_match(key_indexer(), key)
+        iterator.delete()
+        iterator.next()
+        iterator.close()
+        ct.commit()
+        del self.model[key]
+
+    @invariant()
+    def indexes_agree_with_model(self):
+        if not hasattr(self, "store"):
+            return
+        ct = self.store.transaction()
+        handle = ct.read_collection("items")
+        assert handle.count == len(self.model)
+        # Unique hash index resolves every key.
+        for key, rank in self.model.items():
+            iterator = handle.query_match(key_indexer(), key)
+            assert not iterator.end()
+            assert iterator.read().rank == rank
+            iterator.close()
+        # B+tree scan enumerates exactly the model, rank-ordered.
+        iterator = handle.query(rank_indexer())
+        seen = []
+        while not iterator.end():
+            item = iterator.read()
+            seen.append((item.key, item.rank))
+            iterator.next()
+        iterator.close()
+        assert sorted(seen) == sorted(self.model.items())
+        assert [rank for _k, rank in seen] == sorted(r for r in dict(seen).values()) \
+            or [rank for _k, rank in seen] == sorted(rank for _k, rank in seen)
+        ct.abort()
+
+    def teardown(self):
+        if hasattr(self, "store"):
+            self.store.close()
+
+
+TestChunkStoreStateful = ChunkStoreMachine.TestCase
+TestChunkStoreStateful.settings = settings(
+    max_examples=12, stateful_step_count=30, deadline=None
+)
+
+TestCollectionStateful = CollectionMachine.TestCase
+TestCollectionStateful.settings = settings(
+    max_examples=8, stateful_step_count=20, deadline=None
+)

@@ -1,0 +1,110 @@
+"""Tests for the admin CLI (inspect / verify)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BufferReader,
+    BufferWriter,
+    ClassRegistry,
+    Database,
+    Indexer,
+    Persistent,
+)
+from repro.tools import main as tools_main
+
+
+class Track(Persistent):
+    class_id = "tools.track"
+
+    def __init__(self, name="", plays=0):
+        self.name = name
+        self.plays = plays
+
+    def pickle(self) -> bytes:
+        return BufferWriter().write_str(self.name).write_int(self.plays).getvalue()
+
+    @classmethod
+    def unpickle(cls, data: bytes) -> "Track":
+        reader = BufferReader(data)
+        return cls(reader.read_str(), reader.read_int())
+
+
+def name_indexer():
+    return Indexer("track-name", Track, lambda t: t.name, unique=True, kind="btree")
+
+
+@pytest.fixture
+def populated_db_dir(tmp_path):
+    directory = str(tmp_path / "db")
+    registry = ClassRegistry()
+    registry.register(Track)
+    db = Database.create(directory, registry=registry)
+    db.register_indexer(name_indexer())
+    with db.ctransaction() as ct:
+        handle = ct.create_collection("tracks", name_indexer())
+        for name in ("So What", "Freddie Freeloader", "Blue in Green"):
+            handle.insert(Track(name, 1))
+    backups = db.backup_store()
+    backups.create_full(db.chunk_store, "full-1")
+    backups.close()
+    db.close()
+    return directory
+
+
+class TestInspect:
+    def test_inspect_prints_summary(self, populated_db_dir, capsys):
+        assert tools_main(["inspect", populated_db_dir]) == 0
+        out = capsys.readouterr().out
+        assert "security        : on" in out
+        assert "tracks -> object" in out
+        assert "collection of 3" in out
+        assert "full-1: full" in out
+
+    def test_inspect_missing_directory_fails_cleanly(self, tmp_path, capsys):
+        missing = str(tmp_path / "nothing")
+        # StoreError is a TDBError: main converts it to exit code 2.
+        assert tools_main(["inspect", missing]) == 2
+        assert "secret store file missing" in capsys.readouterr().err
+
+
+class TestVerify:
+    def test_verify_clean_database(self, populated_db_dir, capsys):
+        assert tools_main(["verify", populated_db_dir]) == 0
+        out = capsys.readouterr().out
+        assert "VERIFY OK" in out
+        assert "chunks:" in out
+
+    def test_verify_detects_corruption(self, populated_db_dir, capsys):
+        import os
+
+        data_dir = os.path.join(populated_db_dir, "data")
+        # Corrupt the middle of the biggest segment file.
+        segments = [
+            name for name in os.listdir(data_dir) if name.startswith("seg-")
+        ]
+        target = max(
+            segments, key=lambda n: os.path.getsize(os.path.join(data_dir, n))
+        )
+        path = os.path.join(data_dir, target)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.seek(size // 2)
+            handle.write(b"\xde\xad\xbe\xef")
+        code = tools_main(["verify", populated_db_dir])
+        out = capsys.readouterr().out + capsys.readouterr().err
+        assert code != 0
+
+    def test_verify_detects_corrupt_backup(self, populated_db_dir, capsys):
+        import os
+
+        backup_path = os.path.join(populated_db_dir, "archive", "full-1")
+        with open(backup_path, "r+b") as handle:
+            handle.seek(150)
+            handle.write(b"\x00\x00\x00\x00")
+        code = tools_main(["verify", populated_db_dir])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL backup full-1" in out
+        assert "VERIFY FAILED" in out
