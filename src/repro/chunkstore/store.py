@@ -691,6 +691,14 @@ class ChunkStore:
                 RecordKind.CHECKPOINT, checkpoint_body.encode(self.hash_size)
             )
             self.segments.sync_dirty()
+            # The checkpoint is a durability barrier: nondurable commits
+            # captured by the flushed map can no longer roll back, so
+            # their deferred retirements must land *before* the segment
+            # table is snapshotted into the master.  Flushing after the
+            # master write under-counts dead bytes on disk, and replay
+            # then mistakes a legitimately recycled segment for one the
+            # attacker truncated (a false TamperDetectedError).
+            self._flush_nondurable_pending()
             self._generation += 1
             master = MasterRecord(
                 generation=self._generation,
@@ -714,7 +722,6 @@ class ChunkStore:
             self.segments.end_checkpoint()
             self._residual_bytes = 0
             self._checkpoints_total += 1
-            self._flush_nondurable_pending()
 
     def _append_map_node(self, level: int, index: int, plaintext: bytes) -> Locator:
         payload = self.cipher.encrypt(plaintext)

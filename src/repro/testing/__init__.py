@@ -1,0 +1,67 @@
+"""Deterministic fault-injection and tamper-sweep harness.
+
+Testing machinery for the paper's threat model, reusable from the test
+suite, examples, and benchmarks:
+
+* :mod:`repro.testing.faults` — :class:`FaultyUntrustedStore` /
+  :class:`FaultyArchivalStore` wrap the platform stores and inject
+  scheduled crashes, torn writes, bit-flips, zeroing, and image replay
+  (:class:`FaultSchedule`),
+* :mod:`repro.testing.sweeper` — :class:`CrashSweeper` enumerates every
+  write/sync boundary of a workload and checks recovery against a
+  :class:`CommitLedger`; :meth:`CrashSweeper.sweep_replays` sweeps
+  rollback attacks against the one-way counter,
+* :mod:`repro.testing.tamper` — :class:`TamperMatrix` corrupts every
+  typed byte region of a media image (:func:`map_image_regions`) and
+  demands detection or clean recovery, never silent acceptance,
+* :mod:`repro.testing.scenarios` — ready-made workloads
+  (:class:`ChunkStoreCrashScenario`).
+"""
+
+from repro.testing.faults import (
+    Fault,
+    FaultSchedule,
+    FaultyArchivalStore,
+    FaultyUntrustedStore,
+    InjectedCrash,
+)
+from repro.testing.scenarios import ChunkStoreCrashScenario
+from repro.testing.sweeper import (
+    CommitLedger,
+    CrashPointResult,
+    CrashScenario,
+    CrashSweeper,
+    ReplayPointResult,
+    ReplayReport,
+    SweepReport,
+)
+from repro.testing.tamper import (
+    Mutation,
+    Region,
+    REQUIRED_REGION_KINDS,
+    TamperMatrix,
+    TamperReport,
+    map_image_regions,
+)
+
+__all__ = [
+    "Fault",
+    "FaultSchedule",
+    "FaultyArchivalStore",
+    "FaultyUntrustedStore",
+    "InjectedCrash",
+    "ChunkStoreCrashScenario",
+    "CommitLedger",
+    "CrashPointResult",
+    "CrashScenario",
+    "CrashSweeper",
+    "ReplayPointResult",
+    "ReplayReport",
+    "SweepReport",
+    "Mutation",
+    "Region",
+    "REQUIRED_REGION_KINDS",
+    "TamperMatrix",
+    "TamperReport",
+    "map_image_regions",
+]

@@ -1,0 +1,355 @@
+"""Exhaustive crash-schedule enumeration for recoverable stores.
+
+A :class:`CrashSweeper` runs a workload once over a
+:class:`~repro.testing.faults.FaultyUntrustedStore` to *count* its media
+operations, then re-runs it once per operation boundary — crash after
+every write, torn version of every multi-byte write, crash after every
+sync — and asserts recovery after each crash lands on a committed prefix
+of the history.  No boundary is sampled away: the sweep is exhaustive by
+construction, which is how related verifiable-store work (GlassDB's
+systematic fault schedules) validates integrity guarantees.
+
+The contract with the workload is the :class:`CommitLedger`: before each
+store call that could become durable the workload reports the state that
+call would make durable (``attempting``), and after the call returns and
+is known durable it confirms (``acknowledged``).  At any crash point the
+only legal recoveries are then the last acknowledged state or the
+in-flight attempted one; anything else is lost data or fabricated data,
+and the sweep fails.  A crash that interrupts initial formatting may
+instead be *flagged* (recovery refuses), since no commitment exists yet.
+
+:meth:`CrashSweeper.sweep_replays` additionally replays every
+intermediate media image recorded at a durable boundary against the
+final one-way counter, asserting each rollback is detected — the paper's
+replay attack, swept instead of sampled.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ReplayDetectedError, TDBError
+from repro.testing.faults import FaultSchedule, FaultyUntrustedStore, InjectedCrash
+
+__all__ = [
+    "CommitLedger",
+    "CrashScenario",
+    "CrashPointResult",
+    "SweepReport",
+    "ReplayPointResult",
+    "ReplayReport",
+    "CrashSweeper",
+]
+
+
+class CommitLedger:
+    """The durable-state history a crash sweep checks recovery against.
+
+    ``durable_states`` starts with the empty state (what a freshly
+    formatted store recovers to); ``attempting``/``acknowledged`` append
+    to it as the workload runs.  States are plain dicts mapping an
+    application-chosen key to a value — the sweep only compares them for
+    equality.
+    """
+
+    def __init__(self, on_acknowledge: Optional[Callable[[], None]] = None) -> None:
+        self.durable_states: List[dict] = [{}]
+        self.attempted: Optional[dict] = None
+        self.format_complete = False
+        self._on_acknowledge = on_acknowledge
+
+    def attempting(self, state: dict) -> None:
+        """Declare the state the next store call would make durable."""
+        self.attempted = dict(state)
+
+    def acknowledged(self) -> None:
+        """Confirm the attempted state is durable (the call returned)."""
+        if self.attempted is None:
+            return
+        self.durable_states.append(self.attempted)
+        self.attempted = None
+        if self._on_acknowledge is not None:
+            self._on_acknowledge()
+
+    def candidates(self) -> List[dict]:
+        """States a crash right now may legally recover to."""
+        legal = [self.durable_states[-1]]
+        if self.attempted is not None:
+            legal.append(self.attempted)
+        return legal
+
+
+class CrashScenario(ABC):
+    """One system under crash test.  A fresh instance is built per run.
+
+    Implementations must set ``self.untrusted`` to the store passed to
+    :meth:`build` and, when they use a one-way counter, expose it as
+    ``self.counter`` (the sweeper's replay sweep reads it).
+    """
+
+    untrusted: FaultyUntrustedStore
+    counter = None
+
+    @abstractmethod
+    def build(self, store: FaultyUntrustedStore) -> None:
+        """Format the system on ``store`` (runs under the fault schedule)."""
+
+    @abstractmethod
+    def workload(self, ledger: CommitLedger) -> None:
+        """Run the workload, reporting durable boundaries to ``ledger``."""
+
+    @abstractmethod
+    def recover(self) -> dict:
+        """Reopen from ``self.untrusted`` and return the observable state.
+
+        Raises a :class:`TDBError` when recovery refuses (flagged).
+        """
+
+
+@dataclass
+class CrashPointResult:
+    description: str
+    outcome: str            # "recovered" | "flagged" | "failed"
+    detail: str = ""
+
+
+@dataclass
+class SweepReport:
+    """Everything one :meth:`CrashSweeper.sweep` learned."""
+
+    total_writes: int
+    total_syncs: int
+    points: List[CrashPointResult] = field(default_factory=list)
+
+    @property
+    def recovered(self) -> int:
+        return sum(1 for p in self.points if p.outcome == "recovered")
+
+    @property
+    def flagged(self) -> int:
+        return sum(1 for p in self.points if p.outcome == "flagged")
+
+    @property
+    def failures(self) -> List[CrashPointResult]:
+        return [p for p in self.points if p.outcome == "failed"]
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.points)} crash points over {self.total_writes} writes "
+            f"/ {self.total_syncs} syncs: {self.recovered} recovered, "
+            f"{self.flagged} flagged, {len(self.failures)} failed"
+        )
+
+    def assert_ok(self) -> None:
+        if self.failures:
+            lines = [self.summary()] + [
+                f"  {p.description}: {p.detail}" for p in self.failures[:12]
+            ]
+            raise AssertionError("\n".join(lines))
+
+
+@dataclass
+class ReplayPointResult:
+    description: str
+    outcome: str            # "detected" | "current" | "failed"
+    detail: str = ""
+
+
+@dataclass
+class ReplayReport:
+    points: List[ReplayPointResult] = field(default_factory=list)
+
+    @property
+    def detected(self) -> int:
+        return sum(1 for p in self.points if p.outcome == "detected")
+
+    @property
+    def failures(self) -> List[ReplayPointResult]:
+        return [p for p in self.points if p.outcome == "failed"]
+
+    def assert_ok(self) -> None:
+        if self.failures:
+            lines = [f"{len(self.failures)} replayed images were accepted:"] + [
+                f"  {p.description}: {p.detail}" for p in self.failures[:12]
+            ]
+            raise AssertionError("\n".join(lines))
+
+
+class CrashSweeper:
+    """Enumerates every crash boundary of a scenario's workload."""
+
+    def __init__(
+        self,
+        scenario_factory: Callable[[], CrashScenario],
+        *,
+        torn_writes: bool = True,
+        torn_keep: Callable[[int], int] = lambda size: size // 2,
+    ) -> None:
+        self.scenario_factory = scenario_factory
+        self.torn_writes = torn_writes
+        self.torn_keep = torn_keep
+
+    # -- profiling ---------------------------------------------------------
+
+    def profile(self) -> FaultyUntrustedStore:
+        """Run the workload once, fault-free, to count its operations."""
+        scenario = self.scenario_factory()
+        store = FaultyUntrustedStore()
+        ledger = CommitLedger()
+        scenario.build(store)
+        ledger.format_complete = True
+        scenario.workload(ledger)
+        return store
+
+    # -- the sweep ---------------------------------------------------------
+
+    def sweep(self) -> SweepReport:
+        profile = self.profile()
+        report = SweepReport(
+            total_writes=profile.total_writes, total_syncs=profile.total_syncs
+        )
+        mutation_ops = [op for op in profile.op_log if op[0] != "sync"]
+        for index, (kind, name, nbytes) in enumerate(mutation_ops, start=1):
+            fault = FaultSchedule().crash_after_write(index).faults[0]
+            report.points.append(
+                self.run_point(fault, f"crash after {kind}#{index} ({name})")
+            )
+            if self.torn_writes and kind == "write" and nbytes >= 2:
+                keep = max(1, min(nbytes - 1, self.torn_keep(nbytes)))
+                torn = FaultSchedule().crash_mid_write(index, keep).faults[0]
+                report.points.append(
+                    self.run_point(
+                        torn, f"torn write#{index} ({name}, {keep}/{nbytes} bytes)"
+                    )
+                )
+        for index in range(1, profile.total_syncs + 1):
+            fault = FaultSchedule().crash_after_sync(index).faults[0]
+            report.points.append(self.run_point(fault, f"crash after sync#{index}"))
+        return report
+
+    def run_point(self, fault, description: str) -> CrashPointResult:
+        scenario = self.scenario_factory()
+        store = FaultyUntrustedStore(schedule=FaultSchedule([fault]))
+        ledger = CommitLedger()
+        crashed = False
+        try:
+            scenario.build(store)
+            ledger.format_complete = True
+            scenario.workload(ledger)
+        except InjectedCrash:
+            crashed = True
+        if not crashed:
+            return CrashPointResult(
+                description,
+                "failed",
+                "scheduled fault never fired: workload is nondeterministic",
+            )
+        store.heal()
+        try:
+            state = scenario.recover()
+        except TDBError as exc:
+            if ledger.format_complete:
+                return CrashPointResult(
+                    description,
+                    "failed",
+                    f"recovery flagged a pure crash as {type(exc).__name__}: {exc}",
+                )
+            return CrashPointResult(description, "flagged", str(exc))
+        except Exception as exc:  # noqa: BLE001 - classifying arbitrary bugs
+            return CrashPointResult(
+                description,
+                "failed",
+                f"recovery raised non-TDB {type(exc).__name__}: {exc}",
+            )
+        for candidate in ledger.candidates():
+            if state == candidate:
+                return CrashPointResult(description, "recovered")
+        return CrashPointResult(
+            description,
+            "failed",
+            f"recovered state matches no committed prefix "
+            f"(got {len(state)} entries, last durable has "
+            f"{len(ledger.durable_states[-1])})",
+        )
+
+    # -- replay sweep ------------------------------------------------------
+
+    def sweep_replays(self) -> ReplayReport:
+        """Replay every durable-boundary image against the final counter.
+
+        Requires a scenario with a one-way counter (``scenario.counter``);
+        every image recorded before the final counter value must be
+        rejected as a replay, and the final image must still open.
+        """
+        scenario = self.scenario_factory()
+        store = FaultyUntrustedStore()
+        images: List[Dict[str, bytes]] = []
+        counters: List[int] = []
+
+        def capture() -> None:
+            images.append(store.save_image())
+            counters.append(scenario.counter.read())
+
+        ledger = CommitLedger(on_acknowledge=capture)
+        scenario.build(store)
+        ledger.format_complete = True
+        scenario.workload(ledger)
+        if scenario.counter is None:
+            raise ValueError("replay sweep needs a scenario with a one-way counter")
+        # Close out the run through normal recovery so the final image and
+        # counter are settled, then record them as the "current" epoch.
+        scenario.recover()
+        final_counter = scenario.counter.read()
+        final_image = store.save_image()
+        images.append(final_image)
+        counters.append(final_counter)
+
+        report = ReplayReport()
+        for position, (image, counter_at) in enumerate(zip(images, counters)):
+            description = (
+                f"image #{position} (counter {counter_at}, current {final_counter})"
+            )
+            store.load_image(image)
+            is_stale = counter_at < final_counter
+            try:
+                scenario.recover()
+            except ReplayDetectedError as exc:
+                if is_stale:
+                    report.points.append(
+                        ReplayPointResult(description, "detected", str(exc))
+                    )
+                else:
+                    report.points.append(
+                        ReplayPointResult(
+                            description, "failed",
+                            f"current image misflagged as replay: {exc}",
+                        )
+                    )
+            except TDBError as exc:
+                report.points.append(
+                    ReplayPointResult(
+                        description,
+                        "failed",
+                        f"replay misclassified as {type(exc).__name__}: {exc}",
+                    )
+                )
+            except Exception as exc:  # noqa: BLE001
+                report.points.append(
+                    ReplayPointResult(
+                        description,
+                        "failed",
+                        f"recovery raised non-TDB {type(exc).__name__}: {exc}",
+                    )
+                )
+            else:
+                if is_stale:
+                    report.points.append(
+                        ReplayPointResult(
+                            description, "failed", "stale image replayed undetected"
+                        )
+                    )
+                else:
+                    report.points.append(ReplayPointResult(description, "current"))
+        return report

@@ -1,0 +1,333 @@
+"""Exhaustive offline-tamper enumeration over a recorded media image.
+
+The paper's adversary edits the untrusted store while the system is
+down.  :func:`map_image_regions` parses a media image (the dict of
+file contents a :class:`~repro.testing.faults.FaultyUntrustedStore`
+snapshots) into typed byte regions — master records, segment headers,
+commit-record framing, chunk payloads, location-map nodes, checkpoint
+and link records — and :class:`TamperMatrix` then corrupts every region
+(bit-flips across the region plus whole-region zeroing) and classifies
+what recovery does with each mutation:
+
+``detected``
+    recovery raised :class:`TamperDetectedError` (or its replay
+    subclass) — the integrity machinery caught it,
+``clean``
+    recovery succeeded and landed on a known committed state — the
+    mutation hit dead data (superseded chunk versions, stale map nodes,
+    the unused master slot), which is outside the threat model,
+``structural``
+    recovery refused with some other :class:`TDBError` — loud, but
+    worth eyeballing, so it is tallied separately,
+``failed``
+    recovery accepted corrupted data silently (a state no committed
+    prefix ever had) or crashed with a non-TDB exception.
+
+`assert_ok` demands zero failures *and* that the sweep actually covered
+the four on-disk region families the threat model names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.chunkstore.format import CommitBody, RecordCodec, RecordKind
+from repro.chunkstore.master import MASTER_FILES
+from repro.errors import TamperDetectedError, TDBError
+
+__all__ = [
+    "Region",
+    "Mutation",
+    "map_image_regions",
+    "TamperMatrix",
+    "TamperReport",
+    "REQUIRED_REGION_KINDS",
+]
+
+# The four on-disk region families of the paper's threat model.
+REQUIRED_REGION_KINDS = frozenset(
+    {"master", "segment-header", "chunk-payload", "map-node"}
+)
+
+_KIND_NAMES = {
+    RecordKind.SEG_HEADER: "segment-header",
+    RecordKind.COMMIT: "commit-record",
+    RecordKind.MAP_NODE: "map-node",
+    RecordKind.CHECKPOINT: "checkpoint",
+    RecordKind.LINK: "link",
+}
+
+
+@dataclass
+class Region:
+    """A typed byte range ``[start, start+length)`` of one image file."""
+
+    file: str
+    start: int
+    length: int
+    kind: str
+    detail: str = ""
+
+    def describe(self) -> str:
+        tail = f" ({self.detail})" if self.detail else ""
+        return f"{self.kind} {self.file}@{self.start}+{self.length}{tail}"
+
+
+def map_image_regions(image: Dict[str, bytes], tag_size: int) -> List[Region]:
+    """Partition every byte of ``image`` into typed regions.
+
+    ``tag_size`` is the record tag width of the store that wrote the
+    image (MAC tag size when secure, 4 for the CRC fallback) — region
+    boundaries depend on it.  Bytes that do not parse as records are
+    reported as ``unparsed`` regions so the partition stays total.
+    """
+    codec = RecordCodec()  # header parsing does not involve the tag
+    regions: List[Region] = []
+    for name in sorted(image):
+        data = image[name]
+        if name in MASTER_FILES:
+            if data:
+                regions.append(Region(name, 0, len(data), "master"))
+            continue
+        offset = 0
+        while offset < len(data):
+            try:
+                kind, body_len = codec.parse_header(
+                    data[offset:offset + codec.header_size]
+                )
+            except TDBError:
+                regions.append(
+                    Region(name, offset, len(data) - offset, "unparsed")
+                )
+                break
+            total = codec.header_size + body_len + tag_size
+            if offset + total > len(data):
+                regions.append(
+                    Region(name, offset, len(data) - offset, "unparsed",
+                           "torn tail record")
+                )
+                break
+            kind_name = _KIND_NAMES.get(kind, "unparsed")
+            if kind == RecordKind.COMMIT:
+                regions.extend(
+                    _split_commit_record(name, data, offset, body_len, total, codec)
+                )
+            else:
+                regions.append(Region(name, offset, total, kind_name))
+            offset += total
+    return regions
+
+
+def _split_commit_record(
+    name: str,
+    data: bytes,
+    offset: int,
+    body_len: int,
+    total: int,
+    codec: RecordCodec,
+) -> List[Region]:
+    """Split one COMMIT record into payload intervals and framing."""
+    body = data[offset + codec.header_size:offset + codec.header_size + body_len]
+    try:
+        parsed = CommitBody.decode(bytes(body), codec.header_size)
+    except Exception:  # noqa: BLE001 - unparseable body: treat as one blob
+        return [Region(name, offset, total, "commit-record", "undecodable body")]
+    regions: List[Region] = []
+    cursor = offset
+    intervals = sorted(
+        (offset + rel, len(item.payload))
+        for rel, item in zip(parsed.payload_offsets, parsed.writes)
+        if len(item.payload) > 0
+    )
+    for seqno, (start, length) in enumerate(intervals):
+        if start > cursor:
+            regions.append(
+                Region(name, cursor, start - cursor, "commit-record",
+                       f"seqno {parsed.seqno}")
+            )
+        regions.append(
+            Region(name, start, length, "chunk-payload",
+                   f"commit seqno {parsed.seqno} write #{seqno}")
+        )
+        cursor = start + length
+    if cursor < offset + total:
+        regions.append(
+            Region(name, cursor, offset + total - cursor, "commit-record",
+                   f"seqno {parsed.seqno}")
+        )
+    return regions
+
+
+@dataclass
+class Mutation:
+    """One corruption of the baseline image."""
+
+    region: Region
+    action: str          # "flip" | "zero"
+    offset: int = 0      # absolute file offset (flip)
+    mask: int = 0x01
+
+    def describe(self) -> str:
+        if self.action == "zero":
+            return f"zero whole {self.region.describe()}"
+        return (
+            f"flip {self.region.file}@{self.offset} mask 0x{self.mask:02x} "
+            f"in {self.region.describe()}"
+        )
+
+    def apply(self, image: Dict[str, bytes]) -> Dict[str, bytes]:
+        """Return a copy of ``image`` with this mutation applied."""
+        mutated = dict(image)
+        buf = bytearray(mutated[self.region.file])
+        if self.action == "zero":
+            end = self.region.start + self.region.length
+            buf[self.region.start:end] = bytes(self.region.length)
+        else:
+            buf[self.offset] ^= self.mask & 0xFF
+        mutated[self.region.file] = bytes(buf)
+        return mutated
+
+
+@dataclass
+class TamperOutcome:
+    mutation: Mutation
+    outcome: str         # "detected" | "clean" | "structural" | "failed"
+    detail: str = ""
+
+
+@dataclass
+class TamperReport:
+    regions: List[Region]
+    outcomes: List[TamperOutcome] = field(default_factory=list)
+
+    def tally(self) -> Dict[str, Dict[str, int]]:
+        """``{region kind: {outcome: count}}``."""
+        table: Dict[str, Dict[str, int]] = {}
+        for entry in self.outcomes:
+            kind_row = table.setdefault(entry.mutation.region.kind, {})
+            kind_row[entry.outcome] = kind_row.get(entry.outcome, 0) + 1
+        return table
+
+    @property
+    def failures(self) -> List[TamperOutcome]:
+        return [o for o in self.outcomes if o.outcome == "failed"]
+
+    def kinds_covered(self) -> frozenset:
+        return frozenset(r.kind for r in self.regions)
+
+    def summary(self) -> str:
+        parts = []
+        for kind, row in sorted(self.tally().items()):
+            cells = ", ".join(f"{k}={v}" for k, v in sorted(row.items()))
+            parts.append(f"{kind}: {cells}")
+        return f"{len(self.outcomes)} mutations — " + "; ".join(parts)
+
+    def assert_ok(
+        self, required_kinds: frozenset = REQUIRED_REGION_KINDS
+    ) -> None:
+        missing = required_kinds - self.kinds_covered()
+        if missing:
+            raise AssertionError(
+                f"tamper sweep never touched region kinds {sorted(missing)}; "
+                "the workload image is too small to be meaningful"
+            )
+        if self.failures:
+            lines = [self.summary()] + [
+                f"  {o.mutation.describe()}: {o.detail}"
+                for o in self.failures[:12]
+            ]
+            raise AssertionError("\n".join(lines))
+
+
+class TamperMatrix:
+    """Every-region corruption sweep over a baseline media image."""
+
+    def __init__(
+        self,
+        image: Dict[str, bytes],
+        tag_size: int,
+        *,
+        offsets_per_region: int = 8,
+        regions: Optional[List[Region]] = None,
+    ) -> None:
+        self.image = dict(image)
+        self.regions = (
+            regions if regions is not None
+            else map_image_regions(self.image, tag_size)
+        )
+        self.offsets_per_region = offsets_per_region
+
+    def mutations(self) -> List[Mutation]:
+        """The full mutation list: flips across each region, plus zeroing."""
+        out: List[Mutation] = []
+        for region in self.regions:
+            if region.length <= 0:
+                continue
+            for offset in self._flip_offsets(region):
+                out.append(
+                    Mutation(region, "flip", offset=offset,
+                             mask=1 << (offset % 8))
+                )
+            out.append(Mutation(region, "zero"))
+        return out
+
+    def _flip_offsets(self, region: Region) -> List[int]:
+        """All offsets for small regions; edges plus an even stride else."""
+        n = self.offsets_per_region
+        if region.length <= n:
+            return [region.start + i for i in range(region.length)]
+        picks = {
+            region.start + round(i * (region.length - 1) / (n - 1))
+            for i in range(n)
+        }
+        return sorted(picks)
+
+    def sweep(
+        self,
+        recover: Callable[[Dict[str, bytes]], dict],
+        expected_states: Sequence[dict],
+    ) -> TamperReport:
+        """Run ``recover`` over every mutation of the baseline image.
+
+        ``recover`` must open the system from the given image and return
+        its full observable state (reading every chunk, so payload and
+        map corruption cannot hide).  ``expected_states`` are the
+        committed states recovery may legally land on.
+        """
+        report = TamperReport(regions=self.regions)
+        for mutation in self.mutations():
+            try:
+                state = recover(mutation.apply(self.image))
+            except TamperDetectedError as exc:
+                report.outcomes.append(
+                    TamperOutcome(mutation, "detected", str(exc))
+                )
+            except TDBError as exc:
+                report.outcomes.append(
+                    TamperOutcome(
+                        mutation, "structural",
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                )
+            except Exception as exc:  # noqa: BLE001 - that IS the finding
+                report.outcomes.append(
+                    TamperOutcome(
+                        mutation, "failed",
+                        f"recovery crashed with non-TDB "
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                )
+            else:
+                if any(state == known for known in expected_states):
+                    report.outcomes.append(TamperOutcome(mutation, "clean"))
+                else:
+                    report.outcomes.append(
+                        TamperOutcome(
+                            mutation, "failed",
+                            "recovery silently accepted corrupted data "
+                            f"({len(state)} chunks, matching no committed "
+                            "state)",
+                        )
+                    )
+        return report

@@ -9,6 +9,7 @@ from repro.chunkstore import ChunkStore
 from repro.config import ChunkStoreConfig, SecurityProfile
 from repro.errors import (
     BackupError,
+    ReplayDetectedError,
     RestoreSequenceError,
     TamperDetectedError,
 )
@@ -298,6 +299,91 @@ class TestRestoreValidation:
             backups.restore(
                 ["full-1", "incr-B"], untrusted2, secret2, counter2, make_config()
             )
+
+
+class TestReplayAttackAndBackupCrash:
+    """Backups vs the paper's replay attack, and crashes mid-backup.
+
+    Rolling the raw untrusted media back to an old image must trip the
+    one-way counter (``ReplayDetectedError``); restoring an old *backup*
+    through :meth:`BackupStore.restore` is the legitimate rollback path,
+    because restore reformats the store bound to the counter's current
+    value.
+    """
+
+    def test_raw_image_replay_rejected_backup_restore_accepted(self):
+        from repro.testing import FaultyUntrustedStore
+
+        untrusted = FaultyUntrustedStore()
+        secret = MemorySecretStore(SECRET)
+        counter = MemoryOneWayCounter()
+        archival = MemoryArchivalStore()
+        backups = BackupStore(archival, secret)
+        store = ChunkStore.format(untrusted, secret, counter, make_config())
+        ids = populate(store, 8)
+        backups.create_full(store, "full-old")
+        store.close()
+        stale_image = untrusted.save_image()
+        # The database moves on: more durable commits bump the counter.
+        store = ChunkStore.open(untrusted, secret, counter, make_config())
+        store.write(ids[0], b"newer-0")
+        store.write(ids[1], b"newer-1")
+        store.close()
+        # Attack: roll the raw media back to the stale image.  The
+        # counter is now ahead of the stale MACed master record.
+        untrusted.load_image(stale_image)
+        with pytest.raises(ReplayDetectedError):
+            ChunkStore.open(untrusted, secret, counter, make_config())
+        # The legitimate way back to the old state: restore the backup,
+        # against the very same (advanced) counter.
+        untrusted2 = MemoryUntrustedStore()
+        restored = backups.restore(
+            ["full-old"], untrusted2, secret, counter, make_config()
+        )
+        for cid in ids:
+            assert restored.read(cid) == f"state-{cid}".encode()
+        # The restored store is bound to the current counter value and
+        # survives a full close/reopen cycle.
+        restored.write(ids[0], b"post-restore")
+        restored.close()
+        reopened = ChunkStore.open(untrusted2, secret, counter, make_config())
+        assert reopened.read(ids[0]) == b"post-restore"
+        reopened.close()
+
+    def test_crash_mid_backup_stream(self):
+        from repro.testing import FaultSchedule, FaultyArchivalStore, InjectedCrash
+
+        untrusted = MemoryUntrustedStore()
+        secret = MemorySecretStore(SECRET)
+        counter = MemoryOneWayCounter()
+        archival = FaultyArchivalStore(
+            MemoryArchivalStore(),
+            schedule=FaultSchedule().crash_mid_write(1, keep=200),
+        )
+        backups = BackupStore(archival, secret)
+        store = ChunkStore.format(untrusted, secret, counter, make_config())
+        ids = populate(store, 10)
+        with pytest.raises(InjectedCrash):
+            backups.create_full(store, "full-torn")
+        # The source store is unharmed by the archival crash...
+        store.write(ids[0], b"after the backup crash")
+        assert store.read(ids[0]) == b"after the backup crash"
+        archival.heal()
+        # ...the torn stream prefix is rejected at restore...
+        assert archival.exists("full-torn")
+        with pytest.raises((BackupError, TamperDetectedError)):
+            backups.restore(
+                ["full-torn"], MemoryUntrustedStore(), secret,
+                MemoryOneWayCounter(), make_config(),
+            )
+        # ...and a retried backup on the healed media round-trips.
+        info = backups.create_full(store, "full-retry")
+        assert info.entry_count == len(ids)
+        restored = backups.restore(
+            ["full-retry"], MemoryUntrustedStore(), secret,
+            MemoryOneWayCounter(), make_config(),
+        )
+        assert restored.read(ids[0]) == b"after the backup crash"
 
 
 class TestStreamFuzzing:

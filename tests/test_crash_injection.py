@@ -1,216 +1,159 @@
-"""Systematic crash-point injection for the chunk store.
+"""Exhaustive crash-point enumeration for the chunk store.
 
-A crash can interrupt persistence at any moment.  These tests cut the
-log (and master files) at many byte positions and require, at every cut:
+Built on :mod:`repro.testing`: a TPC-B-style workload is profiled once to
+count its media operations, then pytest parametrizes one test per
+operation boundary — crash after every mutating op (write, truncate,
+delete), a torn variant of every multi-byte write, and crash after every
+sync.  At each point recovery must land exactly on a committed prefix of
+the history (the last durable state, or the in-flight commit): never an
+invented state, never a lost acknowledged commit, and a pure crash must
+never be flagged as tampering.
 
-* recovery either succeeds or raises a *security* error — never
-  corruption, never a crash of the recovery code itself,
-* when recovery succeeds, the recovered state is exactly a prefix of the
-  committed history: every *durably* committed value up to some point,
-  with the guarantee that a commit acknowledged durable at counter value
-  ``c`` can only be missing if the cut also regressed the counter
-  evidence (which the counter check flags as replay/tamper).
-
-The FailingStore variant injects write failures *during* operation,
-checking that a store whose underlying writes start failing raises
-rather than acknowledging commits it did not persist.
+The FailingStore test keeps the seed's orthogonal failure mode: media
+that starts *erroring* (not crashing) mid-operation must surface errors,
+not acknowledge commits it did not persist.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import pytest
 
 from repro.chunkstore import ChunkStore
-from repro.config import ChunkStoreConfig, SecurityProfile
-from repro.errors import (
-    ChunkStoreError,
-    RecoveryError,
-    ReplayDetectedError,
-    StoreError,
-    TamperDetectedError,
-    TDBError,
-)
-from repro.platform import (
-    MemoryOneWayCounter,
-    MemorySecretStore,
-    MemoryUntrustedStore,
-)
-
-SECRET = b"crash-injection-secret-012345678"
+from repro.errors import StoreError, TDBError
+from repro.platform import MemoryOneWayCounter, MemorySecretStore, MemoryUntrustedStore
+from repro.testing import ChunkStoreCrashScenario, CrashSweeper, FaultSchedule
 
 
-def make_config(secure=True):
-    return ChunkStoreConfig(
-        segment_size=4 * 1024,
-        initial_segments=3,
-        checkpoint_residual_bytes=8 * 1024,
-        map_fanout=8,
-        security=SecurityProfile() if secure else SecurityProfile.insecure(),
-    )
+def make_sweeper(secure: bool) -> CrashSweeper:
+    return CrashSweeper(lambda: ChunkStoreCrashScenario(secure=secure))
 
 
-def run_history(store):
-    """A small history with overwrites, deletes, and a checkpoint.
+@lru_cache(maxsize=None)
+def profile_ops(secure: bool):
+    """(mutating op descriptions, sync count) of the sample workload."""
+    store = make_sweeper(secure).profile()
+    ops = [op for op in store.op_log if op[0] != "sync"]
+    return ops, store.total_syncs
 
-    Returns the expected durable state after each durable commit, as a
-    list of (counter_value, {cid: value}) pairs.
+
+def _op_points(secure):
+    ops, _ = profile_ops(secure)
+    return [
+        pytest.param(index, id=f"{'sec' if secure else 'ins'}-{kind}{index}-{name}")
+        for index, (kind, name, _nbytes) in enumerate(ops, start=1)
+    ]
+
+
+def _torn_points(secure):
+    ops, _ = profile_ops(secure)
+    return [
+        pytest.param(index, nbytes,
+                     id=f"{'sec' if secure else 'ins'}-torn{index}-{name}")
+        for index, (kind, name, nbytes) in enumerate(ops, start=1)
+        if kind == "write" and nbytes >= 2
+    ]
+
+
+def _sync_points(secure):
+    _, syncs = profile_ops(secure)
+    return [
+        pytest.param(index, id=f"{'sec' if secure else 'ins'}-sync{index}")
+        for index in range(1, syncs + 1)
+    ]
+
+
+class TestEveryCrashBoundarySecure:
+    """One test per operation boundary of the secure-mode workload."""
+
+    @pytest.mark.parametrize("index", _op_points(True))
+    def test_crash_after_mutating_op(self, index):
+        fault = FaultSchedule().crash_after_write(index).faults[0]
+        result = make_sweeper(True).run_point(fault, f"crash after op#{index}")
+        assert result.outcome != "failed", result.detail
+
+    @pytest.mark.parametrize("index,nbytes", _torn_points(True))
+    def test_torn_write(self, index, nbytes):
+        fault = FaultSchedule().crash_mid_write(index, nbytes // 2).faults[0]
+        result = make_sweeper(True).run_point(fault, f"torn write#{index}")
+        assert result.outcome != "failed", result.detail
+
+    @pytest.mark.parametrize("index", _sync_points(True))
+    def test_crash_after_sync(self, index):
+        fault = FaultSchedule().crash_after_sync(index).faults[0]
+        result = make_sweeper(True).run_point(fault, f"crash after sync#{index}")
+        assert result.outcome != "failed", result.detail
+
+
+def test_full_sweep_insecure_mode():
+    """Insecure mode (CRC tags, no MAC/counter) sweeps clean too."""
+    report = make_sweeper(False).sweep()
+    report.assert_ok()
+    assert report.total_writes > 0 and report.total_syncs > 0
+    assert report.recovered > 0
+
+
+def test_sweep_is_exhaustive_and_crashes_recover():
+    """The report covers every boundary and post-format crashes recover.
+
+    Every mutating op gets a crash point, every multi-byte write a torn
+    point, every sync a crash point — nothing sampled away — and with
+    the in-memory store (writes durable at write) *no* post-format crash
+    may be flagged, so all flags come from mid-format points.
     """
-    states = []
-    model = {}
-    pending_nondurable = {}
-
-    def nondurable(writes):
-        store.commit(writes, durable=False)
-        pending_nondurable.update(writes)
-
-    def durable(writes, deallocs=()):
-        store.commit(writes, deallocs, durable=True)
-        # A durable commit also makes every earlier nondurable commit
-        # durable (paper section 3.2.2).
-        model.update(pending_nondurable)
-        pending_nondurable.clear()
-        for cid, value in writes.items():
-            model[cid] = value
-        for cid in deallocs:
-            model.pop(cid, None)
-        states.append((store.stats().counter_value, dict(model)))
-
-    cids = [store.allocate_chunk_id() for _ in range(6)]
-    durable({cids[0]: b"alpha", cids[1]: b"beta"})
-    durable({cids[2]: b"gamma" * 20})
-    nondurable({cids[3]: b"volatile"})  # durable once the next commit lands
-    durable({cids[0]: b"alpha-2", cids[4]: b"delta"})
-    store.checkpoint()
-    durable({cids[5]: b"epsilon"}, deallocs=[cids[1]])
-    # Nondurable tail: cuts through this region are plain crashes (no
-    # counter evidence is lost) and must recover to the last durable state.
-    nondurable({cids[3]: b"tail-volatile-1"})
-    nondurable({cids[3]: b"tail-volatile-2"})
-    return states
+    report = make_sweeper(True).sweep()
+    report.assert_ok()
+    ops, syncs = profile_ops(True)
+    torn = sum(1 for kind, _n, nbytes in ops if kind == "write" and nbytes >= 2)
+    assert len(report.points) == len(ops) + torn + syncs
+    assert report.recovered + report.flagged == len(report.points)
+    assert report.recovered > report.flagged
 
 
-def clone_files(untrusted):
-    return {name: untrusted.read(name) for name in untrusted.list_files()}
+def test_replay_sweep_every_durable_image_detected():
+    """Rolling media back to any earlier durable image trips the counter."""
+    report = make_sweeper(True).sweep_replays()
+    report.assert_ok()
+    # The workload makes several durable commits, each a rollback target.
+    assert report.detected >= 3
+    # The final image itself must have opened cleanly, not been flagged.
+    assert any(p.outcome == "current" for p in report.points)
 
 
-def restore_files(untrusted, image):
-    for name in untrusted.list_files():
-        if name not in image:
-            untrusted.delete(name)
-    for name, data in image.items():
-        if untrusted.exists(name):
-            untrusted.truncate(name, 0)
-        untrusted.write(name, 0, data)
+def test_mutation_guard_sweep_catches_lost_commits(monkeypatch):
+    """Meta-test: a deliberately broken recovery MUST fail the sweep.
 
+    Drops the last applied commit record during residual-log replay —
+    the classic lost-commit recovery bug.  If the sweep passes with this
+    bug active, the harness has no teeth and this test fails.
+    """
+    import repro.chunkstore.store as store_mod
 
-@pytest.mark.parametrize("secure", [True, False])
-def test_log_cut_at_every_position_is_safe(secure):
-    """Truncate the final segment at every offset; recovery must never
-    produce non-prefix state or crash."""
-    untrusted = MemoryUntrustedStore()
-    counter = MemoryOneWayCounter()
-    secret = MemorySecretStore(SECRET)
-    config = make_config(secure)
-    store = ChunkStore.format(untrusted, secret, counter, config)
-    states = run_history(store)
-    full_image = clone_files(untrusted)
-    counter_value = counter.read()
+    real_scan = store_mod.scan_residual_log
 
-    # Cut the segment holding the log tail at a spread of positions.
-    tail_name = f"seg-{store.segments.tail_segment:08d}"
-    tail_size = untrusted.size(tail_name)
-    outcomes = {"recovered": 0, "flagged": 0}
-    for cut in list(range(0, tail_size, 7)) + [tail_size]:
-        restore_files(untrusted, full_image)
-        untrusted.truncate(tail_name, cut)
-        fresh_counter = MemoryOneWayCounter(counter_value)
-        try:
-            recovered = ChunkStore.open(untrusted, secret, fresh_counter, config)
-        except (TamperDetectedError, ReplayDetectedError, RecoveryError,
-                ChunkStoreError):
-            outcomes["flagged"] += 1
-            continue
-        # Validation may also trip lazily, on first access to a damaged
-        # region (the chunk store validates on access, not exhaustively
-        # at open).
-        try:
-            recovered_state = {
-                cid: recovered.read(cid) for cid in recovered.chunk_ids()
-            }
-        except TDBError:
-            outcomes["flagged"] += 1
-            continue
-        outcomes["recovered"] += 1
-        # Whatever came back must equal SOME durable prefix state.
-        assert any(
-            recovered_state == state for _counter, state in states
-        ), f"cut at {cut} produced a non-prefix state"
-        recovered.close()
+    def lossy_scan(*args, **kwargs):
+        scan = real_scan(*args, **kwargs)
+        if scan.records:
+            scan.records = scan.records[:-1]
+        return scan
 
-    # Both behaviours must actually occur across the sweep: early cuts in
-    # a secure store regress durable history (flagged), and the untouched
-    # image recovers.
-    restore_files(untrusted, full_image)
-    final = ChunkStore.open(
-        untrusted, secret, MemoryOneWayCounter(counter_value), config
+    monkeypatch.setattr(store_mod, "scan_residual_log", lossy_scan)
+    report = make_sweeper(True).sweep()
+    assert report.failures, (
+        "sweep accepted a recovery that drops the last log record — "
+        "the harness failed its mutation test"
     )
-    final_state = {cid: final.read(cid) for cid in final.chunk_ids()}
-    assert final_state == states[-1][1]
-    if secure:
-        assert outcomes["flagged"] > 0
-    assert outcomes["recovered"] >= 1
 
 
-def test_master_file_cuts_are_safe():
-    """Truncating either master file must fall back or flag, never crash."""
-    untrusted = MemoryUntrustedStore()
-    counter = MemoryOneWayCounter()
-    secret = MemorySecretStore(SECRET)
-    config = make_config()
-    store = ChunkStore.format(untrusted, secret, counter, config)
-    states = run_history(store)
-    image = clone_files(untrusted)
-    counter_value = counter.read()
-
-    for master in ("master-a", "master-b"):
-        size = len(image[master])
-        for cut in range(0, size, max(1, size // 17)):
-            restore_files(untrusted, image)
-            untrusted.truncate(master, cut)
-            try:
-                recovered = ChunkStore.open(
-                    untrusted, secret, MemoryOneWayCounter(counter_value), config
-                )
-                state = {cid: recovered.read(cid) for cid in recovered.chunk_ids()}
-            except TDBError:
-                continue  # flagged: acceptable
-            assert any(state == expected for _c, expected in states)
-            recovered.close()
-
-
-def test_deleting_one_master_file_still_recovers():
-    untrusted = MemoryUntrustedStore()
-    counter = MemoryOneWayCounter()
-    secret = MemorySecretStore(SECRET)
-    config = make_config()
-    store = ChunkStore.format(untrusted, secret, counter, config)
-    states = run_history(store)
-    image = clone_files(untrusted)
-    counter_value = counter.read()
-    for master in ("master-a", "master-b"):
-        restore_files(untrusted, image)
-        untrusted.delete(master)
-        try:
-            recovered = ChunkStore.open(
-                untrusted, secret, MemoryOneWayCounter(counter_value), config
-            )
-            state = {cid: recovered.read(cid) for cid in recovered.chunk_ids()}
-        except TDBError:
-            # Deleting the newer master may legally flag (the older one
-            # binds an older counter value / map root).
-            continue
-        assert any(state == expected for _c, expected in states)
-        recovered.close()
+def test_mutation_guard_replay_sweep_catches_disabled_counter(monkeypatch):
+    """Meta-test: with the counter check disabled, replays must surface."""
+    monkeypatch.setattr(ChunkStore, "_check_counter", lambda self: None)
+    report = make_sweeper(True).sweep_replays()
+    assert report.failures, (
+        "replay sweep accepted rollbacks with the counter check disabled — "
+        "the harness failed its mutation test"
+    )
 
 
 class FailingStore(MemoryUntrustedStore):
@@ -230,8 +173,8 @@ class FailingStore(MemoryUntrustedStore):
 def test_write_failures_surface_not_corrupt():
     """Once the medium starts failing, operations raise; data written
     before the failure stays readable after recovery on a healed store."""
-    config = make_config()
-    secret = MemorySecretStore(SECRET)
+    scenario = ChunkStoreCrashScenario()
+    config, secret = scenario.config, scenario.secret_store
     survived_any = False
     for fuse in range(3, 40, 3):
         untrusted = FailingStore(fuse=10_000)
@@ -240,15 +183,11 @@ def test_write_failures_surface_not_corrupt():
         cid = store.allocate_chunk_id()
         store.write(cid, b"pre-failure state")
         untrusted.fuse = fuse
-        wrote = []
         try:
             for index in range(50):
                 extra = store.allocate_chunk_id()
                 store.write(extra, b"x%d" % index)
-                wrote.append(extra)
-        except TDBError:
-            pass
-        except StoreError:
+        except (TDBError, StoreError):
             pass
         # Heal the medium and recover from whatever reached it.
         untrusted.fuse = 10 ** 9

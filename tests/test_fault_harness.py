@@ -1,0 +1,299 @@
+"""Unit tests for the fault-injection harness itself.
+
+The sweeps in test_crash_injection / test_tamper_matrix only mean
+something if the harness plumbing is exact: faults must fire at the
+precise 1-based operation index, torn writes must leave exactly the
+requested prefix, the region mapper must partition every byte of a
+media image, and the commit ledger must expose exactly the legal
+recovery candidates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TDBError
+from repro.platform import MemoryArchivalStore, MemoryUntrustedStore
+from repro.testing import (
+    ChunkStoreCrashScenario,
+    CommitLedger,
+    FaultSchedule,
+    FaultyArchivalStore,
+    FaultyUntrustedStore,
+    InjectedCrash,
+    Region,
+    TamperMatrix,
+    map_image_regions,
+)
+
+
+class TestFaultSchedule:
+    def test_builders_chain_and_describe(self):
+        schedule = (
+            FaultSchedule()
+            .crash_after_write(3)
+            .crash_mid_write(5, keep=7)
+            .crash_after_sync(2)
+            .flip_after_write(1, "f", offset=4, mask=0x80)
+            .zero_after_write(2, "f", offset=0, length=16)
+        )
+        assert len(schedule.faults) == 5
+        assert schedule.matching("write", 3)[0].action == "crash"
+        assert schedule.matching("write", 5)[0].keep == 7
+        assert schedule.matching("sync", 2)
+        assert not schedule.matching("write", 4)
+        assert "mask 0x80" in schedule.describe()
+        assert len(schedule.unfired()) == 5
+
+    def test_rejects_bad_triggers(self):
+        from repro.testing import Fault
+        with pytest.raises(ValueError):
+            FaultSchedule().crash_after_write(0)  # indices are 1-based
+        with pytest.raises(ValueError):
+            Fault(on="read", index=1, action="crash")
+        with pytest.raises(ValueError):
+            Fault(on="write", index=1, action="meltdown")
+
+
+class TestFaultyUntrustedStore:
+    def test_injected_crash_is_not_a_tdb_error(self):
+        assert not issubclass(InjectedCrash, TDBError)
+
+    def test_crash_fires_at_exact_write_index(self):
+        store = FaultyUntrustedStore(
+            schedule=FaultSchedule().crash_after_write(3)
+        )
+        store.write("f", 0, b"one")
+        store.write("f", 3, b"two")
+        with pytest.raises(InjectedCrash):
+            store.write("f", 6, b"three")
+        # The crashing write itself still reached the media (crash is
+        # *after* the op); everything later is dead.
+        assert store.inner.read("f") == b"onetwothree"
+        with pytest.raises(InjectedCrash):
+            store.read("f")
+        with pytest.raises(InjectedCrash):
+            store.write("f", 0, b"x")
+        store.heal()
+        assert store.read("f") == b"onetwothree"
+
+    def test_truncate_and_delete_count_as_mutating_ops(self):
+        store = FaultyUntrustedStore(
+            schedule=FaultSchedule().crash_after_write(2)
+        )
+        store.write("f", 0, b"abcdef")
+        with pytest.raises(InjectedCrash):
+            store.truncate("f", 3)
+        store.heal()
+        assert store.read("f") == b"abc"  # truncate completed, then crash
+        assert store.total_writes == 2
+        assert [op[0] for op in store.op_log] == ["write", "truncate"]
+
+        store2 = FaultyUntrustedStore(
+            schedule=FaultSchedule().crash_after_write(2)
+        )
+        store2.write("g", 0, b"data")
+        with pytest.raises(InjectedCrash):
+            store2.delete("g")
+        store2.heal()
+        assert not store2.exists("g")
+
+    def test_torn_write_keeps_exact_prefix(self):
+        store = FaultyUntrustedStore(
+            schedule=FaultSchedule().crash_mid_write(2, keep=4)
+        )
+        store.write("f", 0, b"0123456789")
+        with pytest.raises(InjectedCrash):
+            store.write("f", 10, b"abcdefgh")
+        store.heal()
+        assert store.read("f") == b"0123456789abcd"
+
+    def test_torn_truncate_never_reaches_media(self):
+        store = FaultyUntrustedStore(
+            schedule=FaultSchedule().crash_mid_write(2, keep=1)
+        )
+        store.write("f", 0, b"abcdef")
+        with pytest.raises(InjectedCrash):
+            store.truncate("f", 2)
+        store.heal()
+        assert store.read("f") == b"abcdef"  # the torn truncate was lost
+
+    def test_crash_after_sync_index(self):
+        store = FaultyUntrustedStore(
+            schedule=FaultSchedule().crash_after_sync(2)
+        )
+        store.write("f", 0, b"x")
+        store.sync("f")
+        store.write("f", 1, b"y")
+        with pytest.raises(InjectedCrash):
+            store.sync("f")
+        assert store.total_syncs == 2
+
+    def test_flip_and_zero_faults_corrupt_media(self):
+        store = FaultyUntrustedStore(
+            schedule=(
+                FaultSchedule()
+                .flip_after_write(1, "f", offset=0, mask=0x01)
+                .zero_after_write(2, "f", offset=2, length=2)
+            )
+        )
+        store.write("f", 0, b"\x00\x00\xff\xff")
+        assert store.read("f") == b"\x01\x00\xff\xff"
+        store.write("g", 0, b"unrelated")
+        assert store.read("f") == b"\x01\x00\x00\x00"
+
+    def test_replay_fault_restores_recorded_image(self):
+        store = FaultyUntrustedStore()
+        store.write("f", 0, b"old-state")
+        snapshot = store.save_image()
+        store.write("f", 0, b"new-state")
+        store.write("h", 0, b"extra")
+        store.schedule = FaultSchedule().replay_after_write(
+            store.total_writes + 1, snapshot
+        )
+        store.write("trigger", 0, b"x")
+        assert store.read("f") == b"old-state"
+        assert not store.exists("h")
+        assert not store.exists("trigger")
+
+    def test_image_roundtrip_and_offline_edits_not_counted(self):
+        store = FaultyUntrustedStore()
+        store.write("f", 0, b"abc")
+        ops = store.total_writes
+        image = store.save_image()
+        store.flip_bits("f", 0, 0xFF)
+        store.zero_region("f", 1, 2)
+        assert store.read("f") == bytes([ord("a") ^ 0xFF, 0, 0])
+        store.load_image(image)
+        assert store.read("f") == b"abc"
+        assert store.total_writes == ops  # offline edits are not operations
+
+    def test_wraps_an_existing_store(self):
+        inner = MemoryUntrustedStore()
+        inner.write("pre", 0, b"existing")
+        store = FaultyUntrustedStore(inner=inner)
+        assert store.read("pre") == b"existing"
+        store.write("pre", 0, b"EXISTING")
+        assert inner.read("pre") == b"EXISTING"
+
+
+class TestFaultyArchivalStore:
+    def test_stream_crash_after_nth_write(self):
+        archival = FaultyArchivalStore(
+            MemoryArchivalStore(),
+            schedule=FaultSchedule().crash_after_write(2),
+        )
+        stream = archival.create_stream("backup-1")
+        stream.write(b"chunk-one")
+        with pytest.raises(InjectedCrash):
+            stream.write(b"chunk-two")
+        with pytest.raises(InjectedCrash):
+            archival.create_stream("backup-2")
+        archival.heal()
+        # The crashing write completed before the crash fired.
+        with archival.open_stream("backup-1") as handle:
+            assert handle.read() == b"chunk-onechunk-two"
+
+    def test_torn_stream_write_keeps_prefix(self):
+        archival = FaultyArchivalStore(
+            MemoryArchivalStore(),
+            schedule=FaultSchedule().crash_mid_write(2, keep=3),
+        )
+        stream = archival.create_stream("backup")
+        stream.write(b"full-first-write")
+        with pytest.raises(InjectedCrash):
+            stream.write(b"SECOND")
+        archival.heal()
+        with archival.open_stream("backup") as handle:
+            assert handle.read() == b"full-first-writeSEC"
+
+
+class TestCommitLedger:
+    def test_candidates_track_durable_prefix_and_in_flight(self):
+        ledger = CommitLedger()
+        assert ledger.candidates() == [{}]
+        ledger.attempting({1: b"a"})
+        assert ledger.candidates() == [{}, {1: b"a"}]
+        ledger.acknowledged()
+        assert ledger.candidates() == [{1: b"a"}]
+        ledger.attempting({1: b"a", 2: b"b"})
+        assert ledger.candidates() == [{1: b"a"}, {1: b"a", 2: b"b"}]
+        # A second attempt replaces the first (only one call in flight).
+        ledger.attempting({1: b"a", 3: b"c"})
+        assert ledger.candidates() == [{1: b"a"}, {1: b"a", 3: b"c"}]
+
+    def test_acknowledge_without_attempt_is_a_no_op(self):
+        ledger = CommitLedger()
+        ledger.acknowledged()
+        assert ledger.durable_states == [{}]
+
+    def test_acknowledge_callback_fires_per_barrier(self):
+        fired = []
+        ledger = CommitLedger(on_acknowledge=lambda: fired.append(1))
+        ledger.attempting({1: b"a"})
+        ledger.acknowledged()
+        ledger.acknowledged()  # no attempt in flight: no callback
+        assert len(fired) == 1
+
+
+class TestRegionMapping:
+    def test_partition_is_total_and_non_overlapping(self):
+        """Every byte of every file belongs to exactly one region."""
+        scenario = ChunkStoreCrashScenario(secure=True)
+        image, _states = scenario.run_to_image(clean_close=False)
+        regions = map_image_regions(image, scenario.tag_size)
+        by_file = {}
+        for region in regions:
+            by_file.setdefault(region.file, []).append(region)
+        for name, data in image.items():
+            file_regions = sorted(
+                by_file.get(name, []), key=lambda r: r.start
+            )
+            cursor = 0
+            for region in file_regions:
+                assert region.start == cursor, (
+                    f"{name}: gap/overlap at {cursor} vs {region.describe()}"
+                )
+                cursor += region.length
+            assert cursor == len(data), f"{name}: partition stops at {cursor}"
+
+    def test_all_four_threat_model_kinds_present(self):
+        scenario = ChunkStoreCrashScenario(secure=True)
+        image, _ = scenario.run_to_image(clean_close=False)
+        kinds = {r.kind for r in map_image_regions(image, scenario.tag_size)}
+        assert {"master", "segment-header", "chunk-payload", "map-node"} <= kinds
+
+    def test_unparsed_bytes_are_reported_not_dropped(self):
+        image = {"seg-00000001": b"this is not a record header at all"}
+        regions = map_image_regions(image, tag_size=4)
+        assert [r.kind for r in regions] == ["unparsed"]
+        assert regions[0].length == len(image["seg-00000001"])
+
+    def test_flip_offsets_cover_edges_and_bound_count(self):
+        matrix = TamperMatrix({"f": b"x" * 100}, tag_size=4, regions=[
+            Region("f", 10, 80, "chunk-payload"),
+            Region("f", 0, 3, "segment-header"),
+        ], offsets_per_region=6)
+        big, small = matrix.regions
+        offs = matrix._flip_offsets(big)
+        assert offs[0] == 10 and offs[-1] == 89  # both edges
+        assert len(offs) <= 6
+        assert matrix._flip_offsets(small) == [0, 1, 2]  # exhaustive
+
+    def test_mutations_include_one_zero_per_region(self):
+        matrix = TamperMatrix({"f": b"x" * 40}, tag_size=4, regions=[
+            Region("f", 0, 40, "commit-record"),
+        ], offsets_per_region=4)
+        actions = [m.action for m in matrix.mutations()]
+        assert actions.count("zero") == 1
+        assert actions.count("flip") == 4
+
+    def test_mutation_apply_does_not_touch_baseline(self):
+        baseline = {"f": b"\x00" * 8}
+        matrix = TamperMatrix(baseline, tag_size=4, regions=[
+            Region("f", 0, 8, "master"),
+        ], offsets_per_region=2)
+        flip = [m for m in matrix.mutations() if m.action == "flip"][0]
+        mutated = flip.apply(matrix.image)
+        assert mutated["f"] != baseline["f"]
+        assert matrix.image["f"] == b"\x00" * 8
