@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional
 
 from repro.backupstore.stream import (
     BACKUP_FULL,
@@ -203,22 +203,20 @@ class BackupStore:
     # Restore
     # ------------------------------------------------------------------
 
-    def restore(
-        self,
-        names_in_order: List[str],
-        untrusted: UntrustedStore,
-        secret_store: SecretStore,
-        counter: OneWayCounter,
-        config: Optional[ChunkStoreConfig] = None,
-    ) -> ChunkStore:
-        """Rebuild a chunk store from a full backup plus incrementals.
+    def load_chain_state(
+        self, names_in_order: List[str]
+    ) -> "tuple[Dict[int, bytes], bytes]":
+        """Validate a backup chain and fold it into one logical state.
 
         ``names_in_order`` must start with a full backup; each following
-        incremental must chain to its predecessor (validated against the
-        creation sequence).  Returns the restored, open chunk store.
+        incremental must chain to its predecessor by base-backup UUID
+        with consecutive sequence numbers.  Returns the folded
+        ``{chunk_id: plaintext}`` state and the database UUID the chain
+        belongs to.  Shared by :meth:`restore` and the repair engine's
+        selective re-materialization.
         """
         if not names_in_order:
-            raise BackupError("restore needs at least one backup stream")
+            raise BackupError("a backup chain needs at least one stream")
         state: Dict[int, bytes] = {}
         previous_uuid: Optional[bytes] = None
         previous_sequence: Optional[int] = None
@@ -256,6 +254,23 @@ class BackupStore:
                 state.pop(chunk_id, None)
             previous_uuid = header.backup_uuid
             previous_sequence = header.sequence
+        return state, db_uuid
+
+    def restore(
+        self,
+        names_in_order: List[str],
+        untrusted: UntrustedStore,
+        secret_store: SecretStore,
+        counter: OneWayCounter,
+        config: Optional[ChunkStoreConfig] = None,
+    ) -> ChunkStore:
+        """Rebuild a chunk store from a full backup plus incrementals.
+
+        ``names_in_order`` must start with a full backup; each following
+        incremental must chain to its predecessor (validated against the
+        creation sequence).  Returns the restored, open chunk store.
+        """
+        state, _ = self.load_chain_state(names_in_order)
         store = ChunkStore.format(untrusted, secret_store, counter, config)
         for chunk_id in state:
             store.adopt_chunk_id(chunk_id)

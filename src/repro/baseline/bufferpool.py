@@ -11,7 +11,7 @@ before the owning transaction releases its pages.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.baseline.page import Page, decode_page
 from repro.errors import BaselineError

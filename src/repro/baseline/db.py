@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.baseline.bufferpool import BufferPool, PageFile
 from repro.baseline.btree import PageBTree
@@ -44,7 +44,6 @@ from repro.platform.untrusted import UntrustedStore
 __all__ = ["BaselineDB", "BaselineTxn", "BaselineStats"]
 
 from repro.baseline.bufferpool import DATA_FILE
-from repro.baseline.wal import LOG_FILE
 
 
 @dataclass

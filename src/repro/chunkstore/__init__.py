@@ -21,7 +21,16 @@ The chunk store stores a set of named, variable-sized byte sequences
   incremental backups.
 """
 
-from repro.chunkstore.store import ChunkStore, ChunkStoreStats
+from repro.chunkstore.store import ChunkStore, ChunkStoreStats, SalvageInfo
+from repro.chunkstore.scrub import DamagedChunk, DamagedNode, DamageReport
 from repro.chunkstore.snapshot import Snapshot
 
-__all__ = ["ChunkStore", "ChunkStoreStats", "Snapshot"]
+__all__ = [
+    "ChunkStore",
+    "ChunkStoreStats",
+    "SalvageInfo",
+    "DamagedChunk",
+    "DamagedNode",
+    "DamageReport",
+    "Snapshot",
+]

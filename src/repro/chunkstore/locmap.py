@@ -337,8 +337,10 @@ class LocationMap:
                     self._mark_dirty(parent)
         if self._dirty:
             raise ChunkStoreError(f"dirty nodes left after checkpoint: {self._dirty}")
-        root = self._root
-        self._root_locator = root.disk_locator if root is not None else None
+        # An unloaded root (nothing dirtied since open) keeps its existing
+        # locator — overwriting it with None would orphan the whole tree.
+        if self._root is not None:
+            self._root_locator = self._root.disk_locator
         return self._root_locator, retired
 
     def _node_for_checkpoint(self, level: int, index: int) -> MapNode:
@@ -415,3 +417,29 @@ class LocationMap:
             return False
         self._mark_dirty(node)
         return True
+
+    # -- repair support ----------------------------------------------------------
+
+    def prune_child(self, level: int, index: int) -> bool:
+        """Detach node ``(level, index)`` from its parent (repair entry point).
+
+        A damaged node's mapping entries are unrecoverable from media; the
+        repair engine detaches the node so the chunk ids it covered read
+        as unmapped, then re-materializes them from the backup chain.
+        Returns whether a parent entry was actually removed.  The root
+        cannot be pruned — losing it means a full restore.
+        """
+        if self.frozen:
+            raise ChunkStoreError("frozen location map cannot be modified")
+        if level >= self.depth - 1:
+            raise ChunkStoreError("cannot prune the map root; restore instead")
+        parent = self._walk_to(level + 1, index // self.fanout)
+        if parent is None:
+            return False
+        removed = parent.children.pop(index % self.fanout, None) is not None
+        # Drop any stale cached copy so later writes rebuild the subtree
+        # from scratch instead of resurrecting the damaged node.
+        self.cache.remove(self.namespace, self._cache_key(level, index))
+        if removed:
+            self._mark_dirty(parent)
+        return removed

@@ -65,6 +65,7 @@ class ScanResult:
     segments_opened: List[int]  # segment numbers whose SEG_HEADER we saw
     end_segment: int
     end_offset: int
+    stop_reason: Optional[str] = None  # tolerant scans: why scanning stopped
 
 
 def scan_residual_log(
@@ -73,12 +74,16 @@ def scan_residual_log(
     start_segment: int,
     start_offset: int,
     hash_size: int,
+    tolerant: bool = False,
 ) -> ScanResult:
     """Scan and verify the residual log starting at the anchor.
 
     ``codec`` must be primed with the master's chain anchor; it is
     advanced record by record.  Raises :class:`TamperDetectedError` on a
-    complete-but-invalid record under the secure profile.
+    complete-but-invalid record under the secure profile — unless
+    ``tolerant`` is set (the salvage path), in which case scanning stops
+    at the first invalid record and the chain-valid prefix is returned
+    with ``stop_reason`` describing what ended it.
     """
     records: List[ScannedRecord] = []
     segments_opened: List[int] = []
@@ -86,8 +91,19 @@ def scan_residual_log(
     segment = start_segment
     offset = start_offset
 
+    def stopped(reason: str) -> ScanResult:
+        return ScanResult(
+            records=records,
+            segments_opened=segments_opened,
+            end_segment=segment,
+            end_offset=offset,
+            stop_reason=reason,
+        )
+
     file_name = segment_file_name(segment)
     if not untrusted.exists(file_name):
+        if tolerant:
+            return stopped(f"anchor segment {segment} is missing")
         raise TamperDetectedError(f"anchor segment {segment} is missing")
     visited.add(segment)
     data = untrusted.read(file_name)
@@ -95,6 +111,10 @@ def scan_residual_log(
         # The master was written after the log bytes it anchors were
         # forced to disk; a file shorter than the anchor means the log
         # was truncated behind the master's back.
+        if tolerant:
+            return stopped(
+                f"anchor segment {segment} shorter than the master's anchor"
+            )
         raise TamperDetectedError(
             f"anchor segment {segment} is shorter ({len(data)} bytes) than "
             f"the master's log anchor ({start_offset}): log truncated"
@@ -110,6 +130,10 @@ def scan_residual_log(
             kind, body_len = codec.parse_header(data[offset:offset + codec.header_size])
         except ChunkStoreError as exc:
             if codec.secure:
+                if tolerant:
+                    return stopped(
+                        f"unparseable record header in segment {segment} at {offset}"
+                    )
                 raise TamperDetectedError(
                     f"unparseable record header in segment {segment} at {offset}"
                 ) from exc
@@ -122,6 +146,10 @@ def scan_residual_log(
             kind, body_bytes = codec.verify_and_advance(record_bytes)
         except TamperDetectedError:
             if codec.secure:
+                if tolerant:
+                    return stopped(
+                        f"record in segment {segment} at {offset} failed validation"
+                    )
                 raise
             break  # CRC failure without an attacker model: treat as torn
         body = _decode_body(kind, body_bytes, codec.header_size, hash_size)
@@ -138,6 +166,11 @@ def scan_residual_log(
         offset += total
         if kind == RecordKind.SEG_HEADER:
             if body.segment != segment:
+                if tolerant:
+                    return stopped(
+                        f"segment {segment} carries a header for "
+                        f"segment {body.segment}"
+                    )
                 raise TamperDetectedError(
                     f"segment {segment} carries a header for segment {body.segment}"
                 )
@@ -145,6 +178,10 @@ def scan_residual_log(
         if kind == RecordKind.LINK:
             next_segment = body.next_segment
             if next_segment in visited:
+                if tolerant:
+                    return stopped(
+                        f"log links back to already-visited segment {next_segment}"
+                    )
                 raise TamperDetectedError(
                     f"log links back to already-visited segment {next_segment}"
                 )

@@ -28,7 +28,7 @@ from __future__ import annotations
 import os
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.cache import SharedLruCache
 from repro.chunkstore.cleaner import Cleaner, CleanerStats
@@ -44,6 +44,7 @@ from repro.chunkstore.format import (
 from repro.chunkstore.locmap import LocationMap, MapNode, NodeIO
 from repro.chunkstore.master import MasterIO, MasterRecord, MASTER_FILES
 from repro.chunkstore.recovery import scan_residual_log
+from repro.chunkstore.scrub import DamageReport, scrub_store
 from repro.chunkstore.segments import SegmentInfo, SegmentManager, segment_file_name
 from repro.chunkstore.snapshot import Snapshot
 from repro.config import ChunkStoreConfig
@@ -53,13 +54,15 @@ from repro.errors import (
     ChunkStoreError,
     RecoveryError,
     ReplayDetectedError,
+    SalvageReadOnlyError,
     TamperDetectedError,
+    TDBError,
 )
 from repro.platform.counter import OneWayCounter
 from repro.platform.secret import SecretStore
 from repro.platform.untrusted import UntrustedStore
 
-__all__ = ["ChunkStore", "ChunkStoreStats"]
+__all__ = ["ChunkStore", "ChunkStoreStats", "SalvageInfo"]
 
 
 @dataclass
@@ -81,6 +84,41 @@ class ChunkStoreStats:
     checkpoints_total: int
     cleaner: CleanerStats = field(default_factory=CleanerStats)
     possible_lost_commit: bool = False
+
+
+@dataclass
+class SalvageInfo:
+    """What a read-only salvage open managed to reconstruct.
+
+    Salvage never raises for damage it can route around; instead the
+    anomalies land here so an exporting application can judge how much
+    to trust what it reads.
+    """
+
+    counter_expected: int
+    counter_actual: int
+    commits_applied: int
+    commits_discarded: int
+    scan_stop_reason: Optional[str] = None
+    apply_stop_reason: Optional[str] = None
+
+    @property
+    def counter_skew(self) -> int:
+        return self.counter_actual - self.counter_expected
+
+    @property
+    def replay_suspected(self) -> bool:
+        """The image is older than the hardware counter says it should be."""
+        return self.counter_actual > self.counter_expected
+
+    @property
+    def degraded(self) -> bool:
+        return bool(
+            self.scan_stop_reason
+            or self.apply_stop_reason
+            or self.counter_skew
+            or self.commits_discarded
+        )
 
 
 class _RetireEvent:
@@ -181,6 +219,8 @@ class ChunkStore:
         self._app_payload_bytes = 0
         self._compaction_mark = 0
         self.possible_lost_commit = False
+        self._salvage = False
+        self.salvage_info: Optional[SalvageInfo] = None
         return self
 
     # ------------------------------------------------------------------
@@ -260,6 +300,53 @@ class ChunkStore:
             root_locator=master.root,
         )
         self._replay(master)
+        return self
+
+    @classmethod
+    def open_salvage(
+        cls,
+        untrusted: UntrustedStore,
+        secret_store: SecretStore,
+        counter: OneWayCounter,
+        config: Optional[ChunkStoreConfig] = None,
+        cache: Optional[SharedLruCache] = None,
+    ) -> "ChunkStore":
+        """Open a possibly damaged database read-only, best effort.
+
+        Unlike :meth:`open`, salvage never mutates the media (no tail
+        truncation, no segment reconciliation, no counter resync) and
+        never raises for damage it can route around: a bad residual-log
+        record degrades to the chain-valid prefix, a counter mismatch is
+        recorded in :attr:`salvage_info` instead of raising.  Every chunk
+        whose Merkle path still verifies is readable; damaged ones keep
+        raising on access and are enumerated by :meth:`scrub`.
+
+        Only a usable master record is required — with both master
+        copies gone there is no root of trust left to serve anything
+        from, and :class:`RecoveryError`/:class:`TamperDetectedError`
+        propagates.
+        """
+        config = config or ChunkStoreConfig()
+        self = cls._new(untrusted, secret_store, counter, config, cache)
+        self._salvage = True
+        master = self.master_io.load_latest()
+        self._validate_master_config(master)
+        self._db_uuid = master.db_uuid
+        self._generation = master.generation
+        self.codec = RecordCodec(
+            self.hash_engine, self._record_mac, chain=master.chain_anchor
+        )
+        self.segments = SegmentManager(untrusted, self.codec, config.segment_size)
+        self.segments.sync_enabled = False
+        self.location_map = LocationMap(
+            node_io=self.node_io,
+            fanout=config.map_fanout,
+            hash_size=self.hash_size,
+            cache=self.cache,
+            depth=master.depth,
+            root_locator=master.root,
+        )
+        self._replay_readonly(master)
         return self
 
     def _validate_master_config(self, master: MasterRecord) -> None:
@@ -406,6 +493,128 @@ class ChunkStore:
             if old is not None:
                 self.segments.mark_dead(old.segment, old.length)
 
+    def _replay_readonly(self, master: MasterRecord) -> None:
+        """Salvage-mode replay: best-effort, never touches the media.
+
+        Applies the chain-valid residual-log prefix up to the last
+        durable commit, stopping (not raising) at the first record the
+        damaged map cannot absorb, and records every anomaly — including
+        one-way-counter skew — in :attr:`salvage_info`.
+        """
+        self.segments.segments = {
+            info.number: SegmentInfo(
+                number=info.number,
+                accountable_bytes=info.accountable_bytes,
+                dead_bytes=info.dead_bytes,
+                overhead_bytes=info.overhead_bytes,
+                file_bytes=info.file_bytes,
+                is_tail=info.is_tail,
+                is_free=info.is_free,
+            )
+            for info in master.segments
+        }
+        scan = scan_residual_log(
+            self.untrusted,
+            self.codec,
+            master.anchor_segment,
+            master.anchor_offset,
+            self.hash_size,
+            tolerant=True,
+        )
+        cutoff = -1
+        for idx, record in enumerate(scan.records):
+            if record.kind == RecordKind.COMMIT and record.body.durable:
+                cutoff = idx
+        applied = scan.records[:cutoff + 1]
+
+        self._seqno = master.commit_seqno
+        self._counter_value = master.expected_counter
+        self._next_cid = master.next_chunk_id
+        tail_segment = master.anchor_segment
+        tail_offset = master.anchor_offset
+        residual = {master.anchor_segment}
+        commits_applied = 0
+        apply_stop: Optional[str] = None
+
+        for position, record in enumerate(applied):
+            info = self.segments.segments.get(record.segment)
+            if record.kind == RecordKind.SEG_HEADER:
+                if info is None:
+                    info = SegmentInfo(number=record.segment)
+                    self.segments.segments[record.segment] = info
+                else:
+                    info.reset_for_reuse()
+            if info is None:
+                apply_stop = (
+                    f"residual log touches unknown segment {record.segment}"
+                )
+                break
+            if record.kind == RecordKind.COMMIT:
+                try:
+                    self._apply_commit_readonly(record)
+                except TDBError as exc:
+                    apply_stop = (
+                        f"commit seqno {record.body.seqno} not applicable: "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                    break
+                commits_applied += 1
+                self._seqno = max(self._seqno, record.body.seqno)
+                self._counter_value = max(
+                    self._counter_value, record.body.expected_counter
+                )
+                self._next_cid = max(self._next_cid, record.body.next_chunk_id)
+            info.file_bytes = max(info.file_bytes, record.end_offset)
+            residual.add(record.segment)
+            tail_segment = record.segment
+            tail_offset = record.end_offset
+
+        commits_discarded = sum(
+            1
+            for record in scan.records
+            if record.kind == RecordKind.COMMIT
+        ) - commits_applied
+
+        # Adopt the recovered cursor without segments.restore(): restore
+        # truncates the discarded tail, and salvage must not write.
+        for info in self.segments.segments.values():
+            info.is_tail = info.number == tail_segment
+            if info.is_tail:
+                info.is_free = False
+        self.segments.tail_segment = tail_segment
+        self.segments.tail_offset = tail_offset
+        self.segments.next_segment_number = max(
+            [master.next_segment_number]
+            + [number + 1 for number in self.segments.segments]
+        )
+        self.segments.residual_segments = residual
+
+        actual = self.counter.read() if self.secure else self._counter_value
+        self.salvage_info = SalvageInfo(
+            counter_expected=self._counter_value,
+            counter_actual=actual,
+            commits_applied=commits_applied,
+            commits_discarded=commits_discarded,
+            scan_stop_reason=scan.stop_reason,
+            apply_stop_reason=apply_stop,
+        )
+
+    def _apply_commit_readonly(self, record) -> None:
+        """Map-only commit application for salvage (no space accounting)."""
+        body: CommitBody = record.body
+        for item, rel_offset in zip(body.writes, body.payload_offsets):
+            locator = Locator(
+                segment=record.segment,
+                offset=record.offset + rel_offset,
+                length=len(item.payload),
+                hash_value=(
+                    self.hash_engine.digest(item.payload) if self.secure else b""
+                ),
+            )
+            self.location_map.set(item.chunk_id, locator)
+        for chunk_id in body.deallocs:
+            self.location_map.remove(chunk_id)
+
     def _reconcile_segments(self) -> None:
         """Compare the segment table against the actual files.
 
@@ -468,6 +677,7 @@ class ChunkStore:
         """Return an unallocated chunk id (reuses deallocated ids)."""
         with self._lock:
             self._check_open()
+            self._check_writable()
             if self._free_cids:
                 cid = self._free_cids.pop()
             else:
@@ -497,6 +707,7 @@ class ChunkStore:
         """
         with self._lock:
             self._check_open()
+            self._check_writable()
             if chunk_id < 0:
                 raise ChunkStoreError("chunk ids are non-negative")
             self._pending_cids.add(chunk_id)
@@ -539,6 +750,7 @@ class ChunkStore:
         """Atomically apply a batch of chunk writes and deallocations."""
         with self._lock:
             self._check_open()
+            self._check_writable()
             deallocs = list(deallocs)
             if not writes and not deallocs:
                 return
@@ -559,6 +771,7 @@ class ChunkStore:
         """Cleaner entry point: relocate already-encrypted payloads."""
         with self._lock:
             self._check_open()
+            self._check_writable()
             commit_items = [CommitItem(cid, payload) for cid, payload in items]
             self._commit_items(commit_items, [], durable=True, from_cleaner=True)
 
@@ -659,6 +872,40 @@ class ChunkStore:
         return self.cipher.decrypt(data)
 
     # ------------------------------------------------------------------
+    # Scrubbing (Merkle-tree verification with damage localization)
+    # ------------------------------------------------------------------
+
+    def scrub(self) -> DamageReport:
+        """Verify every reachable map node and chunk payload from media.
+
+        A writable store is checkpointed first so the on-disk tree equals
+        the logical tree; a salvage store is walked as reconstructed.
+        Damage is *reported*, never raised: the returned
+        :class:`~repro.chunkstore.scrub.DamageReport` lists damaged chunk
+        ids, map-node coordinates with the chunk-id ranges they covered,
+        and the segments involved.
+        """
+        with self._lock:
+            self._check_open()
+            if not self._salvage:
+                self.checkpoint(force=True)
+            report, _ = scrub_store(self, collect=False)
+            return report
+
+    def export_surviving(self) -> Tuple[DamageReport, Dict[int, bytes]]:
+        """Scrub and return the plaintext of every chunk that verifies.
+
+        The salvage-export path: an embedding application gets whatever
+        state the damage spared (meters, balances) plus the report of
+        what was lost.
+        """
+        with self._lock:
+            self._check_open()
+            if not self._salvage:
+                self.checkpoint(force=True)
+            return scrub_store(self, collect=True)
+
+    # ------------------------------------------------------------------
     # Checkpoints
     # ------------------------------------------------------------------
 
@@ -670,6 +917,7 @@ class ChunkStore:
         """
         with self._lock:
             self._check_open()
+            self._check_writable()
             if (
                 not force
                 and not self.location_map.has_dirty_nodes()
@@ -784,6 +1032,7 @@ class ChunkStore:
         """Run one explicit cleaning pass; return segments recycled."""
         with self._lock:
             self._check_open()
+            self._check_writable()
             return self.cleaner.clean_pass(
                 max_segments or self.config.cleaner_segments_per_pass
             )
@@ -800,6 +1049,7 @@ class ChunkStore:
         """
         with self._lock:
             self._check_open()
+            self._check_writable()
             report = {"checkpointed": False, "segments_freed": 0, "passes": 0}
             if self.location_map.has_dirty_nodes() or self._residual_bytes:
                 self.checkpoint()
@@ -877,6 +1127,7 @@ class ChunkStore:
         """Freeze the current state for backup (copy-on-write)."""
         with self._lock:
             self._check_open()
+            self._check_writable()
             self.checkpoint(force=True)
             snapshot_id = self._next_snapshot_id
             self._next_snapshot_id += 1
@@ -942,8 +1193,9 @@ class ChunkStore:
                 return
             for snap in list(self._snapshots.values()):
                 self.release_snapshot(snap)
-            self.checkpoint()
-            self.segments.sync_dirty()
+            if not self._salvage:
+                self.checkpoint()
+                self.segments.sync_dirty()
             self._closed = True
 
     def __enter__(self) -> "ChunkStore":
@@ -955,3 +1207,14 @@ class ChunkStore:
     def _check_open(self) -> None:
         if self._closed:
             raise ChunkStoreError("chunk store is closed")
+
+    def _check_writable(self) -> None:
+        if self._salvage:
+            raise SalvageReadOnlyError(
+                "store was opened in read-only salvage mode"
+            )
+
+    @property
+    def salvage(self) -> bool:
+        """Whether this store was opened read-only via :meth:`open_salvage`."""
+        return self._salvage

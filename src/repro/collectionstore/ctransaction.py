@@ -11,7 +11,7 @@ collections, plus commit and abort.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List
 
 from repro.collectionstore.collection import Collection, CollectionHandle
 from repro.collectionstore.indexer import Indexer

@@ -17,7 +17,7 @@ the collection store.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Type
+from typing import Callable, Type
 
 from repro.errors import SchemaError
 from repro.objectstore.encoding import BufferReader, BufferWriter

@@ -16,7 +16,7 @@ processes, unlike Python's randomized ``hash()``.
 from __future__ import annotations
 
 import struct
-from typing import Any, Tuple
+from typing import Any
 
 from repro.errors import SchemaError
 from repro.objectstore.encoding import BufferReader, BufferWriter

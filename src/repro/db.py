@@ -47,6 +47,7 @@ from repro.config import (
     CollectionStoreConfig,
     ObjectStoreConfig,
 )
+from repro.errors import TDBError
 from repro.objectstore import ClassRegistry, ObjectStore, Persistent, Transaction
 from repro.platform import (
     ArchivalStore,
@@ -72,8 +73,8 @@ class Database:
     def __init__(
         self,
         chunk_store: ChunkStore,
-        object_store: ObjectStore,
-        collection_store: CollectionStore,
+        object_store: Optional[ObjectStore],
+        collection_store: Optional[CollectionStore],
         archival: ArchivalStore,
     ) -> None:
         self.chunk_store = chunk_store
@@ -81,6 +82,16 @@ class Database:
         self.collection_store = collection_store
         self.archival = archival
         self._closed = False
+
+    @property
+    def salvage(self) -> bool:
+        """Whether this database was opened read-only in salvage mode."""
+        return self.chunk_store.salvage
+
+    @property
+    def salvage_info(self):
+        """Salvage anomalies (``None`` unless opened with ``salvage=True``)."""
+        return self.chunk_store.salvage_info
 
     # ------------------------------------------------------------------
     # Construction
@@ -98,6 +109,7 @@ class Database:
         collection_config: CollectionStoreConfig,
         registry: Optional[ClassRegistry],
         fresh: bool,
+        salvage: bool = False,
     ) -> "Database":
         cache = SharedLruCache(object_config.cache_bytes)
         if fresh:
@@ -105,12 +117,29 @@ class Database:
                 untrusted, secret, counter, chunk_config, cache=cache
             )
             object_store = ObjectStore.create(chunk_store, object_config, registry)
+        elif salvage:
+            chunk_store = ChunkStore.open_salvage(
+                untrusted, secret, counter, chunk_config, cache=cache
+            )
+            # Best effort: the object layer needs its catalog chunk, which
+            # the damage may have taken out.  The chunk level stays
+            # servable either way.
+            try:
+                object_store = ObjectStore.attach(
+                    chunk_store, object_config, registry
+                )
+            except TDBError:
+                object_store = None
         else:
             chunk_store = ChunkStore.open(
                 untrusted, secret, counter, chunk_config, cache=cache
             )
             object_store = ObjectStore.attach(chunk_store, object_config, registry)
-        collection_store = CollectionStore(object_store, collection_config)
+        collection_store = (
+            CollectionStore(object_store, collection_config)
+            if object_store is not None
+            else None
+        )
         return cls(chunk_store, object_store, collection_store, archival)
 
     @classmethod
@@ -141,8 +170,16 @@ class Database:
         object_config: Optional[ObjectStoreConfig] = None,
         collection_config: Optional[CollectionStoreConfig] = None,
         registry: Optional[ClassRegistry] = None,
+        salvage: bool = False,
     ) -> "Database":
-        """Open (and crash-recover) a file-backed database."""
+        """Open (and crash-recover) a file-backed database.
+
+        With ``salvage=True`` a damaged store is opened *read-only*, best
+        effort: every chunk whose Merkle path still verifies is served,
+        the rest keep raising on access and are enumerated by
+        :meth:`scrub`; anomalies (counter skew, discarded log suffix)
+        are reported in :attr:`salvage_info` instead of raising.
+        """
         parts = cls._file_parts(directory, create_secret=False)
         return cls._assemble(
             *parts,
@@ -151,6 +188,7 @@ class Database:
             collection_config or CollectionStoreConfig(),
             registry,
             fresh=False,
+            salvage=salvage,
         )
 
     @classmethod
@@ -193,11 +231,20 @@ class Database:
 
     def register_class(self, cls: Type[Persistent]) -> Type[Persistent]:
         """Register a persistent class with this database's registry."""
-        return self.object_store.registry.register(cls)
+        return self._require_objects().registry.register(cls)
 
     def register_indexer(self, indexer: Indexer) -> Indexer:
         """Register an indexer (must be repeated after each open)."""
+        self._require_objects()
         return self.collection_store.register_indexer(indexer)
+
+    def _require_objects(self) -> ObjectStore:
+        if self.object_store is None:
+            raise TDBError(
+                "the object layer is unavailable: its catalog chunk did not "
+                "survive; use scrub()/export_surviving() at the chunk level"
+            )
+        return self.object_store
 
     # ------------------------------------------------------------------
     # Work
@@ -205,11 +252,20 @@ class Database:
 
     def transaction(self) -> Transaction:
         """Begin an object-store transaction."""
-        return self.object_store.transaction()
+        return self._require_objects().transaction()
 
     def ctransaction(self) -> CTransaction:
         """Begin a collection-store transaction."""
+        self._require_objects()
         return self.collection_store.transaction()
+
+    def scrub(self):
+        """Merkle-verify the whole chunk level; returns a DamageReport."""
+        return self.chunk_store.scrub()
+
+    def export_surviving(self):
+        """Scrub and return ``(DamageReport, {chunk_id: plaintext})``."""
+        return self.chunk_store.export_surviving()
 
     def backup_store(self) -> BackupStore:
         """A backup store over this database's archival store and secret."""
@@ -231,7 +287,10 @@ class Database:
         if self._closed:
             return
         self._closed = True
-        self.collection_store.close()  # closes the whole stack
+        if self.collection_store is not None:
+            self.collection_store.close()  # closes the whole stack
+        else:
+            self.chunk_store.close()
 
     def __enter__(self) -> "Database":
         return self

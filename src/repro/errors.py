@@ -17,6 +17,7 @@ __all__ = [
     "ReplayDetectedError",
     "CryptoError",
     "StoreError",
+    "TransientStoreError",
     "ChunkStoreError",
     "ChunkNotFoundError",
     "ChunkStoreFullError",
@@ -24,6 +25,8 @@ __all__ = [
     "SnapshotError",
     "BackupError",
     "RestoreSequenceError",
+    "RepairError",
+    "SalvageReadOnlyError",
     "ObjectStoreError",
     "ObjectNotFoundError",
     "TransactionError",
@@ -85,6 +88,17 @@ class StoreError(TDBError):
     """Base class for platform-store errors (untrusted/archival/counter)."""
 
 
+class TransientStoreError(StoreError):
+    """A media operation failed in a way that may succeed if retried.
+
+    Removable or flaky media (the paper's consumer devices) produce
+    transient I/O faults — interrupted system calls, busy devices,
+    recoverable read errors.  The resilient store wrapper retries these
+    with bounded backoff; only when retries are exhausted does the error
+    escape to the caller, still as a :class:`StoreError` subclass.
+    """
+
+
 class ChunkStoreError(TDBError):
     """Base class for chunk-store errors."""
 
@@ -114,6 +128,14 @@ class BackupError(TDBError):
 
 class RestoreSequenceError(BackupError):
     """Incremental backups presented out of order or on the wrong base."""
+
+
+class RepairError(TDBError):
+    """Damage could not be healed from the available backup chain."""
+
+
+class SalvageReadOnlyError(ChunkStoreError):
+    """Mutation attempted on a store opened in read-only salvage mode."""
 
 
 # ---------------------------------------------------------------------------

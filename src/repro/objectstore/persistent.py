@@ -18,7 +18,7 @@ followed by the subclass's pickled body.
 from __future__ import annotations
 
 import struct
-from typing import Dict, Tuple, Type
+from typing import Dict, Type
 
 from repro.errors import PicklingError, UnknownClassError
 

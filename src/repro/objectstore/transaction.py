@@ -15,7 +15,6 @@ from typing import Dict, Optional, Set, Type
 
 from repro.errors import (
     ObjectNotFoundError,
-    TransactionError,
     TransactionInactiveError,
     TypeCheckError,
 )

@@ -23,7 +23,10 @@ from repro.platform.untrusted import (
     UntrustedStore,
     MemoryUntrustedStore,
     FileUntrustedStore,
+    TRANSIENT_ERRNOS,
+    classify_os_error,
 )
+from repro.platform.resilient import RetryPolicy, ResilientUntrustedStore
 from repro.platform.secret import SecretStore, MemorySecretStore, FileSecretStore
 from repro.platform.counter import (
     OneWayCounter,
@@ -43,6 +46,10 @@ __all__ = [
     "UntrustedStore",
     "MemoryUntrustedStore",
     "FileUntrustedStore",
+    "TRANSIENT_ERRNOS",
+    "classify_os_error",
+    "RetryPolicy",
+    "ResilientUntrustedStore",
     "SecretStore",
     "MemorySecretStore",
     "FileSecretStore",

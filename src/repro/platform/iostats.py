@@ -31,6 +31,8 @@ class IOStats:
     write_calls: int = 0
     sync_calls: int = 0
     random_writes: int = 0
+    transient_retries: int = 0
+    transient_giveups: int = 0
     _write_cursors: Dict[str, int] = field(default_factory=dict, repr=False)
 
     def record_read(self, nbytes: int) -> None:
@@ -50,6 +52,14 @@ class IOStats:
     def record_sync(self) -> None:
         self.sync_calls += 1
 
+    def record_retry(self) -> None:
+        """One transient fault absorbed by retrying the operation."""
+        self.transient_retries += 1
+
+    def record_giveup(self) -> None:
+        """Retries exhausted; the transient fault escaped to the caller."""
+        self.transient_giveups += 1
+
     def reset(self) -> None:
         """Zero all counters (used between benchmark phases)."""
         self.bytes_read = 0
@@ -58,6 +68,8 @@ class IOStats:
         self.write_calls = 0
         self.sync_calls = 0
         self.random_writes = 0
+        self.transient_retries = 0
+        self.transient_giveups = 0
         self._write_cursors.clear()
 
     def snapshot(self) -> "IOStats":
@@ -69,6 +81,8 @@ class IOStats:
             write_calls=self.write_calls,
             sync_calls=self.sync_calls,
             random_writes=self.random_writes,
+            transient_retries=self.transient_retries,
+            transient_giveups=self.transient_giveups,
         )
 
     def delta_since(self, earlier: "IOStats") -> "IOStats":
@@ -80,4 +94,6 @@ class IOStats:
             write_calls=self.write_calls - earlier.write_calls,
             sync_calls=self.sync_calls - earlier.sync_calls,
             random_writes=self.random_writes - earlier.random_writes,
+            transient_retries=self.transient_retries - earlier.transient_retries,
+            transient_giveups=self.transient_giveups - earlier.transient_giveups,
         )

@@ -5,8 +5,8 @@ suite, examples, and benchmarks:
 
 * :mod:`repro.testing.faults` — :class:`FaultyUntrustedStore` /
   :class:`FaultyArchivalStore` wrap the platform stores and inject
-  scheduled crashes, torn writes, bit-flips, zeroing, and image replay
-  (:class:`FaultSchedule`),
+  scheduled crashes, torn writes, bit-flips, zeroing, image replay, and
+  transient (retryable) failures (:class:`FaultSchedule`),
 * :mod:`repro.testing.sweeper` — :class:`CrashSweeper` enumerates every
   write/sync boundary of a workload and checks recovery against a
   :class:`CommitLedger`; :meth:`CrashSweeper.sweep_replays` sweeps

@@ -13,7 +13,11 @@ and repeatable:
 * :class:`FaultSchedule` describes what to inject and when: crash after
   the Nth write, crash in the middle of the Nth write (a torn append),
   crash after the Nth sync, bit-flips at chosen offsets, sector zeroing,
-  and whole-image replay from a recorded snapshot,
+  whole-image replay from a recorded snapshot, and transient failures
+  (the Nth read/write/sync raises
+  :class:`~repro.errors.TransientStoreError` ``times`` attempts in a
+  row, then recovers — the schedule the resilient retry layer exists
+  for),
 * :class:`FaultyArchivalStore` gives backup streams the same treatment.
 
 A fired crash raises :class:`InjectedCrash` — deliberately *not* a
@@ -30,7 +34,7 @@ import io
 from dataclasses import dataclass, field
 from typing import BinaryIO, Dict, List, Optional, Tuple
 
-from repro.errors import StoreError
+from repro.errors import StoreError, TransientStoreError
 from repro.platform.archival import ArchivalStore
 from repro.platform.untrusted import MemoryUntrustedStore, UntrustedStore
 
@@ -51,13 +55,14 @@ class InjectedCrash(Exception):
 
 
 # Fault actions.
-CRASH = "crash"     # complete the operation, then crash
-TORN = "torn"       # apply only a prefix of the write, then crash
-FLIP = "flip"       # complete the operation, then flip bits on the media
-ZERO = "zero"       # complete the operation, then zero a byte region
-REPLAY = "replay"   # complete the operation, then replace the whole image
+CRASH = "crash"         # complete the operation, then crash
+TORN = "torn"           # apply only a prefix of the write, then crash
+FLIP = "flip"           # complete the operation, then flip bits on the media
+ZERO = "zero"           # complete the operation, then zero a byte region
+REPLAY = "replay"       # complete the operation, then replace the whole image
+TRANSIENT = "transient" # fail with TransientStoreError *before* the operation
 
-_ACTIONS = (CRASH, TORN, FLIP, ZERO, REPLAY)
+_ACTIONS = (CRASH, TORN, FLIP, ZERO, REPLAY, TRANSIENT)
 
 
 @dataclass
@@ -66,11 +71,20 @@ class Fault:
 
     ``on``/``index`` select the trigger: the ``index``-th (1-based)
     mutating operation (``on="write"`` — truncate and delete count too,
-    they mutate the media) or the ``index``-th sync (``on="sync"``).
+    they mutate the media), the ``index``-th sync (``on="sync"``), or
+    the ``index``-th read (``on="read"``, transient faults only).
     ``action`` selects what happens there.
+
+    A :data:`TRANSIENT` fault raises
+    :class:`~repro.errors.TransientStoreError` *before* the operation
+    reaches the media and does **not** consume the operation index, so a
+    retrying caller hits the same fault again until its ``times`` budget
+    is spent — the flaky-then-recover schedule the resilient store's
+    backoff is built for.  ``times`` larger than the retry budget models
+    a fault that never recovers (the giveup path).
     """
 
-    on: str                     # "write" | "sync"
+    on: str                     # "write" | "sync" | "read"
     index: int                  # 1-based operation index
     action: str                 # one of _ACTIONS
     name: Optional[str] = None  # target file for flip/zero
@@ -79,17 +93,26 @@ class Fault:
     mask: int = 0x01            # xor mask for flip
     keep: int = 0               # bytes of the write that land for torn
     image: Optional[Dict[str, bytes]] = None  # replacement image for replay
+    times: int = 1              # consecutive failures for transient
+    remaining: int = field(init=False, default=0)
     fired: bool = False
 
     def __post_init__(self) -> None:
-        if self.on not in ("write", "sync"):
-            raise ValueError(f"fault trigger must be 'write' or 'sync': {self.on!r}")
+        if self.on not in ("write", "sync", "read"):
+            raise ValueError(
+                f"fault trigger must be 'write', 'sync' or 'read': {self.on!r}"
+            )
         if self.action not in _ACTIONS:
             raise ValueError(f"unknown fault action {self.action!r}")
+        if self.on == "read" and self.action != TRANSIENT:
+            raise ValueError("read faults support only the transient action")
         if self.index < 1:
             raise ValueError("fault indices are 1-based")
         if self.action == TORN and self.keep < 0:
             raise ValueError("torn writes keep a non-negative byte count")
+        if self.times < 1:
+            raise ValueError("transient faults fire at least once")
+        self.remaining = self.times if self.action == TRANSIENT else 0
 
     def describe(self) -> str:
         where = f"{self.on}#{self.index}"
@@ -101,6 +124,8 @@ class Fault:
             return f"zero {where} {self.name}@{self.offset}+{self.length}"
         if self.action == REPLAY:
             return f"replay image after {where}"
+        if self.action == TRANSIENT:
+            return f"transient {where} x{self.times}"
         return f"crash after {where}"
 
 
@@ -150,6 +175,15 @@ class FaultSchedule:
     ) -> "FaultSchedule":
         return self.add(Fault(on="write", index=index, action=REPLAY, image=image))
 
+    def transient_on_read(self, index: int, times: int = 1) -> "FaultSchedule":
+        return self.add(Fault(on="read", index=index, action=TRANSIENT, times=times))
+
+    def transient_on_write(self, index: int, times: int = 1) -> "FaultSchedule":
+        return self.add(Fault(on="write", index=index, action=TRANSIENT, times=times))
+
+    def transient_on_sync(self, index: int, times: int = 1) -> "FaultSchedule":
+        return self.add(Fault(on="sync", index=index, action=TRANSIENT, times=times))
+
     # -- queries -----------------------------------------------------------
 
     def matching(self, on: str, index: int) -> List[Fault]:
@@ -181,6 +215,7 @@ class FaultyUntrustedStore(UntrustedStore):
         self.schedule = schedule or FaultSchedule()
         self.total_writes = 0        # mutating ops: write, truncate, delete
         self.total_syncs = 0
+        self.total_reads = 0         # read() calls that reached the media
         self.op_log: List[Tuple[str, str, int]] = []  # (kind, name, nbytes)
         self.crashed = False
 
@@ -209,6 +244,21 @@ class FaultyUntrustedStore(UntrustedStore):
                 fault.fired = True
                 self.load_image(fault.image or {})
 
+    def _maybe_transient(self, on: str, candidate: int, context: str) -> None:
+        """Fire a pending transient fault for the *candidate* op index.
+
+        Raising here leaves the operation counter untouched, so a retry
+        of the same logical operation meets the same fault again until
+        its ``times`` budget runs out and the operation finally lands.
+        """
+        for fault in self.schedule.matching(on, candidate):
+            if fault.action == TRANSIENT and fault.remaining > 0:
+                fault.remaining -= 1
+                fault.fired = True
+                raise TransientStoreError(
+                    f"injected {fault.describe()} during {context}"
+                )
+
     def heal(self) -> None:
         """Reboot: clear the crashed flag and drop the remaining schedule."""
         self.crashed = False
@@ -218,6 +268,7 @@ class FaultyUntrustedStore(UntrustedStore):
 
     def write(self, name: str, offset: int, data: bytes) -> None:
         self._check_alive()
+        self._maybe_transient("write", self.total_writes + 1, f"write({name!r})")
         self.total_writes += 1
         faults = self.schedule.matching("write", self.total_writes)
         for fault in faults:
@@ -233,6 +284,7 @@ class FaultyUntrustedStore(UntrustedStore):
 
     def truncate(self, name: str, size: int) -> None:
         self._check_alive()
+        self._maybe_transient("write", self.total_writes + 1, f"truncate({name!r})")
         self.total_writes += 1
         faults = self.schedule.matching("write", self.total_writes)
         for fault in faults:
@@ -246,6 +298,7 @@ class FaultyUntrustedStore(UntrustedStore):
 
     def delete(self, name: str) -> None:
         self._check_alive()
+        self._maybe_transient("write", self.total_writes + 1, f"delete({name!r})")
         self.total_writes += 1
         faults = self.schedule.matching("write", self.total_writes)
         for fault in faults:
@@ -258,6 +311,7 @@ class FaultyUntrustedStore(UntrustedStore):
 
     def sync(self, name: str) -> None:
         self._check_alive()
+        self._maybe_transient("sync", self.total_syncs + 1, f"sync({name!r})")
         self.total_syncs += 1
         self.inner.sync(name)
         self.op_log.append(("sync", name, 0))
@@ -279,6 +333,8 @@ class FaultyUntrustedStore(UntrustedStore):
 
     def read(self, name: str, offset: int = 0, length: Optional[int] = None) -> bytes:
         self._check_alive()
+        self._maybe_transient("read", self.total_reads + 1, f"read({name!r})")
+        self.total_reads += 1
         return self.inner.read(name, offset, length)
 
     # -- offline manipulation (does not count as operations) ---------------

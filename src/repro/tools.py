@@ -1,6 +1,6 @@
 """Command-line administration tools for TDB databases.
 
-Two subcommands over a file-backed database directory (the layout
+Subcommands over a file-backed database directory (the layout
 ``Database.create`` produces):
 
 * ``inspect`` — open the database (which already validates the master
@@ -10,20 +10,35 @@ Two subcommands over a file-backed database directory (the layout
   every chunk, forcing every Merkle path and payload digest to be
   checked; then validate every backup stream in the archive.  Exits
   non-zero if anything fails.
+* ``scrub``   — Merkle-walk the whole store and print a structured
+  damage report instead of stopping at the first bad byte; with
+  ``--salvage`` the store is opened read-only so a damaged image can be
+  diagnosed without touching it.
+* ``repair``  — heal a damaged store from the backup chain in its
+  archive (selective re-materialization when the damage is local, full
+  restore when it is not).
+* ``salvage-export`` — open the store read-only in salvage mode and
+  dump every chunk that still Merkle-verifies to files in an output
+  directory, with a manifest.
 
 Usage::
 
     python -m repro.tools inspect /path/to/dbdir
     python -m repro.tools verify  /path/to/dbdir [--secure/--insecure]
+    python -m repro.tools scrub   /path/to/dbdir [--salvage]
+    python -m repro.tools repair  /path/to/dbdir
+    python -m repro.tools salvage-export /path/to/dbdir /path/to/outdir
 
-Both tools are read-only: they never modify the database.
+``inspect``, ``verify``, ``scrub --salvage`` and ``salvage-export`` are
+read-only; ``repair`` rewrites the untrusted store.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import Optional
+from typing import List, Optional
 
 from repro.backupstore import BackupStore
 from repro.chunkstore import ChunkStore
@@ -38,18 +53,22 @@ from repro.platform import (
     FileSecretStore,
     FileUntrustedStore,
 )
+from repro.repair import RepairEngine
 
 __all__ = ["main", "open_readonly_stack", "verify_database"]
 
 
-def open_readonly_stack(directory: str, config: Optional[ChunkStoreConfig] = None):
-    """Open the chunk store of a database directory (validating open)."""
-    import os
-
+def _platform_parts(directory: str):
     untrusted = FileUntrustedStore(os.path.join(directory, "data"))
     secret = FileSecretStore(os.path.join(directory, "secret.key"))
     counter = FileOneWayCounter(os.path.join(directory, "counter"))
     archival = FileArchivalStore(os.path.join(directory, "archive"))
+    return untrusted, secret, counter, archival
+
+
+def open_readonly_stack(directory: str, config: Optional[ChunkStoreConfig] = None):
+    """Open the chunk store of a database directory (validating open)."""
+    untrusted, secret, counter, archival = _platform_parts(directory)
     chunk_store = ChunkStore.open(untrusted, secret, counter, config)
     return chunk_store, archival, secret
 
@@ -155,6 +174,112 @@ def verify_database(directory: str, config: Optional[ChunkStoreConfig]) -> int:
     return 0
 
 
+def _print_report(report) -> None:
+    print(f"scrub: {report.summary()}")
+    for chunk in report.damaged_chunks:
+        print(
+            f"  damaged chunk {chunk.chunk_id} "
+            f"(segment {chunk.segment} @ {chunk.offset}+{chunk.length}): "
+            f"{chunk.error}"
+        )
+    for node in report.damaged_nodes:
+        print(
+            f"  damaged map node L{node.level}#{node.index} "
+            f"covering ids [{node.id_lo}, {node.id_hi}): {node.error}"
+        )
+    if report.root_lost:
+        print("  map root unreadable: the whole tree is unreachable")
+
+
+def scrub_database(
+    directory: str, config: Optional[ChunkStoreConfig], salvage: bool
+) -> int:
+    """Merkle-walk the store; exit 0 only if every byte verifies."""
+    untrusted, secret, counter, _ = _platform_parts(directory)
+    opener = ChunkStore.open_salvage if salvage else ChunkStore.open
+    store = opener(untrusted, secret, counter, config)
+    info = store.salvage_info
+    if info is not None and info.degraded:
+        if info.counter_skew:
+            print(
+                f"salvage: counter skew {info.counter_skew} "
+                f"(expected {info.counter_expected}, found {info.counter_actual})"
+                + (" — replay suspected" if info.replay_suspected else "")
+            )
+        if info.commits_discarded:
+            print(
+                f"salvage: discarded {info.commits_discarded} residual "
+                f"commit(s): {info.scan_stop_reason or info.apply_stop_reason}"
+            )
+    report = store.scrub()
+    _print_report(report)
+    store.close()
+    return 0 if report.clean else 1
+
+
+def _chain_names(backups: BackupStore, archival: FileArchivalStore) -> List[str]:
+    """Valid backup streams in chain order (by sequence number)."""
+    ordered = []
+    for name in archival.list_streams():
+        try:
+            info = backups.inspect(name)
+        except TDBError as exc:
+            print(f"skipping invalid backup {name}: {exc}")
+            continue
+        ordered.append((info.sequence, name))
+    return [name for _, name in sorted(ordered)]
+
+
+def repair_database(directory: str, config: Optional[ChunkStoreConfig]) -> int:
+    """Heal the store from its archive's backup chain."""
+    untrusted, secret, counter, archival = _platform_parts(directory)
+    backups = BackupStore(archival, secret)
+    names = _chain_names(backups, archival)
+    if not names:
+        print("no usable backups in the archive; cannot repair")
+        return 2
+    print(f"backup chain: {', '.join(names)}")
+    engine = RepairEngine(backups, names)
+    result = engine.heal(untrusted, secret, counter, config)
+    if result.open_error:
+        print(f"store did not open: {result.open_error}")
+    if result.replay_detected:
+        print("NOTE: replay detected — the image had been rolled back")
+    print(f"repair action: {result.action}")
+    if result.repaired_chunks:
+        print(f"  repaired chunks : {result.repaired_chunks}")
+    if result.lost_chunks:
+        print(f"  lost chunks     : {result.lost_chunks} (newer than any backup)")
+    if result.pruned_ranges:
+        print(f"  pruned id ranges: {result.pruned_ranges}")
+    _print_report(result.report_after)
+    result.store.close()
+    return 0 if result.healthy else 1
+
+
+def salvage_export(
+    directory: str, out_dir: str, config: Optional[ChunkStoreConfig]
+) -> int:
+    """Dump every surviving chunk of a damaged store to ``out_dir``."""
+    untrusted, secret, counter, _ = _platform_parts(directory)
+    store = ChunkStore.open_salvage(untrusted, secret, counter, config)
+    report, payloads = store.export_surviving()
+    os.makedirs(out_dir, exist_ok=True)
+    manifest_lines = []
+    for chunk_id in sorted(payloads):
+        data = payloads[chunk_id]
+        name = f"chunk-{chunk_id:08d}.bin"
+        with open(os.path.join(out_dir, name), "wb") as fh:
+            fh.write(data)
+        manifest_lines.append(f"{chunk_id}\t{name}\t{len(data)}\n")
+    with open(os.path.join(out_dir, "MANIFEST.tsv"), "w") as fh:
+        fh.writelines(manifest_lines)
+    _print_report(report)
+    print(f"exported {len(payloads)} chunk(s) to {out_dir}")
+    store.close()
+    return 0 if report.clean else 1
+
+
 def _config_from_args(args) -> Optional[ChunkStoreConfig]:
     if args.segment_kb is None and args.fanout is None and args.secure is None:
         return None
@@ -175,9 +300,14 @@ def main(argv=None) -> int:
         prog="python -m repro.tools", description=__doc__.splitlines()[0]
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    for name in ("inspect", "verify"):
+    for name in ("inspect", "verify", "scrub", "repair", "salvage-export"):
         cmd = sub.add_parser(name)
         cmd.add_argument("directory")
+        if name == "scrub":
+            cmd.add_argument("--salvage", action="store_true", default=False,
+                             help="open read-only; works on damaged stores")
+        if name == "salvage-export":
+            cmd.add_argument("out_dir")
         cmd.add_argument("--segment-kb", type=int, default=None,
                          help="segment size in KB if non-default")
         cmd.add_argument("--fanout", type=int, default=None,
@@ -192,6 +322,12 @@ def main(argv=None) -> int:
     try:
         if args.command == "inspect":
             return inspect_database(args.directory, config)
+        if args.command == "scrub":
+            return scrub_database(args.directory, config, args.salvage)
+        if args.command == "repair":
+            return repair_database(args.directory, config)
+        if args.command == "salvage-export":
+            return salvage_export(args.directory, args.out_dir, config)
         return verify_database(args.directory, config)
     except TDBError as exc:
         print(f"{type(exc).__name__}: {exc}", file=sys.stderr)

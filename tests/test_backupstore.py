@@ -6,7 +6,7 @@ import pytest
 
 from repro.backupstore import BACKUP_FULL, BACKUP_INCREMENTAL, BackupStore
 from repro.chunkstore import ChunkStore
-from repro.config import ChunkStoreConfig, SecurityProfile
+from repro.config import ChunkStoreConfig
 from repro.errors import (
     BackupError,
     ReplayDetectedError,

@@ -10,8 +10,8 @@ from __future__ import annotations
 import pytest
 
 from repro.chunkstore import ChunkStore
-from repro.collectionstore import CollectionStore, CTransaction, Indexer
-from repro.config import ChunkStoreConfig, CollectionStoreConfig, SecurityProfile
+from repro.collectionstore import CollectionStore, Indexer
+from repro.config import ChunkStoreConfig, CollectionStoreConfig
 from repro.errors import (
     CollectionStoreError,
     DuplicateKeyError,

@@ -22,7 +22,7 @@ import pytest
 
 from repro.chunkstore import ChunkStore
 from repro.errors import StoreError, TDBError
-from repro.platform import MemoryOneWayCounter, MemorySecretStore, MemoryUntrustedStore
+from repro.platform import MemoryOneWayCounter, MemoryUntrustedStore
 from repro.testing import ChunkStoreCrashScenario, CrashSweeper, FaultSchedule
 
 

@@ -11,8 +11,6 @@ from hypothesis import given, settings, strategies as st
 from repro.crypto import modes
 from repro.crypto.aes import Aes
 from repro.crypto.cipher import (
-    CbcPayloadCipher,
-    NullPayloadCipher,
     create_payload_cipher,
 )
 from repro.crypto.des import Des, TripleDes

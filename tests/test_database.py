@@ -12,9 +12,7 @@ from repro import (
     Persistent,
     BufferReader,
     BufferWriter,
-    SecurityProfile,
 )
-from repro.errors import RestoreSequenceError, TamperDetectedError
 
 
 class Song(Persistent):

@@ -7,7 +7,7 @@ import threading
 import pytest
 
 from repro.chunkstore import ChunkStore
-from repro.config import ChunkStoreConfig, ObjectStoreConfig, SecurityProfile
+from repro.config import ChunkStoreConfig, ObjectStoreConfig
 from repro.errors import (
     LockTimeoutError,
     ObjectNotFoundError,

@@ -1,0 +1,250 @@
+"""The transient-fault-tolerant store stack.
+
+Three layers under test:
+
+* :class:`RetryPolicy` — the deterministic exponential-backoff schedule
+  (replayed sweeps must observe byte-identical delay sequences),
+* :func:`classify_os_error` / :class:`FileUntrustedStore` — raw
+  ``OSError`` never escapes the platform layer: transient errnos become
+  :class:`TransientStoreError`, everything else :class:`StoreError`,
+* :class:`ResilientUntrustedStore` — bounded retries around any inner
+  store, exercised against the fault harness's injected transient
+  faults (flaky-then-recover and never-recovers schedules).
+"""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro.errors import StoreError, TDBError, TransientStoreError
+from repro.platform import (
+    MemoryUntrustedStore,
+    ResilientUntrustedStore,
+    RetryPolicy,
+    TRANSIENT_ERRNOS,
+    classify_os_error,
+)
+from repro.platform.untrusted import FileUntrustedStore
+from repro.testing import FaultSchedule, FaultyUntrustedStore
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_delays_are_deterministic(self):
+        a = RetryPolicy(seed=7)
+        b = RetryPolicy(seed=7)
+        assert a.schedule(op_id=3) == b.schedule(op_id=3)
+
+    def test_jitter_varies_with_op_and_attempt_but_not_run(self):
+        policy = RetryPolicy()
+        assert policy.delay(1, op_id=1) != policy.delay(1, op_id=2)
+        assert policy.delay(1, op_id=1) == policy.delay(1, op_id=1)
+
+    def test_exponential_growth_within_bounds(self):
+        policy = RetryPolicy(
+            base_delay=0.01, multiplier=2.0, max_delay=0.05, jitter=0.25
+        )
+        for attempt in range(1, 8):
+            raw = min(0.05, 0.01 * 2.0 ** (attempt - 1))
+            d = policy.delay(attempt, op_id=5)
+            assert raw <= d <= raw * 1.25
+
+    def test_zero_jitter_is_exact(self):
+        policy = RetryPolicy(base_delay=0.5, multiplier=3.0, jitter=0.0,
+                             max_delay=100.0)
+        assert policy.schedule() == [0.5, 1.5, 4.5]
+
+    def test_schedule_length_is_retries_not_attempts(self):
+        assert len(RetryPolicy(max_attempts=6).schedule()) == 5
+        assert RetryPolicy(max_attempts=1).schedule() == []
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -1.0},
+            {"max_delay": -0.1},
+            {"multiplier": 0.5},
+            {"jitter": -0.1},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_attempts_are_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)
+
+
+# ---------------------------------------------------------------------------
+# OSError classification
+# ---------------------------------------------------------------------------
+
+
+class TestClassification:
+    @pytest.mark.parametrize("code", sorted(TRANSIENT_ERRNOS))
+    def test_transient_errnos(self, code):
+        exc = classify_os_error(OSError(code, "busy"), "read")
+        assert isinstance(exc, TransientStoreError)
+        assert isinstance(exc, StoreError)  # still inside the TDB taxonomy
+
+    @pytest.mark.parametrize("code", [errno.ENOENT, errno.EACCES, errno.ENOSPC])
+    def test_permanent_errnos(self, code):
+        exc = classify_os_error(OSError(code, "gone"), "write")
+        assert isinstance(exc, StoreError)
+        assert not isinstance(exc, TransientStoreError)
+
+    def test_errno_less_oserror_is_permanent(self):
+        exc = classify_os_error(OSError("weird"), "sync")
+        assert isinstance(exc, StoreError)
+        assert not isinstance(exc, TransientStoreError)
+
+    def test_file_store_wraps_missing_file(self, tmp_path):
+        store = FileUntrustedStore(str(tmp_path / "data"))
+        with pytest.raises(StoreError):
+            store.read("no-such-file")
+        with pytest.raises(StoreError):
+            store.size("no-such-file")
+        with pytest.raises(StoreError):
+            store.delete("no-such-file")
+
+    def test_file_store_never_leaks_oserror(self, tmp_path, monkeypatch):
+        store = FileUntrustedStore(str(tmp_path / "data"))
+        store.write("f", 0, b"payload")
+
+        import repro.platform.untrusted as untrusted_mod
+
+        def busted(*args, **kwargs):
+            raise OSError(errno.EIO, "injected I/O error")
+
+        monkeypatch.setattr(untrusted_mod.os, "fsync", busted)
+        with pytest.raises(TransientStoreError):
+            store.sync("f")
+
+
+# ---------------------------------------------------------------------------
+# ResilientUntrustedStore x fault injection
+# ---------------------------------------------------------------------------
+
+
+def _resilient(schedule=None, **policy_kwargs):
+    faulty = FaultyUntrustedStore(schedule=schedule or FaultSchedule())
+    sleeps = []
+    store = ResilientUntrustedStore(
+        faulty, RetryPolicy(**policy_kwargs), sleep=sleeps.append
+    )
+    return store, faulty, sleeps
+
+
+class TestResilientStore:
+    def test_passthrough_without_faults(self):
+        store, faulty, sleeps = _resilient()
+        store.write("f", 0, b"hello")
+        assert store.read("f") == b"hello"
+        assert store.exists("f") and not store.exists("g")
+        assert store.size("f") == 5
+        assert store.list_files() == ["f"]
+        store.sync("f")
+        store.truncate("f", 2)
+        store.delete("f")
+        assert sleeps == []
+        assert store.stats.transient_retries == 0
+        assert store.stats.transient_giveups == 0
+
+    def test_flaky_write_recovers(self):
+        sched = FaultSchedule().transient_on_write(1, times=2)
+        store, faulty, sleeps = _resilient(sched, max_attempts=4)
+        store.write("f", 0, b"data")
+        assert faulty.read("f") == b"data"
+        assert faulty.total_writes == 1  # failed attempts consumed no ordinal
+        assert store.stats.transient_retries == 2
+        assert store.stats.transient_giveups == 0
+        assert sleeps == [RetryPolicy().delay(1, 1), RetryPolicy().delay(2, 1)]
+
+    def test_flaky_read_and_sync_recover(self):
+        sched = (
+            FaultSchedule()
+            .transient_on_read(1, times=1)
+            .transient_on_sync(1, times=3)
+        )
+        store, faulty, _ = _resilient(sched, max_attempts=4)
+        store.write("f", 0, b"x")
+        assert store.read("f") == b"x"
+        store.sync("f")
+        assert store.stats.transient_retries == 4
+        assert faulty.total_reads == 1
+        assert faulty.total_syncs == 1
+
+    def test_giveup_reraises_transient_error(self):
+        sched = FaultSchedule().transient_on_write(1, times=99)
+        store, faulty, sleeps = _resilient(sched, max_attempts=3)
+        with pytest.raises(TransientStoreError):
+            store.write("f", 0, b"x")
+        assert store.stats.transient_retries == 2   # attempts 1 and 2 slept
+        assert store.stats.transient_giveups == 1
+        assert len(sleeps) == 2
+        assert faulty.total_writes == 0  # nothing ever landed
+        assert not faulty.exists("f")
+
+    def test_exhausted_fault_lets_later_attempt_land(self):
+        """times < max_attempts: the harness recovers before the budget."""
+        sched = FaultSchedule().transient_on_write(2, times=1)
+        store, faulty, _ = _resilient(sched)
+        store.write("f", 0, b"one")   # write#1, untouched
+        store.write("f", 3, b"two")   # write#2: fails once, then lands
+        assert faulty.read("f") == b"onetwo"
+        assert faulty.total_writes == 2
+
+    def test_permanent_oserror_is_not_retried(self):
+        class Broken(MemoryUntrustedStore):
+            def read(self, name, offset=0, length=None):
+                raise OSError(errno.EACCES, "permission denied")
+
+        attempts = []
+        store = ResilientUntrustedStore(Broken(), RetryPolicy(),
+                                        sleep=attempts.append)
+        with pytest.raises(StoreError) as excinfo:
+            store.read("f")
+        assert not isinstance(excinfo.value, TransientStoreError)
+        assert attempts == []  # no retry, no sleep
+
+    def test_leaked_transient_oserror_is_retried(self):
+        class Flaky(MemoryUntrustedStore):
+            def __init__(self):
+                super().__init__()
+                self.failures = 2
+
+            def read(self, name, offset=0, length=None):
+                if self.failures:
+                    self.failures -= 1
+                    raise OSError(errno.EAGAIN, "try again")
+                return super().read(name, offset, length)
+
+        inner = Flaky()
+        inner.write("f", 0, b"ok")
+        store = ResilientUntrustedStore(inner, RetryPolicy(),
+                                        sleep=lambda d: None)
+        assert store.read("f") == b"ok"
+        assert store.stats.transient_retries == 2
+
+    def test_unwrapped_transient_fault_is_a_tdberror(self):
+        """Without the resilient wrapper the injected fault still lands
+        inside the TDB error taxonomy — callers can catch it."""
+        sched = FaultSchedule().transient_on_write(1, times=1)
+        faulty = FaultyUntrustedStore(schedule=sched)
+        with pytest.raises(TDBError):
+            faulty.write("f", 0, b"x")
+        faulty.write("f", 0, b"x")  # retry by hand: same ordinal, now clean
+        assert faulty.read("f") == b"x"
+
+    def test_stats_are_shared_with_inner(self):
+        store, faulty, _ = _resilient()
+        assert store.stats is faulty.stats
