@@ -1,0 +1,61 @@
+"""Server throughput smoke run: group-commit scaling at 1/8/32 clients.
+
+Runs :func:`repro.bench.serverload.run_server_load` at three
+concurrency levels and writes ``BENCH_server.json`` next to the
+repository root — the non-gating CI artifact tracking transactions per
+second, mean commit batch size, and the amortized sync / counter cost
+per transaction.  The interesting shape: batch size ~1 with a single
+client (no batching tax), growing well past 2 at 32 clients while
+syncs-per-transaction falls toward ``1 / batch``.
+
+Run directly (``python benchmarks/bench_server_throughput.py``) or via
+pytest (``pytest benchmarks/bench_server_throughput.py -q``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from repro.bench.serverload import run_server_load
+
+CLIENT_POINTS = (1, 8, 32)
+TXNS_PER_CLIENT = 10
+OUTPUT = os.path.join(os.path.dirname(os.path.dirname(__file__)), "BENCH_server.json")
+
+
+def run_points(txns_per_client: int = TXNS_PER_CLIENT):
+    results = {}
+    for clients in CLIENT_POINTS:
+        result = run_server_load(
+            clients=clients,
+            txns_per_client=txns_per_client,
+            max_delay=0.01,
+        )
+        results[str(clients)] = result.as_dict()
+    return results
+
+
+def write_report(results, path: str = OUTPUT) -> None:
+    with open(path, "w") as handle:
+        json.dump({"server_throughput": results}, handle, indent=2)
+        handle.write("\n")
+
+
+def test_server_throughput_smoke():
+    """Smoke gate: every point completes; concurrency actually batches."""
+    results = run_points(txns_per_client=5)
+    for clients, point in results.items():
+        assert point["errors"] == 0, point
+        assert point["transactions"] == int(clients) * 5
+    # 32 concurrent clients must share commits; a lone client must not wait.
+    assert results["32"]["mean_batch_size"] > 1.0
+    write_report(results)
+
+
+if __name__ == "__main__":
+    report = run_points()
+    write_report(report)
+    json.dump({"server_throughput": report}, sys.stdout, indent=2)
+    print()

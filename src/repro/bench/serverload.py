@@ -1,0 +1,175 @@
+"""Server-throughput driver: N client threads against a live TdbServer.
+
+Measures what the service layer adds over the embedded stack — the
+group-commit amortization under real concurrency.  The driver starts an
+in-memory database with durable syncs enabled (``fsync=True``; the
+memory store's syncs cost nothing but are *counted*, which is what the
+comparison needs), serves it over loopback TCP, and hammers it with
+``clients`` threads each running ``txns_per_client`` small insert
+transactions through :class:`~repro.server.client.TdbClient`.
+
+The result reports throughput, the per-transaction latency
+distribution, the commit batch-size distribution, and the two costs
+group commit exists to amortize: durable syncs and one-way-counter
+advances per committed transaction.
+
+Runnable: ``python -m repro.bench.serverload --clients 32``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bench.metrics import LatencyStats
+from repro.config import ChunkStoreConfig
+from repro.db import Database
+from repro.server import BackpressureConfig, TdbClient, TdbServer
+
+__all__ = ["ServerLoadResult", "run_server_load"]
+
+
+@dataclass
+class ServerLoadResult:
+    """One load run's numbers, JSON-able for benchmark artifacts."""
+
+    clients: int
+    transactions: int
+    elapsed_s: float
+    txns_per_s: float
+    mean_batch_size: float
+    max_batch_size: int
+    batches: int
+    syncs_per_txn: float
+    counter_advances_per_txn: float
+    latency_mean_ms: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    batch_size_histogram: Dict[str, int] = field(default_factory=dict)
+    errors: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "clients": self.clients,
+            "transactions": self.transactions,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "txns_per_s": round(self.txns_per_s, 1),
+            "mean_batch_size": round(self.mean_batch_size, 3),
+            "max_batch_size": self.max_batch_size,
+            "batches": self.batches,
+            "syncs_per_txn": round(self.syncs_per_txn, 3),
+            "counter_advances_per_txn": round(self.counter_advances_per_txn, 3),
+            "latency_mean_ms": round(self.latency_mean_ms, 3),
+            "latency_p50_ms": round(self.latency_p50_ms, 3),
+            "latency_p95_ms": round(self.latency_p95_ms, 3),
+            "batch_size_histogram": self.batch_size_histogram,
+            "errors": self.errors,
+        }
+
+
+def run_server_load(
+    clients: int = 8,
+    txns_per_client: int = 20,
+    max_batch: int = 32,
+    max_delay: float = 0.01,
+    payload_fields: int = 4,
+) -> ServerLoadResult:
+    """Run one load point and return its measurements."""
+    db = Database.in_memory(chunk_config=ChunkStoreConfig(fsync=True))
+    server = TdbServer(
+        db,
+        backpressure=BackpressureConfig(max_sessions=max(64, clients + 8)),
+        max_batch=max_batch,
+        max_delay=max_delay,
+    ).start()
+    host, port = server.address
+
+    payload = {f"field{i}": "x" * 16 for i in range(payload_fields)}
+    latency = LatencyStats()
+    latency_lock = threading.Lock()
+    errors: List[Exception] = []
+    start_barrier = threading.Barrier(clients + 1)
+
+    def client_thread(index: int) -> None:
+        try:
+            with TdbClient(host, port, timeout=60) as client:
+                start_barrier.wait()
+                for n in range(txns_per_client):
+                    started = time.monotonic()
+                    client.run_transaction(
+                        lambda txn: txn.put(dict(payload, client=index, n=n)),
+                        attempts=10,
+                    )
+                    with latency_lock:
+                        latency.record(time.monotonic() - started)
+        except Exception as exc:  # noqa: BLE001 — tallied, not fatal
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client_thread, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+
+    io_before = db.io_stats().snapshot()
+    counter_before = db.stats().counter_value
+    start_barrier.wait()
+    started = time.monotonic()
+    for thread in threads:
+        thread.join()
+    elapsed = time.monotonic() - started
+
+    stats = server.coordinator.stats_snapshot()
+    io_delta = db.io_stats().delta_since(io_before)
+    counter_delta = db.stats().counter_value - counter_before
+    server.stop()
+    db.close()
+
+    transactions = latency.count
+    return ServerLoadResult(
+        clients=clients,
+        transactions=transactions,
+        elapsed_s=elapsed,
+        txns_per_s=transactions / elapsed if elapsed > 0 else 0.0,
+        mean_batch_size=stats.mean_batch_size,
+        max_batch_size=stats.max_batch_size,
+        batches=stats.batches,
+        syncs_per_txn=io_delta.sync_calls / transactions if transactions else 0.0,
+        counter_advances_per_txn=(
+            counter_delta / transactions if transactions else 0.0
+        ),
+        latency_mean_ms=latency.mean,
+        latency_p50_ms=latency.percentile(0.50),
+        latency_p95_ms=latency.percentile(0.95),
+        batch_size_histogram={
+            str(k): v for k, v in sorted(stats.batch_sizes.items())
+        },
+        errors=len(errors),
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--txns-per-client", type=int, default=20)
+    parser.add_argument("--max-batch", type=int, default=32)
+    parser.add_argument("--max-delay", type=float, default=0.01)
+    args = parser.parse_args(argv)
+    result = run_server_load(
+        clients=args.clients,
+        txns_per_client=args.txns_per_client,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay,
+    )
+    print(json.dumps(result.as_dict(), indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

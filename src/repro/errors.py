@@ -43,6 +43,10 @@ __all__ = [
     "IteratorStateError",
     "SchemaError",
     "BaselineError",
+    "ServerError",
+    "ProtocolError",
+    "ServerBusyError",
+    "SessionStateError",
 ]
 
 
@@ -232,3 +236,25 @@ class SchemaError(CollectionStoreError):
 
 class BaselineError(TDBError):
     """Base class for errors from the Berkeley-DB-style baseline engine."""
+
+
+# ---------------------------------------------------------------------------
+# Service layer (repro.server)
+# ---------------------------------------------------------------------------
+
+class ServerError(TDBError):
+    """Base class for errors of the networked service layer."""
+
+
+class ProtocolError(ServerError):
+    """Malformed frame, unknown verb, or missing / ill-typed parameters."""
+
+
+class ServerBusyError(ServerError):
+    """Admission control rejected the request (session or commit-queue
+    limit reached).  Transient by design: clients back off and retry."""
+
+
+class SessionStateError(ServerError):
+    """Verb issued in the wrong session state (no open transaction, a
+    transaction already open, or a verb of the other transaction mode)."""

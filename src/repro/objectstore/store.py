@@ -83,6 +83,12 @@ class ObjectStore:
         self.catalog_oid = catalog_oid
         self._txn_ids = itertools.count(1)
         self._closed = False
+        # Where transaction commits land.  By default straight on the
+        # chunk store; the service layer swaps in a group-commit
+        # coordinator so concurrent committers share one log append, one
+        # sync, and one counter advance.  The callable must have the
+        # signature of :meth:`ChunkStore.commit`.
+        self.commit_sink = chunk_store.commit
         self.registry.register(Catalog)
 
     # ------------------------------------------------------------------
@@ -139,6 +145,18 @@ class ObjectStore:
 
     def _transaction_finished(self, txn: Transaction) -> None:
         """Hook for subclasses / bookkeeping; currently a no-op."""
+
+    def submit_commit(self, writes, deallocs, durable: bool = True) -> None:
+        """Apply a transaction's write set through the commit sink.
+
+        Called by :meth:`Transaction.commit` *outside* the store mutex:
+        a group-commit sink blocks the caller until its batch is
+        durable, and holding the mutex there would serialize committers
+        and forbid batching altogether.  Strict 2PL makes this safe —
+        the objects involved stay exclusively locked until the commit
+        has returned.
+        """
+        self.commit_sink(writes, deallocs, durable=durable)
 
     # ------------------------------------------------------------------
     # Lifecycle

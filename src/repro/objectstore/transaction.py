@@ -133,8 +133,17 @@ class Transaction:
                 else:  # possible only with locking switched off
                     self._store.cache.put(_OBJ_NS, oid, obj, obj.cache_charge())
             deallocs = sorted(self._removed)
-            if writes or deallocs:
-                self._store.chunk_store.commit(writes, deallocs, durable=durable)
+        # The chunk-store commit runs outside the store mutex so that
+        # concurrent committers can meet inside a group-commit sink and
+        # share one log append + sync.  Safe under strict 2PL: every
+        # object in the write set stays exclusively locked (and pinned)
+        # until _finish() below, so no other transaction can observe the
+        # dirty cache entries before the commit is durable.  On failure
+        # the exception propagates with the transaction still active;
+        # the caller aborts, which evicts the dirty entries.
+        if writes or deallocs:
+            self._store.submit_commit(writes, deallocs, durable=durable)
+        with self._store.mutex:
             for oid in deallocs:
                 self._unpin(oid)
                 self._store.cache.remove(_OBJ_NS, oid)

@@ -5,10 +5,17 @@ per transaction vs ~1100 for Berkeley DB, section 7.4).  Since absolute
 wall-clock numbers on a 2001 disk are not reproducible, the benchmark
 harness relies on these counters to compare the mechanisms, so every
 store implementation funnels its traffic through an :class:`IOStats`.
+
+The counters are updated under an internal mutex: with the service layer
+(:mod:`repro.server`) many sessions drive one platform store from
+different threads, and bare ``+=`` on shared ints drops increments under
+contention.  Snapshots (:meth:`snapshot` / :meth:`delta_since`) are
+detached copies and need no further synchronization.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -34,66 +41,95 @@ class IOStats:
     transient_retries: int = 0
     transient_giveups: int = 0
     _write_cursors: Dict[str, int] = field(default_factory=dict, repr=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record_read(self, nbytes: int) -> None:
-        self.bytes_read += nbytes
-        self.read_calls += 1
+        with self._lock:
+            self.bytes_read += nbytes
+            self.read_calls += 1
 
     def record_write(
         self, nbytes: int, name: Optional[str] = None, offset: Optional[int] = None
     ) -> None:
-        self.bytes_written += nbytes
-        self.write_calls += 1
-        if name is not None and offset is not None:
-            if self._write_cursors.get(name) != offset:
-                self.random_writes += 1
-            self._write_cursors[name] = offset + nbytes
+        with self._lock:
+            self.bytes_written += nbytes
+            self.write_calls += 1
+            if name is not None and offset is not None:
+                if self._write_cursors.get(name) != offset:
+                    self.random_writes += 1
+                self._write_cursors[name] = offset + nbytes
 
     def record_sync(self) -> None:
-        self.sync_calls += 1
+        with self._lock:
+            self.sync_calls += 1
 
     def record_retry(self) -> None:
         """One transient fault absorbed by retrying the operation."""
-        self.transient_retries += 1
+        with self._lock:
+            self.transient_retries += 1
 
     def record_giveup(self) -> None:
         """Retries exhausted; the transient fault escaped to the caller."""
-        self.transient_giveups += 1
+        with self._lock:
+            self.transient_giveups += 1
 
     def reset(self) -> None:
         """Zero all counters (used between benchmark phases)."""
-        self.bytes_read = 0
-        self.bytes_written = 0
-        self.read_calls = 0
-        self.write_calls = 0
-        self.sync_calls = 0
-        self.random_writes = 0
-        self.transient_retries = 0
-        self.transient_giveups = 0
-        self._write_cursors.clear()
+        with self._lock:
+            self.bytes_read = 0
+            self.bytes_written = 0
+            self.read_calls = 0
+            self.write_calls = 0
+            self.sync_calls = 0
+            self.random_writes = 0
+            self.transient_retries = 0
+            self.transient_giveups = 0
+            self._write_cursors.clear()
 
     def snapshot(self) -> "IOStats":
         """Return an independent copy of the current counters."""
-        return IOStats(
-            bytes_read=self.bytes_read,
-            bytes_written=self.bytes_written,
-            read_calls=self.read_calls,
-            write_calls=self.write_calls,
-            sync_calls=self.sync_calls,
-            random_writes=self.random_writes,
-            transient_retries=self.transient_retries,
-            transient_giveups=self.transient_giveups,
-        )
+        with self._lock:
+            return IOStats(
+                bytes_read=self.bytes_read,
+                bytes_written=self.bytes_written,
+                read_calls=self.read_calls,
+                write_calls=self.write_calls,
+                sync_calls=self.sync_calls,
+                random_writes=self.random_writes,
+                transient_retries=self.transient_retries,
+                transient_giveups=self.transient_giveups,
+            )
 
     def delta_since(self, earlier: "IOStats") -> "IOStats":
         """Return the difference between these counters and ``earlier``."""
+        current = self.snapshot()
         return IOStats(
-            bytes_read=self.bytes_read - earlier.bytes_read,
-            bytes_written=self.bytes_written - earlier.bytes_written,
-            read_calls=self.read_calls - earlier.read_calls,
-            write_calls=self.write_calls - earlier.write_calls,
-            sync_calls=self.sync_calls - earlier.sync_calls,
-            random_writes=self.random_writes - earlier.random_writes,
-            transient_retries=self.transient_retries - earlier.transient_retries,
-            transient_giveups=self.transient_giveups - earlier.transient_giveups,
+            bytes_read=current.bytes_read - earlier.bytes_read,
+            bytes_written=current.bytes_written - earlier.bytes_written,
+            read_calls=current.read_calls - earlier.read_calls,
+            write_calls=current.write_calls - earlier.write_calls,
+            sync_calls=current.sync_calls - earlier.sync_calls,
+            random_writes=current.random_writes - earlier.random_writes,
+            transient_retries=(
+                current.transient_retries - earlier.transient_retries
+            ),
+            transient_giveups=(
+                current.transient_giveups - earlier.transient_giveups
+            ),
         )
+
+    def as_dict(self) -> Dict[str, int]:
+        """JSON-able view of the counters (the service ``stats`` verb)."""
+        current = self.snapshot()
+        return {
+            "bytes_read": current.bytes_read,
+            "bytes_written": current.bytes_written,
+            "read_calls": current.read_calls,
+            "write_calls": current.write_calls,
+            "sync_calls": current.sync_calls,
+            "random_writes": current.random_writes,
+            "transient_retries": current.transient_retries,
+            "transient_giveups": current.transient_giveups,
+        }

@@ -1,0 +1,33 @@
+"""The TDB service layer: a networked front end over one Database.
+
+The embedded stack (chunk store -> object store -> collection store)
+serves one process; this package turns it into a small multi-client
+service:
+
+* :mod:`repro.server.protocol` — length-prefixed JSON frame protocol,
+* :mod:`repro.server.server` — threaded socket server; one
+  :class:`Session` per connection, scoping one open transaction,
+* :mod:`repro.server.groupcommit` — batches concurrent commits into a
+  single chunk-store commit (one log append + sync + counter advance),
+* :mod:`repro.server.backpressure` — bounded sessions, bounded commit
+  queue, idle/request timeouts that abort and release locks,
+* :mod:`repro.server.client` — context-managed remote transactions
+  with bounded reconnect/retry on transient errors.
+"""
+
+from repro.server.backpressure import AdmissionControl, BackpressureConfig
+from repro.server.client import RemoteTransaction, TdbClient
+from repro.server.groupcommit import GroupCommitCoordinator, GroupCommitStats
+from repro.server.server import RemoteRecord, TdbServer, field_indexer
+
+__all__ = [
+    "AdmissionControl",
+    "BackpressureConfig",
+    "GroupCommitCoordinator",
+    "GroupCommitStats",
+    "RemoteRecord",
+    "RemoteTransaction",
+    "TdbClient",
+    "TdbServer",
+    "field_indexer",
+]

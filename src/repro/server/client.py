@@ -1,0 +1,332 @@
+"""Remote TDB client: context-managed transactions over the wire protocol.
+
+A :class:`TdbClient` speaks :mod:`repro.server.protocol` to one
+:class:`~repro.server.server.TdbServer`.  The API mirrors the embedded
+:class:`~repro.db.Database` surface so applications can switch between
+embedded and remote use::
+
+    with TdbClient(host, port) as client:
+        with client.transaction() as txn:
+            oid = txn.put({"balance": 10})
+            txn.bind("account", oid)
+
+Error handling reuses the :class:`~repro.errors.TransientStoreError`
+taxonomy: connection failures and transient server rejections
+(:class:`~repro.errors.ServerBusyError`, admission refusals) surface as
+transient errors, and :meth:`TdbClient.run_transaction` retries them a
+bounded number of times — the same discipline the chunk store applies
+to its own flaky untrusted store.  Non-transient errors (lock timeouts,
+tamper detection, schema violations) are re-raised as the exception
+class the server named and are never retried silently.
+
+One client owns one socket and one session; the session scopes at most
+one open transaction, enforced on both ends.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import (
+    LockTimeoutError,
+    ProtocolError,
+    ServerBusyError,
+    ServerError,
+    SessionStateError,
+    TDBError,
+    TransientStoreError,
+)
+from repro.server import protocol
+
+__all__ = ["TdbClient", "RemoteTransaction"]
+
+
+class TdbClient:
+    """A connection to a :class:`~repro.server.server.TdbServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_retries: int = 3,
+        retry_delay: float = 0.05,
+        timeout: float = 30.0,
+    ) -> None:
+        if connect_retries < 0:
+            raise ValueError("connect_retries cannot be negative")
+        self.host = host
+        self.port = port
+        self.connect_retries = connect_retries
+        self.retry_delay = retry_delay
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._next_id = 1
+        self._in_txn = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+
+    def connect(self) -> "TdbClient":
+        """Connect (with bounded retries on transient socket errors)."""
+        if self._sock is not None:
+            return self
+        if self._closed:
+            raise ServerError("client is closed")
+        attempts = self.connect_retries + 1
+        last_error: Optional[Exception] = None
+        for attempt in range(attempts):
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                self._sock = sock
+                return self
+            except OSError as exc:
+                last_error = exc
+                if attempt + 1 < attempts:
+                    time.sleep(self.retry_delay * (attempt + 1))
+        raise TransientStoreError(
+            f"cannot connect to {self.host}:{self.port} after {attempts} "
+            f"attempts: {last_error}"
+        ) from last_error
+
+    def close(self) -> None:
+        """Close the connection.  Idempotent."""
+        self._closed = True
+        self._drop_connection()
+
+    def _drop_connection(self) -> None:
+        sock, self._sock = self._sock, None
+        self._in_txn = False
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "TdbClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # The RPC core
+    # ------------------------------------------------------------------
+
+    def call(self, op: str, **params: Any) -> Dict[str, Any]:
+        """Send one request, wait for its response, unwrap errors.
+
+        Connection-level failures surface as
+        :class:`~repro.errors.TransientStoreError`; the connection is
+        dropped (a fresh :meth:`connect` happens on the next call).  An
+        open transaction is gone with the connection — the server aborts
+        it — so retrying is only safe from a transaction boundary, which
+        is what :meth:`run_transaction` implements.
+        """
+        self.connect()
+        request = {"id": self._next_id, "op": op}
+        request.update(params)
+        self._next_id += 1
+        try:
+            protocol.write_frame(self._sock, request)
+            response = protocol.read_frame(self._sock)
+        except socket.timeout as exc:
+            self._drop_connection()
+            raise TransientStoreError(
+                f"server did not answer {op!r} within {self.timeout}s"
+            ) from exc
+        except ProtocolError:
+            self._drop_connection()
+            raise
+        except OSError as exc:
+            self._drop_connection()
+            raise TransientStoreError(
+                f"connection lost during {op!r}: {exc}"
+            ) from exc
+        if response is None:
+            self._drop_connection()
+            raise TransientStoreError(f"server closed the connection on {op!r}")
+        if not response.get("ok") and response.get("id") is None:
+            # A session-level rejection (admission control answers before
+            # reading any request, so it cannot echo an id).
+            self._drop_connection()
+            raise protocol.exception_from_payload(response)
+        if response.get("id") != request["id"]:
+            self._drop_connection()
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match request "
+                f"id {request['id']!r}"
+            )
+        if response.get("ok"):
+            result = response.get("result")
+            return result if isinstance(result, dict) else {}
+        raise protocol.exception_from_payload(response)
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def transaction(self, mode: str = "object") -> "RemoteTransaction":
+        """Open a remote transaction as a context manager.
+
+        Commits on clean exit, aborts on exception — the same contract
+        as the embedded :meth:`~repro.db.Database.transaction`.
+        """
+        return RemoteTransaction(self, mode)
+
+    def run_transaction(
+        self,
+        fn: Callable[["RemoteTransaction"], Any],
+        mode: str = "object",
+        attempts: int = 5,
+        retry_delay: float = 0.02,
+    ) -> Any:
+        """Run ``fn(txn)`` in a transaction, retrying transient failures.
+
+        Retries cover connection loss, :class:`ServerBusyError`
+        admission rejections, and lock-timeout aborts — each attempt is
+        a fresh transaction, so ``fn`` must be safe to re-run.  The last
+        error is re-raised once the attempt budget is exhausted.
+        """
+        if attempts < 1:
+            raise ValueError("attempts must be at least 1")
+        last_error: Optional[Exception] = None
+        for attempt in range(attempts):
+            try:
+                with self.transaction(mode) as txn:
+                    return fn(txn)
+            except TDBError as exc:
+                retryable = isinstance(
+                    exc, (TransientStoreError, ServerBusyError, LockTimeoutError)
+                )
+                if not retryable:
+                    raise
+                last_error = exc
+                if attempt + 1 < attempts:
+                    time.sleep(retry_delay * (attempt + 1))
+        raise last_error
+
+    # ------------------------------------------------------------------
+    # Admin
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's composite stats payload (admin verb)."""
+        return self.call("stats")
+
+
+class RemoteTransaction:
+    """One open transaction on the server, driven from the client."""
+
+    def __init__(self, client: TdbClient, mode: str) -> None:
+        self.client = client
+        self.mode = mode
+        self._open = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin(self) -> "RemoteTransaction":
+        if self._open:
+            raise SessionStateError("transaction already begun")
+        self.client.call("begin", mode=self.mode)
+        self.client._in_txn = True
+        self._open = True
+        return self
+
+    def commit(self, durable: bool = True) -> None:
+        self._finish("commit", durable=durable)
+
+    def abort(self) -> None:
+        self._finish("abort")
+
+    def _finish(self, op: str, **params: Any) -> None:
+        if not self._open:
+            raise SessionStateError(f"no open transaction to {op}")
+        self._open = False
+        self.client._in_txn = False
+        self.client.call(op, **params)
+
+    def __enter__(self) -> "RemoteTransaction":
+        return self.begin()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self._open:
+            return
+        if exc_type is None:
+            self.commit()
+            return
+        try:
+            self.abort()
+        except TDBError:
+            pass  # the original exception matters more
+
+    # -- object verbs ------------------------------------------------------
+
+    def put(self, value: Any, oid: Optional[int] = None) -> int:
+        """Insert (``oid=None``) or overwrite a JSON value; returns oid."""
+        return self.client.call("obj.put", oid=oid, value=value)["oid"]
+
+    def get(self, oid: int) -> Any:
+        return self.client.call("obj.get", oid=oid)["value"]
+
+    def remove(self, oid: int) -> None:
+        self.client.call("obj.remove", oid=oid)
+
+    def bind(self, name: str, oid: int) -> None:
+        self.client.call("name.bind", name=name, oid=oid)
+
+    def lookup(self, name: str) -> Optional[int]:
+        return self.client.call("name.lookup", name=name)["oid"]
+
+    # -- collection verbs --------------------------------------------------
+
+    def create_collection(
+        self,
+        name: str,
+        field: str,
+        kind: str = "btree",
+        unique: bool = False,
+    ) -> None:
+        self.client.call(
+            "col.create", name=name, field=field, kind=kind, unique=unique
+        )
+
+    def insert(self, collection: str, value: Dict[str, Any]) -> int:
+        return self.client.call("col.insert", name=collection, value=value)["oid"]
+
+    def get_match(
+        self, collection: str, key: Any, field: Optional[str] = None
+    ) -> List[Any]:
+        return self.client.call(
+            "col.get", name=collection, key=key, field=field
+        )["values"]
+
+    def remove_match(
+        self, collection: str, key: Any, field: Optional[str] = None
+    ) -> int:
+        return self.client.call(
+            "col.remove", name=collection, key=key, field=field
+        )["removed"]
+
+    def iterate(
+        self,
+        collection: str,
+        field: Optional[str] = None,
+        lo: Any = None,
+        hi: Any = None,
+        limit: Optional[int] = None,
+    ) -> List[Any]:
+        params: Dict[str, Any] = {"name": collection, "field": field}
+        if lo is not None:
+            params["lo"] = lo
+        if hi is not None:
+            params["hi"] = hi
+        if limit is not None:
+            params["limit"] = limit
+        return self.client.call("col.iterate", **params)["values"]

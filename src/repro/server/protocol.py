@@ -1,0 +1,207 @@
+"""The TDB service wire protocol: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian length followed by that many bytes of
+UTF-8 JSON.  Requests carry ``{"id": n, "op": "<verb>", ...params}``;
+responses echo the id as ``{"id": n, "ok": true, "result": {...}}`` or
+``{"id": n, "ok": false, "error": "<class>", "message": "...",
+"transient": bool}``.  The ``error`` field names the
+:class:`~repro.errors.TDBError` subclass the server raised; the client
+re-raises the same class so remote and embedded use look identical to
+the application.  ``transient`` marks faults worth retrying (admission
+rejections, transient store faults) even for clients that do not know
+the class name.
+
+Verbs
+-----
+
+=================  =============================================  ===========
+verb               parameters                                     txn mode
+=================  =============================================  ===========
+``begin``          ``mode`` ("object" | "collection")             none open
+``commit``         ``durable`` (default true)                     any
+``abort``          —                                              any
+``obj.put``        ``oid`` (null inserts), ``value``              object
+``obj.get``        ``oid``                                        object
+``obj.remove``     ``oid``                                        object
+``name.bind``      ``name``, ``oid``                              object
+``name.lookup``    ``name``                                       object
+``col.create``     ``name``, ``field``, ``kind``, ``unique``      collection
+``col.insert``     ``name``, ``value`` (object with ``field``)    collection
+``col.get``        ``name``, ``key``, ``field`` (optional)        collection
+``col.remove``     ``name``, ``key``, ``field`` (optional)        collection
+``col.iterate``    ``name``, ``field``/``lo``/``hi``/``limit``    collection
+``stats``          —                                              admin, any
+=================  =============================================  ===========
+
+The payload model is JSON values: the server stores them in
+:class:`~repro.server.server.RemoteRecord` persistent objects, so a
+remote client needs no Python class registry.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional, Type
+
+from repro import errors as _errors
+from repro.errors import ProtocolError, ServerBusyError, TransientStoreError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+    "recv_exact",
+    "error_payload",
+    "exception_from_payload",
+    "VERBS",
+]
+
+_LENGTH = struct.Struct(">I")
+
+#: Upper bound on one frame's body; a peer announcing more is treated as
+#: a protocol violation, not an allocation request.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+VERBS = (
+    "begin",
+    "commit",
+    "abort",
+    "obj.put",
+    "obj.get",
+    "obj.remove",
+    "name.bind",
+    "name.lookup",
+    "col.create",
+    "col.insert",
+    "col.get",
+    "col.remove",
+    "col.iterate",
+    "stats",
+)
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """Serialize one message to its on-wire form (length + JSON body)."""
+    try:
+        body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"message is not JSON-serializable: {exc}") from exc
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES} limit"
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+def recv_exact(sock: socket.socket, nbytes: int) -> Optional[bytes]:
+    """Read exactly ``nbytes`` from ``sock``.
+
+    Returns ``None`` on a clean EOF *before the first byte* (peer went
+    away between frames); raises :class:`ProtocolError` on EOF inside a
+    frame.  Socket timeouts and OS errors propagate to the caller, which
+    owns the reconnect/abort policy.
+    """
+    chunks = []
+    remaining = nbytes
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 65536))
+        if not chunk:
+            if remaining == nbytes:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({nbytes - remaining}/{nbytes}"
+                " bytes received)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(
+    sock: socket.socket,
+    idle_timeout: Optional[float] = None,
+    body_timeout: Optional[float] = None,
+) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on clean EOF between frames.
+
+    With timeouts given, ``idle_timeout`` bounds the wait for the frame
+    header (the time a peer may sit idle) and ``body_timeout`` bounds
+    the arrival of the rest of the frame once started (slow-writer
+    protection).  ``socket.timeout`` propagates to the caller.
+    """
+    if idle_timeout is not None:
+        sock.settimeout(idle_timeout)
+    header = recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    if body_timeout is not None:
+        sock.settimeout(body_timeout)
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame (limit {MAX_FRAME_BYTES})"
+        )
+    body = recv_exact(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed between frame header and body")
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("frame body must be a JSON object")
+    return message
+
+
+def write_frame(sock: socket.socket, message: Dict[str, Any]) -> None:
+    sock.sendall(encode_frame(message))
+
+
+# ---------------------------------------------------------------------------
+# Error marshalling
+# ---------------------------------------------------------------------------
+
+def _is_transient(exc: BaseException) -> bool:
+    return isinstance(exc, (TransientStoreError, ServerBusyError))
+
+
+def error_payload(request_id: Any, exc: BaseException) -> Dict[str, Any]:
+    """Build the error-response message for an exception."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": type(exc).__name__,
+        "message": str(exc),
+        "transient": _is_transient(exc),
+    }
+
+
+def _error_classes() -> Dict[str, Type[BaseException]]:
+    classes: Dict[str, Type[BaseException]] = {}
+    for name in _errors.__all__:
+        obj = getattr(_errors, name, None)
+        if isinstance(obj, type) and issubclass(obj, BaseException):
+            classes[name] = obj
+    return classes
+
+
+_ERROR_CLASSES = _error_classes()
+
+
+def exception_from_payload(payload: Dict[str, Any]) -> BaseException:
+    """Reconstruct the server-side exception from an error response."""
+    name = payload.get("error", "ServerError")
+    message = payload.get("message", "remote error")
+    cls = _ERROR_CLASSES.get(name)
+    if cls is None:
+        if payload.get("transient"):
+            return TransientStoreError(f"{name}: {message}")
+        return _errors.ServerError(f"{name}: {message}")
+    try:
+        return cls(message)
+    except TypeError:
+        # Classes with mandatory extra arguments degrade to the base.
+        return _errors.ServerError(f"{name}: {message}")

@@ -1,0 +1,581 @@
+"""The threaded TDB socket server: concurrent sessions over one Database.
+
+Turns the embedded stack into a service (the step GlassDB takes in
+front of its verifiable ledger store): a listener thread accepts
+connections under admission control, and each connection gets a
+:class:`Session` — a thread that reads protocol frames, maps verbs onto
+``Database.transaction()`` / ``ctransaction()`` under the existing
+strict-2PL locks, and scopes **exactly one** open transaction.
+
+Concurrency model:
+
+* isolation comes entirely from the object store's strict two-phase
+  locking — the server adds no locking of its own around data access,
+* the shared commit path is serialized by the chunk store's internal
+  writer mutex, and commits are routed through the group-commit
+  coordinator so concurrent sessions share one log append + sync +
+  counter advance (:mod:`repro.server.groupcommit`),
+* a session that times out idle or mid-request has its transaction
+  aborted — releasing its locks so other sessions stop blocking on a
+  dead client — and its connection closed
+  (:mod:`repro.server.backpressure`).
+
+The remote data model is JSON: values live in :class:`RemoteRecord`
+persistent objects and collections are indexed by record fields, so a
+remote client needs no Python class registry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import socket
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.collectionstore import Indexer
+from repro.errors import (
+    ProtocolError,
+    SchemaError,
+    ServerBusyError,
+    SessionStateError,
+    TDBError,
+)
+from repro.objectstore import BufferReader, BufferWriter, Persistent
+from repro.server.backpressure import AdmissionControl, BackpressureConfig
+from repro.server.groupcommit import GroupCommitCoordinator
+from repro.server import protocol
+
+__all__ = ["RemoteRecord", "TdbServer", "field_indexer"]
+
+
+class RemoteRecord(Persistent):
+    """A JSON value as a persistent object (the service's data model)."""
+
+    class_id = "server.record"
+
+    def __init__(self, value: Any = None) -> None:
+        self.value = value
+
+    def pickle(self) -> bytes:
+        body = json.dumps(self.value, separators=(",", ":")).encode("utf-8")
+        return BufferWriter().write_bytes(body).getvalue()
+
+    @classmethod
+    def unpickle(cls, data: bytes) -> "RemoteRecord":
+        reader = BufferReader(data)
+        value = json.loads(reader.read_bytes().decode("utf-8"))
+        reader.expect_end()
+        return cls(value)
+
+    def cache_charge(self) -> int:
+        return 96 + 8 * len(json.dumps(self.value, separators=(",", ":")))
+
+
+class _FieldKey:
+    """Pure extractor pulling one field out of a RemoteRecord value."""
+
+    __slots__ = ("field",)
+
+    def __init__(self, field: str) -> None:
+        self.field = field
+
+    def __call__(self, record: RemoteRecord) -> Any:
+        value = record.value
+        if not isinstance(value, dict) or self.field not in value:
+            raise SchemaError(
+                f"record value must be an object with field {self.field!r}"
+            )
+        return value[self.field]
+
+
+def _index_name(collection: str, field: str) -> str:
+    return f"field:{collection}:{field}"
+
+
+def field_indexer(
+    collection: str, field: str, kind: str = "btree", unique: bool = False
+) -> Indexer:
+    """Indexer over ``RemoteRecord`` keyed by one field of the value."""
+    if ":" in field:
+        raise SchemaError("field names must not contain ':'")
+    return Indexer(
+        name=_index_name(collection, field),
+        schema_class=RemoteRecord,
+        extractor=_FieldKey(field),
+        unique=unique,
+        kind=kind,
+    )
+
+
+class _SessionTimeout(Exception):
+    """Internal: the idle/request timeout fired for this session."""
+
+
+class Session:
+    """One connection: a protocol loop scoping one open transaction."""
+
+    def __init__(
+        self,
+        server: "TdbServer",
+        sock: socket.socket,
+        address,
+        session_id: int,
+    ) -> None:
+        self.server = server
+        self.sock = sock
+        self.address = address
+        self.session_id = session_id
+        self.txn = None
+        self.mode: Optional[str] = None
+        self.requests_served = 0
+        self._stop = False
+        self.thread = threading.Thread(
+            target=self._run, name=f"tdb-session-{session_id}", daemon=True
+        )
+
+    def start(self) -> None:
+        self.thread.start()
+
+    def stop(self) -> None:
+        """Ask the session to exit; unblocks its pending recv."""
+        self._stop = True
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Protocol loop
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        config = self.server.backpressure
+        try:
+            while not self._stop:
+                try:
+                    request = protocol.read_frame(
+                        self.sock,
+                        idle_timeout=config.idle_timeout,
+                        body_timeout=config.request_timeout,
+                    )
+                except socket.timeout:
+                    raise _SessionTimeout() from None
+                if request is None:
+                    break  # clean EOF
+                self._serve_one(request)
+        except _SessionTimeout:
+            if self.txn is not None:
+                self.server.admission.record_timeout_abort()
+        except (OSError, ProtocolError):
+            pass  # peer vanished or spoke garbage; clean up below
+        finally:
+            self._abort_open_txn()
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+            self.server._session_finished(self)
+
+    def _serve_one(self, request: Dict[str, Any]) -> None:
+        request_id = request.get("id")
+        try:
+            result = self._dispatch(request)
+            response = {"id": request_id, "ok": True, "result": result}
+        except TDBError as exc:
+            response = protocol.error_payload(request_id, exc)
+        self.requests_served += 1
+        try:
+            protocol.write_frame(self.sock, response)
+        except OSError:
+            self._stop = True
+
+    def _abort_open_txn(self) -> None:
+        if self.txn is None:
+            return
+        txn, self.txn, self.mode = self.txn, None, None
+        try:
+            txn.abort()
+        except TDBError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request.get("op")
+        if not isinstance(op, str):
+            raise ProtocolError("request needs a string 'op' field")
+        handler = getattr(self, "_op_" + op.replace(".", "_"), None)
+        if handler is None or op not in protocol.VERBS:
+            raise ProtocolError(f"unknown verb {op!r}")
+        return handler(request)
+
+    @staticmethod
+    def _param(request: Dict[str, Any], name: str, required: bool = True, default=None):
+        if name not in request:
+            if required:
+                raise ProtocolError(f"missing parameter {name!r}")
+            return default
+        return request[name]
+
+    def _require_txn(self, mode: str):
+        if self.txn is None:
+            raise SessionStateError(
+                f"no open transaction; send begin(mode={mode!r}) first"
+            )
+        if self.mode != mode:
+            raise SessionStateError(
+                f"verb needs a {mode} transaction, session has {self.mode}"
+            )
+        return self.txn
+
+    # -- transaction lifecycle --------------------------------------------
+
+    def _op_begin(self, request) -> Dict[str, Any]:
+        mode = self._param(request, "mode", required=False, default="object")
+        if mode not in ("object", "collection"):
+            raise ProtocolError(f"unknown transaction mode {mode!r}")
+        if self.txn is not None:
+            raise SessionStateError(
+                "a transaction is already open in this session"
+            )
+        db = self.server.db
+        self.txn = db.transaction() if mode == "object" else db.ctransaction()
+        self.mode = mode
+        return {"mode": mode}
+
+    def _op_commit(self, request) -> Dict[str, Any]:
+        if self.txn is None:
+            raise SessionStateError("no open transaction to commit")
+        durable = bool(self._param(request, "durable", required=False, default=True))
+        txn, self.txn, self.mode = self.txn, None, None
+        try:
+            txn.commit(durable=durable)
+        except TDBError:
+            # The commit failed (queue full, store fault, deferred index
+            # violation...).  Release the locks so the failed session
+            # cannot wedge its neighbours, then report the error.
+            try:
+                if getattr(txn, "active", False):
+                    txn.abort()
+            except TDBError:
+                pass
+            raise
+        return {"durable": durable}
+
+    def _op_abort(self, request) -> Dict[str, Any]:
+        if self.txn is None:
+            raise SessionStateError("no open transaction to abort")
+        txn, self.txn, self.mode = self.txn, None, None
+        txn.abort()
+        return {}
+
+    # -- object verbs ------------------------------------------------------
+
+    def _op_obj_put(self, request) -> Dict[str, Any]:
+        txn = self._require_txn("object")
+        value = self._param(request, "value")
+        oid = self._param(request, "oid", required=False)
+        if oid is None:
+            oid = txn.insert(RemoteRecord(value))
+        else:
+            ref = txn.open_writable(int(oid), RemoteRecord)
+            ref.deref().value = value
+        return {"oid": oid}
+
+    def _op_obj_get(self, request) -> Dict[str, Any]:
+        txn = self._require_txn("object")
+        oid = int(self._param(request, "oid"))
+        ref = txn.open_readonly(oid, RemoteRecord)
+        return {"oid": oid, "value": ref.deref().value}
+
+    def _op_obj_remove(self, request) -> Dict[str, Any]:
+        txn = self._require_txn("object")
+        oid = int(self._param(request, "oid"))
+        txn.remove(oid)
+        return {"oid": oid}
+
+    def _op_name_bind(self, request) -> Dict[str, Any]:
+        txn = self._require_txn("object")
+        name = str(self._param(request, "name"))
+        oid = int(self._param(request, "oid"))
+        txn.bind_name(name, oid)
+        return {"name": name, "oid": oid}
+
+    def _op_name_lookup(self, request) -> Dict[str, Any]:
+        txn = self._require_txn("object")
+        name = str(self._param(request, "name"))
+        return {"name": name, "oid": txn.lookup_name(name)}
+
+    # -- collection verbs --------------------------------------------------
+
+    def _collection_handle(self, name: str, writable: bool):
+        ct = self._require_txn("collection")
+        handle = (
+            ct.write_collection(name) if writable else ct.read_collection(name)
+        )
+        # Re-register field indexers for descriptors created in earlier
+        # server lifetimes: the descriptor name encodes the field, so
+        # the extractor can always be reconstructed.
+        store = self.server.db.collection_store
+        for descriptor in handle.collection.indexes:
+            parts = descriptor.name.split(":", 2)
+            if len(parts) == 3 and parts[0] == "field":
+                store.register_indexer(
+                    field_indexer(
+                        parts[1], parts[2],
+                        kind=descriptor.kind, unique=descriptor.unique,
+                    )
+                )
+        return handle
+
+    def _indexer_for(self, handle, field: Optional[str]) -> Indexer:
+        store = self.server.db.collection_store
+        if field is not None:
+            name = _index_name(handle.name, field)
+            if handle.collection.descriptor(name) is None:
+                raise SchemaError(
+                    f"collection {handle.name!r} has no index on field "
+                    f"{field!r}"
+                )
+            return store.indexer(name)
+        if not handle.collection.indexes:
+            raise SchemaError(f"collection {handle.name!r} has no indexes")
+        return store.indexer(handle.collection.indexes[0].name)
+
+    def _op_col_create(self, request) -> Dict[str, Any]:
+        ct = self._require_txn("collection")
+        name = str(self._param(request, "name"))
+        field = str(self._param(request, "field"))
+        kind = str(self._param(request, "kind", required=False, default="btree"))
+        unique = bool(self._param(request, "unique", required=False, default=False))
+        indexer = field_indexer(name, field, kind=kind, unique=unique)
+        ct.create_collection(name, indexer)
+        return {"name": name, "index": indexer.name}
+
+    def _op_col_insert(self, request) -> Dict[str, Any]:
+        handle = self._collection_handle(
+            str(self._param(request, "name")), writable=True
+        )
+        value = self._param(request, "value")
+        oid = handle.insert(RemoteRecord(value))
+        return {"oid": oid, "count": handle.count}
+
+    def _op_col_get(self, request) -> Dict[str, Any]:
+        handle = self._collection_handle(
+            str(self._param(request, "name")), writable=False
+        )
+        key = self._param(request, "key")
+        field = self._param(request, "field", required=False)
+        indexer = self._indexer_for(handle, field)
+        iterator = handle.query_match(indexer, key)
+        values = self._drain(iterator, self.server.max_results)
+        return {"values": values}
+
+    def _op_col_remove(self, request) -> Dict[str, Any]:
+        handle = self._collection_handle(
+            str(self._param(request, "name")), writable=True
+        )
+        key = self._param(request, "key")
+        field = self._param(request, "field", required=False)
+        indexer = self._indexer_for(handle, field)
+        iterator = handle.query_match(indexer, key)
+        removed = 0
+        try:
+            while not iterator.end():
+                iterator.delete()
+                removed += 1
+                iterator.next()
+        finally:
+            iterator.close()
+        return {"removed": removed, "count": handle.count}
+
+    def _op_col_iterate(self, request) -> Dict[str, Any]:
+        handle = self._collection_handle(
+            str(self._param(request, "name")), writable=False
+        )
+        field = self._param(request, "field", required=False)
+        lo = self._param(request, "lo", required=False)
+        hi = self._param(request, "hi", required=False)
+        limit = int(
+            self._param(
+                request, "limit", required=False, default=self.server.max_results
+            )
+        )
+        limit = min(limit, self.server.max_results)
+        indexer = self._indexer_for(handle, field)
+        if lo is not None or hi is not None:
+            iterator = handle.query_range(indexer, lo, hi)
+        else:
+            iterator = handle.query(indexer)
+        values = self._drain(iterator, limit)
+        return {"values": values, "count": handle.count}
+
+    @staticmethod
+    def _drain(iterator, limit: int) -> List[Any]:
+        values = []
+        try:
+            while not iterator.end() and len(values) < limit:
+                values.append(iterator.read().deref().value)
+                iterator.next()
+        finally:
+            iterator.close()
+        return values
+
+    # -- admin -------------------------------------------------------------
+
+    def _op_stats(self, request) -> Dict[str, Any]:
+        return self.server.stats_payload()
+
+
+class TdbServer:
+    """Threaded socket server over one :class:`~repro.db.Database`."""
+
+    def __init__(
+        self,
+        db,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backpressure: Optional[BackpressureConfig] = None,
+        max_batch: int = 32,
+        max_delay: float = 0.005,
+        max_results: int = 1000,
+    ) -> None:
+        self.db = db
+        self.host = host
+        self.port = port
+        self.backpressure = backpressure or BackpressureConfig()
+        self.max_results = max_results
+        self.admission = AdmissionControl(self.backpressure.max_sessions)
+        self.coordinator: GroupCommitCoordinator = db.enable_group_commit(
+            max_batch=max_batch,
+            max_delay=max_delay,
+            max_pending=self.backpressure.max_pending_commits,
+        )
+        if db.object_store is not None:
+            db.object_store.registry.register(RemoteRecord)
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._sessions: Dict[int, Session] = {}
+        self._sessions_lock = threading.Lock()
+        self._next_session_id = 1
+        self._stopping = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "TdbServer":
+        """Bind, listen, and serve in background threads."""
+        if self._started:
+            return self
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(self.backpressure.max_sessions + 8)
+        listener.settimeout(0.25)
+        self._listener = listener
+        self.host, self.port = listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="tdb-accept", daemon=True
+        )
+        self._started = True
+        self._accept_thread.start()
+        return self
+
+    @property
+    def address(self):
+        """``(host, port)`` actually bound (port 0 resolves at start)."""
+        return (self.host, self.port)
+
+    def stop(self) -> None:
+        """Stop accepting, drain sessions (aborting open transactions)."""
+        if not self._started or self._stopping:
+            return
+        self._stopping = True
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        with self._sessions_lock:
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            session.stop()
+        for session in sessions:
+            session.thread.join(timeout=5.0)
+        self.db.disable_group_commit()
+        self._started = False
+
+    def __enter__(self) -> "TdbServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Accept loop
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping:
+            try:
+                sock, address = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed
+            if not self.admission.try_admit():
+                self._reject(sock)
+                continue
+            with self._sessions_lock:
+                session_id = self._next_session_id
+                self._next_session_id += 1
+                session = Session(self, sock, address, session_id)
+                self._sessions[session_id] = session
+            self.coordinator.concurrency_hint = self.admission.active
+            session.start()
+
+    def _reject(self, sock: socket.socket) -> None:
+        try:
+            protocol.write_frame(
+                sock,
+                protocol.error_payload(
+                    None,
+                    ServerBusyError(
+                        f"server full ({self.admission.max_sessions} sessions)"
+                    ),
+                ),
+            )
+        except OSError:
+            pass
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _session_finished(self, session: Session) -> None:
+        with self._sessions_lock:
+            self._sessions.pop(session.session_id, None)
+        self.admission.release()
+        self.coordinator.concurrency_hint = self.admission.active
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+
+    def stats_payload(self) -> Dict[str, Any]:
+        """The admin ``stats`` verb: one JSON-able view of the stack."""
+        chunk = dataclasses.asdict(self.db.stats())
+        return {
+            "chunk_store": chunk,
+            "io": self.db.io_stats().as_dict(),
+            "group_commit": self.coordinator.stats_snapshot().as_dict(),
+            "sessions": self.admission.as_dict(),
+        }

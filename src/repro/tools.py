@@ -20,6 +20,8 @@ Subcommands over a file-backed database directory (the layout
 * ``salvage-export`` — open the store read-only in salvage mode and
   dump every chunk that still Merkle-verifies to files in an output
   directory, with a manifest.
+* ``serve`` — open the database and serve it over the TCP wire
+  protocol (:mod:`repro.server`) until interrupted.
 
 Usage::
 
@@ -28,6 +30,7 @@ Usage::
     python -m repro.tools scrub   /path/to/dbdir [--salvage]
     python -m repro.tools repair  /path/to/dbdir
     python -m repro.tools salvage-export /path/to/dbdir /path/to/outdir
+    python -m repro.tools serve   /path/to/dbdir [--host H] [--port P]
 
 ``inspect``, ``verify``, ``scrub --salvage`` and ``salvage-export`` are
 read-only; ``repair`` rewrites the untrusted store.
@@ -55,7 +58,7 @@ from repro.platform import (
 )
 from repro.repair import RepairEngine
 
-__all__ = ["main", "open_readonly_stack", "verify_database"]
+__all__ = ["main", "open_readonly_stack", "verify_database", "serve_database"]
 
 
 def _platform_parts(directory: str):
@@ -194,12 +197,19 @@ def _print_report(report) -> None:
 def scrub_database(
     directory: str, config: Optional[ChunkStoreConfig], salvage: bool
 ) -> int:
-    """Merkle-walk the store; exit 0 only if every byte verifies."""
+    """Merkle-walk the store; exit 0 only if every byte verifies.
+
+    A degraded salvage open (counter skew, discarded residual commits)
+    is damage even when every surviving chunk verifies — the exit code
+    reflects it so scripted health checks cannot mistake a rolled-back
+    or truncated store for a healthy one.
+    """
     untrusted, secret, counter, _ = _platform_parts(directory)
     opener = ChunkStore.open_salvage if salvage else ChunkStore.open
     store = opener(untrusted, secret, counter, config)
     info = store.salvage_info
-    if info is not None and info.degraded:
+    degraded = info is not None and info.degraded
+    if degraded:
         if info.counter_skew:
             print(
                 f"salvage: counter skew {info.counter_skew} "
@@ -214,7 +224,7 @@ def scrub_database(
     report = store.scrub()
     _print_report(report)
     store.close()
-    return 0 if report.clean else 1
+    return 0 if report.clean and not degraded else 1
 
 
 def _chain_names(backups: BackupStore, archival: FileArchivalStore) -> List[str]:
@@ -280,6 +290,61 @@ def salvage_export(
     return 0 if report.clean else 1
 
 
+def serve_database(
+    directory: str,
+    host: str,
+    port: int,
+    config: Optional[ChunkStoreConfig] = None,
+    max_sessions: int = 64,
+    idle_timeout: float = 30.0,
+    max_batch: int = 32,
+    max_delay: float = 0.005,
+    ready_callback=None,
+    stop_event=None,
+) -> int:
+    """Serve a file-backed database over the wire protocol.
+
+    Opens (and crash-recovers) the database, starts a
+    :class:`~repro.server.server.TdbServer`, and blocks until
+    ``stop_event`` is set (tests) or the process is interrupted.
+    ``ready_callback``, when given, receives the bound ``(host, port)``
+    once the listener is up — with ``port=0`` that is the only way to
+    learn the ephemeral port.
+    """
+    import threading
+
+    from repro.db import Database
+    from repro.server import BackpressureConfig, TdbServer
+
+    db = Database.open_existing(directory, chunk_config=config)
+    backpressure = BackpressureConfig(
+        max_sessions=max_sessions, idle_timeout=idle_timeout
+    )
+    server = TdbServer(
+        db,
+        host=host,
+        port=port,
+        backpressure=backpressure,
+        max_batch=max_batch,
+        max_delay=max_delay,
+    )
+    server.start()
+    bound_host, bound_port = server.address
+    print(f"serving {directory} on {bound_host}:{bound_port}")
+    if ready_callback is not None:
+        ready_callback(bound_host, bound_port)
+    if stop_event is None:
+        stop_event = threading.Event()
+    try:
+        stop_event.wait()
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")
+    finally:
+        server.stop()
+        db.close()
+    return 0
+
+
 def _config_from_args(args) -> Optional[ChunkStoreConfig]:
     if args.segment_kb is None and args.fanout is None and args.secure is None:
         return None
@@ -300,7 +365,7 @@ def main(argv=None) -> int:
         prog="python -m repro.tools", description=__doc__.splitlines()[0]
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    for name in ("inspect", "verify", "scrub", "repair", "salvage-export"):
+    for name in ("inspect", "verify", "scrub", "repair", "salvage-export", "serve"):
         cmd = sub.add_parser(name)
         cmd.add_argument("directory")
         if name == "scrub":
@@ -308,6 +373,17 @@ def main(argv=None) -> int:
                              help="open read-only; works on damaged stores")
         if name == "salvage-export":
             cmd.add_argument("out_dir")
+        if name == "serve":
+            cmd.add_argument("--host", default="127.0.0.1")
+            cmd.add_argument("--port", type=int, default=7807,
+                             help="TCP port (0 picks an ephemeral port)")
+            cmd.add_argument("--max-sessions", type=int, default=64)
+            cmd.add_argument("--idle-timeout", type=float, default=30.0,
+                             help="seconds before an idle session is dropped")
+            cmd.add_argument("--max-batch", type=int, default=32,
+                             help="group-commit batch-size cap")
+            cmd.add_argument("--max-delay", type=float, default=0.005,
+                             help="group-commit batching window in seconds")
         cmd.add_argument("--segment-kb", type=int, default=None,
                          help="segment size in KB if non-default")
         cmd.add_argument("--fanout", type=int, default=None,
@@ -328,6 +404,17 @@ def main(argv=None) -> int:
             return repair_database(args.directory, config)
         if args.command == "salvage-export":
             return salvage_export(args.directory, args.out_dir, config)
+        if args.command == "serve":
+            return serve_database(
+                args.directory,
+                args.host,
+                args.port,
+                config,
+                max_sessions=args.max_sessions,
+                idle_timeout=args.idle_timeout,
+                max_batch=args.max_batch,
+                max_delay=args.max_delay,
+            )
         return verify_database(args.directory, config)
     except TDBError as exc:
         print(f"{type(exc).__name__}: {exc}", file=sys.stderr)

@@ -1,0 +1,331 @@
+"""Group-commit coordinator: batching, fairness, and crash atomicity.
+
+The unit tests pin the coordinator's contract (one chunk-store commit
+per batch, no batching tax on a lone committer, guilty-member isolation,
+bounded queue).  The sweep at the end enumerates every media-operation
+boundary inside a genuinely merged 4-member batch commit and crashes at
+each one: after recovery the batch must be all-or-nothing — either all
+four members' chunks are present with their exact payloads, or none is —
+and the pre-batch state must be intact either way.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from functools import lru_cache
+
+import pytest
+
+from repro.chunkstore import ChunkStore
+from repro.config import ChunkStoreConfig
+from repro.db import Database
+from repro.errors import (
+    ChunkNotFoundError,
+    ChunkStoreError,
+    ServerBusyError,
+    TDBError,
+)
+from repro.platform import MemoryOneWayCounter, MemorySecretStore
+from repro.server.groupcommit import GroupCommitCoordinator
+from repro.testing import FaultSchedule, FaultyUntrustedStore
+from repro.testing.faults import InjectedCrash
+
+_SECRET = b"groupcommit-test-secret-01234567"
+
+
+def _config() -> ChunkStoreConfig:
+    return ChunkStoreConfig(
+        segment_size=4096,
+        initial_segments=3,
+        map_fanout=8,
+        fsync=True,
+    )
+
+
+def _member_payload(i: int) -> bytes:
+    # Same length for every member: the sweep's op boundaries then line
+    # up regardless of which thread reaches the batch first.  Sized so
+    # the 4-member merged record rolls the 4 KiB segments — the sweep
+    # then crosses segment-header and master-record writes, not just the
+    # single commit-record append.
+    return (b"member-%d-" % i) * 110
+
+
+def _fresh_store(schedule=None):
+    untrusted = FaultyUntrustedStore(schedule=schedule)
+    counter = MemoryOneWayCounter()
+    store = ChunkStore.format(
+        untrusted, MemorySecretStore(_SECRET), counter, _config()
+    )
+    return untrusted, counter, store
+
+
+def _run_merged_batch(coordinator, chunk_ids, payloads=None, durable=True):
+    """Push one commit per chunk id through the coordinator, all at once.
+
+    ``max_batch`` equal to the member count plus a barrier guarantees a
+    single merged batch.  Returns the per-member exception list.
+    """
+    n = len(chunk_ids)
+    payloads = payloads or [_member_payload(i) for i in range(n)]
+    barrier = threading.Barrier(n)
+    errors: list = [None] * n
+
+    def worker(i: int) -> None:
+        barrier.wait()
+        try:
+            coordinator.commit({chunk_ids[i]: payloads[i]}, durable=durable)
+        except BaseException as exc:  # noqa: BLE001 — InjectedCrash included
+            errors[i] = exc
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(n)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+        assert not t.is_alive(), "a committer never returned"
+    return errors
+
+
+class TestBatching:
+    def test_concurrent_commits_share_one_chunk_commit(self):
+        untrusted, counter, store = _fresh_store()
+        ids = [store.allocate_chunk_id() for _ in range(4)]
+        coordinator = GroupCommitCoordinator(store, max_batch=4, max_delay=30.0)
+        coordinator.concurrency_hint = 4
+
+        commits_before = store.stats().commits_total
+        syncs_before = untrusted.total_syncs
+        counter_before = counter.read()
+
+        errors = _run_merged_batch(coordinator, ids)
+        assert errors == [None] * 4
+
+        stats = coordinator.stats_snapshot()
+        assert stats.requests == 4
+        assert stats.batches == 1
+        assert stats.batch_sizes == {4: 1}
+        assert stats.max_batch_size == 4
+        assert stats.mean_batch_size == 4.0
+
+        # The whole batch cost exactly one chunk-store commit: the syncs
+        # and the counter advanced as for ONE durable commit, not four.
+        assert store.stats().commits_total == commits_before + 1
+        assert counter.read() == counter_before + 1
+        single_commit_syncs = untrusted.total_syncs - syncs_before
+        assert single_commit_syncs >= 1
+
+        for i, chunk_id in enumerate(ids):
+            assert store.read(chunk_id) == _member_payload(i)
+        store.close()
+
+    def test_lone_committer_skips_the_batching_window(self):
+        untrusted, counter, store = _fresh_store()
+        chunk_id = store.allocate_chunk_id()
+        coordinator = GroupCommitCoordinator(store, max_batch=8, max_delay=10.0)
+        coordinator.concurrency_hint = 1  # nobody to wait for
+
+        started = time.monotonic()
+        coordinator.commit({chunk_id: b"solo"}, durable=True)
+        elapsed = time.monotonic() - started
+        assert elapsed < 2.0, "a lone committer paid the batching delay"
+        assert store.read(chunk_id) == b"solo"
+        store.close()
+
+    def test_empty_commit_is_a_noop(self):
+        untrusted, counter, store = _fresh_store()
+        coordinator = GroupCommitCoordinator(store)
+        coordinator.commit({}, deallocs=())
+        assert coordinator.stats_snapshot().requests == 0
+        store.close()
+
+    def test_guilty_member_does_not_poison_the_batch(self):
+        untrusted, counter, store = _fresh_store()
+        good_id = store.allocate_chunk_id()
+        bad_id = 999_999  # never allocated: the chunk store rejects it
+        coordinator = GroupCommitCoordinator(store, max_batch=2, max_delay=30.0)
+        coordinator.concurrency_hint = 2
+
+        errors = _run_merged_batch(
+            coordinator, [good_id, bad_id], payloads=[b"good", b"bad"]
+        )
+        assert errors[0] is None, f"innocent member failed: {errors[0]}"
+        assert isinstance(errors[1], ChunkStoreError)
+        assert store.read(good_id) == b"good"
+        stats = coordinator.stats_snapshot()
+        assert stats.failed_batches == 1
+        assert stats.individual_retries == 1
+        store.close()
+
+    def test_full_queue_rejects_with_transient_busy(self):
+        untrusted, counter, store = _fresh_store()
+        chunk_id = store.allocate_chunk_id()
+        coordinator = GroupCommitCoordinator(store, max_pending=1)
+        with coordinator._mutex:
+            coordinator._pending = coordinator.max_pending
+        with pytest.raises(ServerBusyError):
+            coordinator.commit({chunk_id: b"x"})
+        assert coordinator.stats_snapshot().rejected == 1
+        with coordinator._mutex:
+            coordinator._pending = 0
+        coordinator.commit({chunk_id: b"x"})  # back under the bound
+        store.close()
+
+    def test_closed_coordinator_refuses_commits(self):
+        untrusted, counter, store = _fresh_store()
+        chunk_id = store.allocate_chunk_id()
+        coordinator = GroupCommitCoordinator(store)
+        coordinator.close()
+        with pytest.raises(ServerBusyError):
+            coordinator.commit({chunk_id: b"x"})
+        store.close()
+
+
+class TestDatabaseIntegration:
+    def test_enable_routes_transaction_commits_through_coordinator(self):
+        from repro.server.server import RemoteRecord
+
+        db = Database.in_memory()
+        db.register_class(RemoteRecord)
+        coordinator = db.enable_group_commit(max_delay=0.0)
+        assert db.group_commit is coordinator
+        assert db.enable_group_commit() is coordinator  # idempotent
+        with db.transaction() as txn:
+            oid = txn.insert(RemoteRecord({"n": 1}))
+        assert coordinator.stats_snapshot().requests == 1
+        db.disable_group_commit()
+        assert db.group_commit is None
+        with db.transaction() as txn:
+            assert txn.open_readonly(oid, RemoteRecord).deref().value == {"n": 1}
+        assert coordinator.stats_snapshot().requests == 1  # untouched
+        db.close()
+
+    def test_database_close_is_idempotent_and_thread_safe(self):
+        db = Database.in_memory()
+        db.enable_group_commit()
+        errors = []
+
+        def closer():
+            try:
+                db.close()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=closer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert errors == []
+        db.close()  # still fine afterwards
+
+
+# ---------------------------------------------------------------------------
+# Crash-during-group-commit sweep
+# ---------------------------------------------------------------------------
+
+_SETUP_PAYLOADS = {0: b"setup-zero" * 8, 1: b"setup-one-" * 8}
+
+
+def _batched_workload(schedule=None):
+    """Setup commit, then a 4-member merged batch over a faulty medium.
+
+    Returns everything a sweep point needs to judge the aftermath:
+    the medium, the (trusted, surviving) counter, the chunk ids, the
+    per-member outcomes, and the (writes, syncs) marker taken right
+    before the batch.
+    """
+    untrusted, counter, store = _fresh_store(schedule)
+    setup_ids = [store.allocate_chunk_id() for _ in range(2)]
+    store.commit(
+        {setup_ids[i]: _SETUP_PAYLOADS[i] for i in range(2)}, durable=True
+    )
+    marker = (untrusted.total_writes, untrusted.total_syncs)
+    batch_ids = [store.allocate_chunk_id() for _ in range(4)]
+    coordinator = GroupCommitCoordinator(store, max_batch=4, max_delay=30.0)
+    coordinator.concurrency_hint = 4
+    errors = _run_merged_batch(coordinator, batch_ids)
+    return untrusted, counter, setup_ids, batch_ids, errors, marker
+
+
+@lru_cache(maxsize=None)
+def _profile():
+    """(write points, torn points, sync points) of the batch commit."""
+    untrusted, _, _, _, errors, (w0, s0) = _batched_workload()
+    assert errors == [None] * 4
+    w1, s1 = untrusted.total_writes, untrusted.total_syncs
+    write_points = list(range(w0 + 1, w1 + 1))
+    torn_points = [
+        (index, nbytes)
+        for index in write_points
+        for kind, _name, nbytes in [untrusted.op_log[index - 1]]
+        if kind == "write" and nbytes >= 2
+    ]
+    sync_points = list(range(s0 + 1, s1 + 1))
+    assert write_points, "the batch commit performed no media writes?"
+    return write_points, torn_points, sync_points
+
+
+def _sweep_point(schedule: FaultSchedule) -> None:
+    untrusted, counter, setup_ids, batch_ids, errors, _ = _batched_workload(
+        schedule
+    )
+    assert untrusted.crashed, "the scheduled crash point never fired"
+    # Every member of the merged batch observed the crash — nobody got a
+    # false success or a spurious library error.
+    for error in errors:
+        assert isinstance(error, InjectedCrash), f"unexpected outcome: {error!r}"
+
+    untrusted.heal()
+    store = ChunkStore.open(
+        untrusted, MemorySecretStore(_SECRET), counter, _config()
+    )
+    present = 0
+    for i, chunk_id in enumerate(batch_ids):
+        try:
+            data = store.read(chunk_id)
+        except (ChunkNotFoundError, TDBError):
+            continue
+        assert data == _member_payload(i)
+        present += 1
+    assert present in (0, 4), (
+        f"torn batch after recovery: {present}/4 members survived"
+    )
+    # The committed pre-batch state is never collateral damage.
+    for i, chunk_id in enumerate(setup_ids):
+        assert store.read(chunk_id) == _SETUP_PAYLOADS[i]
+    store.close()
+
+
+def _write_param_ids():
+    return [pytest.param(i, id=f"write{i}") for i in _profile()[0]]
+
+
+def _torn_param_ids():
+    return [
+        pytest.param(i, n, id=f"torn{i}") for i, n in _profile()[1]
+    ]
+
+
+def _sync_param_ids():
+    return [pytest.param(i, id=f"sync{i}") for i in _profile()[2]]
+
+
+class TestCrashDuringGroupCommit:
+    """All-or-nothing at every operation boundary of a merged batch."""
+
+    @pytest.mark.parametrize("index", _write_param_ids())
+    def test_crash_after_write(self, index):
+        _sweep_point(FaultSchedule().crash_after_write(index))
+
+    @pytest.mark.parametrize("index,nbytes", _torn_param_ids())
+    def test_torn_write(self, index, nbytes):
+        _sweep_point(FaultSchedule().crash_mid_write(index, nbytes // 2))
+
+    @pytest.mark.parametrize("index", _sync_param_ids())
+    def test_crash_after_sync(self, index):
+        _sweep_point(FaultSchedule().crash_after_sync(index))

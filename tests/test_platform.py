@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -386,3 +388,63 @@ class TestStagedArchivalStore:
         )
         assert restored.read(cid) == b"staged-backup-state"
         backups.close()
+
+
+class TestIOStatsThreadSafety:
+    """Concurrent sessions drive one platform store: bare ``+=`` on the
+    counters would drop increments under contention, so IOStats takes a
+    lock.  Exact totals across racing threads prove it holds."""
+
+    THREADS = 8
+    OPS = 2_000
+
+    def test_concurrent_increments_are_exact(self):
+        from repro.platform.iostats import IOStats
+
+        stats = IOStats()
+        barrier = threading.Barrier(self.THREADS)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(self.OPS):
+                stats.record_read(3)
+                stats.record_write(5, name="seg", offset=0)
+                stats.record_sync()
+                stats.record_retry()
+
+        threads = [threading.Thread(target=hammer) for _ in range(self.THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        total = self.THREADS * self.OPS
+        snap = stats.snapshot()
+        assert snap.read_calls == total
+        assert snap.bytes_read == 3 * total
+        assert snap.write_calls == total
+        assert snap.bytes_written == 5 * total
+        assert snap.sync_calls == total
+        assert snap.transient_retries == total
+
+    def test_snapshot_and_delta_are_detached(self):
+        from repro.platform.iostats import IOStats
+
+        stats = IOStats()
+        stats.record_read(10)
+        before = stats.snapshot()
+        stats.record_read(10)
+        delta = stats.delta_since(before)
+        assert (delta.read_calls, delta.bytes_read) == (1, 10)
+        before.record_read(1)  # mutating the copy leaves the original alone
+        assert stats.snapshot().read_calls == 2
+
+    def test_as_dict_is_json_able(self):
+        import json
+
+        from repro.platform.iostats import IOStats
+
+        stats = IOStats()
+        stats.record_write(7, name="f", offset=0)
+        payload = stats.as_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["write_calls"] == 1

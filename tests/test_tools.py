@@ -173,3 +173,105 @@ class TestSalvageExportCommand:
         with open(os.path.join(out_dir, "MANIFEST.tsv")) as fh:
             manifest = fh.read().splitlines()
         assert len(manifest) == len(chunks)
+
+
+class TestScrubSalvageDegraded:
+    def test_rolled_back_image_exits_nonzero_even_with_clean_tree(
+        self, tmp_path, capsys
+    ):
+        """A replayed (rolled-back) image Merkle-verifies perfectly — the
+        damage lives in the counter skew, and the exit code must say so."""
+        import os
+        import shutil
+
+        directory = str(tmp_path / "db")
+        db = Database.create(directory)
+        cid = db.chunk_store.allocate_chunk_id()
+        db.chunk_store.commit({cid: b"epoch-one" * 8}, durable=True)
+        db.close()
+
+        data_dir = os.path.join(directory, "data")
+        stale = str(tmp_path / "stale-data")
+        shutil.copytree(data_dir, stale)
+
+        db = Database.open_existing(directory)
+        cid2 = db.chunk_store.allocate_chunk_id()
+        db.chunk_store.commit({cid2: b"epoch-two" * 8}, durable=True)
+        db.close()
+
+        # The replay attack: put the old image back; the hardware counter
+        # (outside data/) kept its advanced value.
+        shutil.rmtree(data_dir)
+        shutil.copytree(stale, data_dir)
+
+        # A plain open refuses outright; salvage opens read-only but must
+        # still report an unhealthy store through the exit code.
+        assert tools_main(["scrub", directory]) == 2
+        capsys.readouterr()
+        assert tools_main(["scrub", directory, "--salvage"]) == 1
+        out = capsys.readouterr().out
+        assert "counter skew" in out
+        assert "clean" in out  # the surviving tree itself verifies
+
+
+class TestServeCommand:
+    def test_serve_database_serves_the_wire_protocol(self, tmp_path):
+        import threading
+
+        from repro.server import TdbClient
+        from repro.tools import serve_database
+
+        directory = str(tmp_path / "served-db")
+        Database.create(directory).close()
+
+        ready: dict = {}
+        got_ready = threading.Event()
+        stop = threading.Event()
+
+        def on_ready(host, port):
+            ready["addr"] = (host, port)
+            got_ready.set()
+
+        thread = threading.Thread(
+            target=serve_database,
+            args=(directory, "127.0.0.1", 0),
+            kwargs={"ready_callback": on_ready, "stop_event": stop},
+            daemon=True,
+        )
+        thread.start()
+        try:
+            assert got_ready.wait(10), "server never reported ready"
+            host, port = ready["addr"]
+            with TdbClient(host, port) as client:
+                with client.transaction("collection") as ct:
+                    ct.create_collection("notes", "title")
+                    ct.insert("notes", {"title": "remote", "body": "works"})
+                with client.transaction("collection") as ct:
+                    titles = [v["title"] for v in ct.iterate("notes")]
+                assert titles == ["remote"]
+                with client.transaction() as txn:
+                    oid = txn.put({"added": "remotely"})
+                with client.transaction() as txn:
+                    assert txn.get(oid) == {"added": "remotely"}
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+        assert not thread.is_alive()
+
+        # What the remote clients wrote is durably on disk.
+        db = Database.open_existing(directory)
+        from repro.server.server import RemoteRecord
+
+        db.register_class(RemoteRecord)
+        with db.transaction() as txn:
+            assert txn.open_readonly(oid, RemoteRecord).deref().value == {
+                "added": "remotely"
+            }
+        db.close()
+
+    def test_serve_help_lists_tuning_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            tools_main(["serve", "--help"])
+        out = capsys.readouterr().out
+        assert "--max-batch" in out
+        assert "--idle-timeout" in out
