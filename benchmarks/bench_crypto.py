@@ -1,0 +1,130 @@
+"""Crypto kernel microbench: fast table-driven path vs reference path.
+
+Measures whole-payload CBC encrypt+decrypt and CTR throughput for the
+table-driven :class:`~repro.crypto.aesfast.AesFast` kernels against the
+per-block reference path, plus hash-engine throughput, and writes
+``BENCH_crypto.json`` next to the repository root (the non-gating CI
+artifact).  The headline number is the 4 KiB CBC encrypt+decrypt
+speedup — the chunk store's hot path — which the smoke gate requires
+to stay at or above 5x.
+
+Run directly (``python benchmarks/bench_crypto.py``) or via pytest
+(``pytest benchmarks/bench_crypto.py -q``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+from repro.crypto import Aes, AesFast, create_hash_engine, modes
+
+KEY = bytes(range(16))
+IV = bytes(range(16, 32))
+NONCE = b"bench-nonce!"
+PAYLOAD_SIZES = (256, 4096, 65536)
+HASH_SIZE = 4096
+OUTPUT = os.path.join(os.path.dirname(os.path.dirname(__file__)), "BENCH_crypto.json")
+
+
+def _payload(size: int) -> bytes:
+    return bytes(i % 251 for i in range(size))
+
+
+def _time_loop(fn, min_seconds: float = 0.2, min_iters: int = 3):
+    """Run ``fn`` until the clock budget is spent; return seconds/iter."""
+    iters = 0
+    started = time.perf_counter()
+    while True:
+        fn()
+        iters += 1
+        elapsed = time.perf_counter() - started
+        if elapsed >= min_seconds and iters >= min_iters:
+            return elapsed / iters
+
+
+def _mb_per_s(nbytes: int, seconds: float) -> float:
+    return (nbytes / (1024 * 1024)) / seconds
+
+
+def bench_cbc(size: int):
+    data = _payload(size)
+    fast, ref = AesFast(KEY), Aes(KEY)
+    ct = modes.cbc_encrypt(fast, data, IV)
+
+    fast_s = _time_loop(
+        lambda: modes.cbc_decrypt(fast, modes.cbc_encrypt(fast, data, IV))
+    )
+    ref_s = _time_loop(
+        lambda: modes.cbc_decrypt(ref, modes.cbc_encrypt(ref, data, IV))
+    )
+    assert modes.cbc_encrypt(ref, data, IV) == ct  # same bytes, same disk image
+    return {
+        "payload_bytes": size,
+        "fast_ms": round(fast_s * 1e3, 3),
+        "reference_ms": round(ref_s * 1e3, 3),
+        "fast_mb_per_s": round(_mb_per_s(2 * size, fast_s), 2),
+        "reference_mb_per_s": round(_mb_per_s(2 * size, ref_s), 2),
+        "speedup": round(ref_s / fast_s, 2),
+    }
+
+
+def bench_ctr(size: int):
+    data = _payload(size)
+    fast, ref = AesFast(KEY), Aes(KEY)
+    fast_s = _time_loop(lambda: modes.ctr_transform(fast, data, NONCE))
+    ref_s = _time_loop(lambda: modes.ctr_transform(ref, data, NONCE))
+    return {
+        "payload_bytes": size,
+        "fast_ms": round(fast_s * 1e3, 3),
+        "reference_ms": round(ref_s * 1e3, 3),
+        "fast_mb_per_s": round(_mb_per_s(size, fast_s), 2),
+        "reference_mb_per_s": round(_mb_per_s(size, ref_s), 2),
+        "speedup": round(ref_s / fast_s, 2),
+    }
+
+
+def bench_hashes(size: int = HASH_SIZE):
+    data = _payload(size)
+    out = {}
+    for name in ("sha1", "sha256", "sha1-pure"):
+        engine = create_hash_engine(name)
+        seconds = _time_loop(lambda: engine.digest(data))
+        out[name] = {
+            "payload_bytes": size,
+            "us_per_digest": round(seconds * 1e6, 2),
+            "mb_per_s": round(_mb_per_s(size, seconds), 2),
+        }
+    return out
+
+
+def run_all():
+    return {
+        "cbc_encrypt_decrypt": [bench_cbc(size) for size in PAYLOAD_SIZES],
+        "ctr_transform": [bench_ctr(size) for size in PAYLOAD_SIZES],
+        "hash_engines": bench_hashes(),
+    }
+
+
+def write_report(results, path: str = OUTPUT) -> None:
+    with open(path, "w") as handle:
+        json.dump({"crypto": results}, handle, indent=2)
+        handle.write("\n")
+
+
+def test_crypto_kernel_speedup():
+    """Smoke gate: the fast path holds its 5x on the 4 KiB hot path."""
+    results = run_all()
+    by_size = {entry["payload_bytes"]: entry for entry in results["cbc_encrypt_decrypt"]}
+    assert by_size[4096]["speedup"] >= 5.0, by_size[4096]
+    for entry in results["ctr_transform"]:
+        assert entry["speedup"] > 1.0, entry
+    write_report(results)
+
+
+if __name__ == "__main__":
+    report = run_all()
+    write_report(report)
+    json.dump({"crypto": report}, sys.stdout, indent=2)

@@ -1,0 +1,102 @@
+"""Chunk-digest memo: remember which payload versions already verified.
+
+Every payload the store reads from untrusted media is hashed and
+compared against the digest its Merkle parent holds.  That is the right
+default — the media is untrusted — but it makes repeated integrity
+walks (scrub after scrub, checkpoint-time re-verification) re-hash the
+entire database even when nothing changed.  The memo records, per chunk
+id and per map-node coordinate, the exact :class:`Locator` (segment,
+offset, length, digest) whose bytes were last verified — either because
+the store hashed what it read, or because the store itself produced the
+bytes and their digest on a write.
+
+A memo entry is valid only while the chunk's *current* locator equals
+the remembered one: any rewrite moves the chunk in the log (a
+log-structured store never overwrites in place), so stale entries
+simply stop matching.  Repair and salvage drop the memo wholesale —
+after media damage, nothing remembered about the old image can be
+trusted.
+
+Incremental scrub (``deep=False``) consults the memo; the default deep
+scrub ignores it and re-verifies from media, because the memo cannot
+know about bytes an attacker flipped *after* the last verification.
+The trade-off is spelled out in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.chunkstore.format import Locator
+from repro.perf import PerfStats
+
+__all__ = ["DigestMemo"]
+
+
+class DigestMemo:
+    """Verified-digest cache keyed by chunk version.
+
+    ``max_entries`` bounds memory: when full, new notes are dropped
+    (they become misses on the next probe) rather than evicting —
+    scrub repopulates in id order anyway, so partial coverage still
+    skips that prefix of the tree.
+    """
+
+    def __init__(
+        self, perf: Optional[PerfStats] = None, max_entries: int = 262144
+    ) -> None:
+        self._perf = perf
+        self._max_entries = max_entries
+        self._chunks: Dict[int, Locator] = {}
+        self._nodes: Dict[Tuple[int, int], Locator] = {}
+
+    def __len__(self) -> int:
+        return len(self._chunks) + len(self._nodes)
+
+    def _room(self) -> bool:
+        return len(self._chunks) + len(self._nodes) < self._max_entries
+
+    # -- chunks --------------------------------------------------------
+
+    def note_chunk(self, chunk_id: int, locator: Locator) -> None:
+        """Record that ``locator``'s bytes verified for ``chunk_id``."""
+        if chunk_id in self._chunks or self._room():
+            self._chunks[chunk_id] = locator
+
+    def chunk_verified(self, chunk_id: int, locator: Locator) -> bool:
+        """Whether the current version of ``chunk_id`` already verified."""
+        hit = self._chunks.get(chunk_id) == locator
+        if self._perf is not None:
+            self._perf.record_memo(hit)
+        return hit
+
+    def invalidate_chunk(self, chunk_id: int) -> None:
+        if self._chunks.pop(chunk_id, None) is not None and self._perf is not None:
+            self._perf.record_memo_invalidation()
+
+    # -- map nodes -----------------------------------------------------
+
+    def note_node(self, level: int, index: int, locator: Locator) -> None:
+        key = (level, index)
+        if key in self._nodes or self._room():
+            self._nodes[key] = locator
+
+    def node_verified(self, level: int, index: int, locator: Locator) -> bool:
+        hit = self._nodes.get((level, index)) == locator
+        if self._perf is not None:
+            self._perf.record_memo(hit)
+        return hit
+
+    def invalidate_node(self, level: int, index: int) -> None:
+        if self._nodes.pop((level, index), None) is not None and self._perf is not None:
+            self._perf.record_memo_invalidation()
+
+    # -- wholesale -----------------------------------------------------
+
+    def clear(self) -> None:
+        """Forget everything (repair / salvage entry point)."""
+        dropped = len(self)
+        self._chunks.clear()
+        self._nodes.clear()
+        if dropped and self._perf is not None:
+            self._perf.record_memo_invalidation(dropped)

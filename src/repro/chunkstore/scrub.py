@@ -60,12 +60,21 @@ class DamagedNode:
 
 @dataclass
 class DamageReport:
-    """Structured result of one scrub pass."""
+    """Structured result of one scrub pass.
+
+    ``verified_chunks``/``verified_nodes`` count payloads re-hashed from
+    media *this pass*; ``memo_skipped_chunks``/``memo_skipped_nodes``
+    count payloads an incremental scrub accepted on the strength of the
+    digest memo without touching media.  A deep scrub always reports
+    zero skips.
+    """
 
     damaged_chunks: List[DamagedChunk] = field(default_factory=list)
     damaged_nodes: List[DamagedNode] = field(default_factory=list)
     verified_chunks: int = 0
     verified_nodes: int = 0
+    memo_skipped_chunks: int = 0
+    memo_skipped_nodes: int = 0
     root_lost: bool = False
 
     @property
@@ -84,9 +93,11 @@ class DamageReport:
 
     def summary(self) -> str:
         if self.clean:
+            skipped = self.memo_skipped_chunks + self.memo_skipped_nodes
+            suffix = f" ({skipped} memo-skipped)" if skipped else ""
             return (
                 f"clean: {self.verified_chunks} chunks and "
-                f"{self.verified_nodes} map nodes verified"
+                f"{self.verified_nodes} map nodes verified{suffix}"
             )
         parts = [
             f"{len(self.damaged_chunks)} damaged chunks",
@@ -104,7 +115,9 @@ def _id_span(fanout: int, level: int, index: int) -> Tuple[int, int]:
     return index * span, (index + 1) * span
 
 
-def scrub_store(store, collect: bool = False) -> Tuple[DamageReport, Dict[int, bytes]]:
+def scrub_store(
+    store, collect: bool = False, deep: bool = True
+) -> Tuple[DamageReport, Dict[int, bytes]]:
     """Walk the store's Merkle tree verifying every node and payload.
 
     ``store`` is a :class:`~repro.chunkstore.store.ChunkStore` (the caller
@@ -116,11 +129,27 @@ def scrub_store(store, collect: bool = False) -> Tuple[DamageReport, Dict[int, b
     With ``collect=True`` the plaintext of every verified chunk is
     returned too (the salvage-export path); otherwise the payload dict is
     empty and payload bytes are dropped after verification.
+
+    With ``deep=False`` the walk consults the store's digest memo: a
+    payload whose current locator matches its last-verified version is
+    accepted without re-reading media (map nodes additionally need a
+    live cache copy to keep walking their children).  ``collect=True``
+    and stores without a memo (salvage, memo disabled) always scrub
+    deep.  Every payload a deep pass does verify is noted in the memo,
+    so deep-then-incremental is the cheap steady-state pattern.
     """
     lmap = store.location_map
     fanout = lmap.fanout
+    memo = store.digest_memo
+    effective_deep = deep or collect or memo is None
     report = DamageReport()
     payloads: Dict[int, bytes] = {}
+
+    def cached_clean_node(level: int, index: int) -> Optional[MapNode]:
+        """In-memory copy of node ``(level, index)`` if one exists."""
+        if lmap._root is not None and (level, index) == (lmap.depth - 1, 0):
+            return lmap._root
+        return lmap.cache.peek(lmap.namespace, (level, index))
 
     def record_damaged_node(level: int, index: int, locator: Locator, exc: TDBError):
         lo, hi = _id_span(fanout, level, index)
@@ -138,10 +167,19 @@ def scrub_store(store, collect: bool = False) -> Tuple[DamageReport, Dict[int, b
         )
 
     def load_fresh(locator: Locator, level: int, index: int) -> Optional[MapNode]:
-        cached = lmap.cache.peek(lmap.namespace, (level, index))
+        cached = cached_clean_node(level, index)
         if cached is not None and cached.dirty:
             # Newer than its media copy (salvage replay applied commits
             # to it); the in-memory node is the truth being scrubbed.
+            return cached
+        if (
+            not effective_deep
+            and cached is not None
+            and memo.node_verified(level, index, locator)
+        ):
+            # This exact on-media version already verified and we still
+            # hold its decoded form — keep walking without re-reading.
+            report.memo_skipped_nodes += 1
             return cached
         try:
             node = store.node_io.load_node(locator, level, index)
@@ -157,6 +195,9 @@ def scrub_store(store, collect: bool = False) -> Tuple[DamageReport, Dict[int, b
             for slot in sorted(node.children):
                 chunk_id = base + slot
                 locator = node.children[slot]
+                if not effective_deep and memo.chunk_verified(chunk_id, locator):
+                    report.memo_skipped_chunks += 1
+                    continue
                 try:
                     data = store.read_payload(locator)
                 except TDBError as exc:
@@ -171,6 +212,8 @@ def scrub_store(store, collect: bool = False) -> Tuple[DamageReport, Dict[int, b
                     )
                 else:
                     report.verified_chunks += 1
+                    if memo is not None:
+                        memo.note_chunk(chunk_id, locator)
                     if collect:
                         payloads[chunk_id] = data
             return
@@ -196,13 +239,10 @@ def scrub_store(store, collect: bool = False) -> Tuple[DamageReport, Dict[int, b
     if in_memory_root is not None and in_memory_root.dirty:
         visit(in_memory_root)
     elif root_locator is not None:
-        try:
-            root = store.node_io.load_node(root_locator, lmap.depth - 1, 0)
-        except TDBError as exc:
+        root = load_fresh(root_locator, lmap.depth - 1, 0)
+        if root is None:
             report.root_lost = True
-            record_damaged_node(lmap.depth - 1, 0, root_locator, exc)
             return report, payloads
-        report.verified_nodes += 1
         visit(root)
     elif in_memory_root is not None:
         visit(in_memory_root)

@@ -46,9 +46,16 @@ from repro.chunkstore.master import MasterIO, MasterRecord, MASTER_FILES
 from repro.chunkstore.recovery import scan_residual_log
 from repro.chunkstore.scrub import DamageReport, scrub_store
 from repro.chunkstore.segments import SegmentInfo, SegmentManager, segment_file_name
+from repro.chunkstore.digestmemo import DigestMemo
 from repro.chunkstore.snapshot import Snapshot
 from repro.config import ChunkStoreConfig
-from repro.crypto import create_hash_engine, create_mac, create_payload_cipher
+from repro.crypto import (
+    InstrumentedHashEngine,
+    InstrumentedPayloadCipher,
+    create_hash_engine,
+    create_mac,
+    create_payload_cipher,
+)
 from repro.errors import (
     ChunkNotFoundError,
     ChunkStoreError,
@@ -58,6 +65,7 @@ from repro.errors import (
     TamperDetectedError,
     TDBError,
 )
+from repro.perf import PerfStats
 from repro.platform.counter import OneWayCounter
 from repro.platform.secret import SecretStore
 from repro.platform.untrusted import UntrustedStore
@@ -146,6 +154,8 @@ class _StoreNodeIO(NodeIO):
                 f"map node identity mismatch: stored ({node.level}, {node.index}),"
                 f" expected ({level}, {index})"
             )
+        if self.store.digest_memo is not None:
+            self.store.digest_memo.note_node(level, index, locator)
         return node
 
     def append_node(self, level: int, index: int, plaintext: bytes) -> Locator:
@@ -175,12 +185,19 @@ class ChunkStore:
         self.counter = counter
         self.config = config
         self.secure = config.security.enabled
+        self.perf = PerfStats()
         if self.secure:
-            self.hash_engine = create_hash_engine(config.security.hash_name)
+            self.hash_engine = InstrumentedHashEngine(
+                create_hash_engine(config.security.hash_name), self.perf
+            )
             self.hash_size = self.hash_engine.digest_size
-            self.cipher = create_payload_cipher(
-                config.security.cipher_name,
-                secret_store.derive_key("tdb-chunk-encryption", 32),
+            self.cipher = InstrumentedPayloadCipher(
+                create_payload_cipher(
+                    config.security.cipher_name,
+                    secret_store.derive_key("tdb-chunk-encryption", 32),
+                    kernel=config.security.kernel,
+                ),
+                self.perf,
             )
             self._record_mac = create_mac(
                 secret_store.derive_key("tdb-log-mac", 32), config.security.hash_name
@@ -195,6 +212,12 @@ class ChunkStore:
             self.cipher = create_payload_cipher("null", b"")
             self._record_mac = None
             self._master_mac = None
+        self.digest_memo: Optional[DigestMemo] = (
+            DigestMemo(self.perf)
+            if self.secure and config.security.digest_memo
+            else None
+        )
+        untrusted.stats.attach_section("perf", self.perf.as_dict)
         self.cache = cache or SharedLruCache(config.map_cache_entries * 4096)
         self.node_io = _StoreNodeIO(self)
         self.master_io = MasterIO(untrusted, self._master_mac)
@@ -329,6 +352,9 @@ class ChunkStore:
         config = config or ChunkStoreConfig()
         self = cls._new(untrusted, secret_store, counter, config, cache)
         self._salvage = True
+        # Salvage trusts nothing it has not just re-verified: no memo,
+        # every scrub is a deep scrub.
+        self.digest_memo = None
         master = self.master_io.load_latest()
         self._validate_master_config(master)
         self._db_uuid = master.db_uuid
@@ -472,6 +498,17 @@ class ChunkStore:
         self._reconcile_segments()
         self._check_counter()
 
+    def _digest_payload(self, data: bytes) -> bytes:
+        """Content digest of a chunk or map-node payload.
+
+        Every call re-hashes payload bytes, so the ``payload_digests``
+        counter is exactly the store's "chunk re-hash" count — the
+        number the digest memo exists to drive to zero on clean
+        subtrees.
+        """
+        self.perf.incr("payload_digests")
+        return self.hash_engine.digest(data)
+
     def _apply_commit(self, record) -> None:
         body: CommitBody = record.body
         for item, rel_offset in zip(body.writes, body.payload_offsets):
@@ -480,7 +517,7 @@ class ChunkStore:
                 offset=record.offset + rel_offset,
                 length=len(item.payload),
                 hash_value=(
-                    self.hash_engine.digest(item.payload) if self.secure else b""
+                    self._digest_payload(item.payload) if self.secure else b""
                 ),
             )
             info = self.segments.segments[record.segment]
@@ -488,10 +525,16 @@ class ChunkStore:
             old = self.location_map.set(item.chunk_id, locator)
             if old is not None:
                 self.segments.mark_dead(old.segment, old.length)
+            if self.digest_memo is not None:
+                # The payload came out of the chain-authenticated
+                # residual log, so its digest is trustworthy.
+                self.digest_memo.note_chunk(item.chunk_id, locator)
         for chunk_id in body.deallocs:
             old = self.location_map.remove(chunk_id)
             if old is not None:
                 self.segments.mark_dead(old.segment, old.length)
+            if self.digest_memo is not None:
+                self.digest_memo.invalidate_chunk(chunk_id)
 
     def _replay_readonly(self, master: MasterRecord) -> None:
         """Salvage-mode replay: best-effort, never touches the media.
@@ -608,7 +651,7 @@ class ChunkStore:
                 offset=record.offset + rel_offset,
                 length=len(item.payload),
                 hash_value=(
-                    self.hash_engine.digest(item.payload) if self.secure else b""
+                    self._digest_payload(item.payload) if self.secure else b""
                 ),
             )
             self.location_map.set(item.chunk_id, locator)
@@ -720,7 +763,12 @@ class ChunkStore:
             locator = self.location_map.lookup(chunk_id)
             if locator is None:
                 raise ChunkNotFoundError(f"chunk {chunk_id} is not written")
-            return self.read_payload(locator)
+            data = self.read_payload(locator)
+            # read_payload raised unless the media bytes matched the
+            # locator's digest, so this version is now known-verified.
+            if self.digest_memo is not None:
+                self.digest_memo.note_chunk(chunk_id, locator)
+            return data
 
     def write(self, chunk_id: int, data: bytes, durable: bool = True) -> None:
         """Single-chunk commit (see :meth:`commit` for batches)."""
@@ -832,16 +880,22 @@ class ChunkStore:
                 offset=offset + rel,
                 length=len(item.payload),
                 hash_value=(
-                    self.hash_engine.digest(item.payload) if self.secure else b""
+                    self._digest_payload(item.payload) if self.secure else b""
                 ),
             )
             old = self.location_map.set(item.chunk_id, locator)
             if old is not None:
                 self._retire(old, commit_durable=durable)
+            if self.digest_memo is not None:
+                # We produced both the bytes and the digest ourselves;
+                # the new version starts out verified.
+                self.digest_memo.note_chunk(item.chunk_id, locator)
         for chunk_id in deallocs:
             old = self.location_map.remove(chunk_id)
             if old is not None:
                 self._retire(old, commit_durable=durable)
+            if self.digest_memo is not None:
+                self.digest_memo.invalidate_chunk(chunk_id)
         self._commits_total += 1
         if durable:
             self._durable_commits_total += 1
@@ -861,10 +915,15 @@ class ChunkStore:
     # ------------------------------------------------------------------
 
     def read_payload(self, locator: Locator) -> bytes:
-        """Fetch, validate, and decrypt the payload a locator points at."""
+        """Fetch, validate, and decrypt the payload a locator points at.
+
+        Always verifies from media — the memo never short-circuits a
+        read, it only lets *scrub* skip re-hashing versions a read or
+        write already verified.
+        """
         data = self.segments.read(locator.segment, locator.offset, locator.length)
         if self.secure:
-            if self.hash_engine.digest(data) != locator.hash_value:
+            if self._digest_payload(data) != locator.hash_value:
                 raise TamperDetectedError(
                     f"chunk payload at segment {locator.segment} offset "
                     f"{locator.offset} failed hash validation"
@@ -875,8 +934,8 @@ class ChunkStore:
     # Scrubbing (Merkle-tree verification with damage localization)
     # ------------------------------------------------------------------
 
-    def scrub(self) -> DamageReport:
-        """Verify every reachable map node and chunk payload from media.
+    def scrub(self, deep: bool = True) -> DamageReport:
+        """Verify every reachable map node and chunk payload.
 
         A writable store is checkpointed first so the on-disk tree equals
         the logical tree; a salvage store is walked as reconstructed.
@@ -884,13 +943,32 @@ class ChunkStore:
         :class:`~repro.chunkstore.scrub.DamageReport` lists damaged chunk
         ids, map-node coordinates with the chunk-id ranges they covered,
         and the segments involved.
+
+        ``deep=True`` (the default) re-reads and re-hashes everything
+        from media — the tamper-detection walk.  ``deep=False`` runs an
+        *incremental* scrub that skips payload versions the digest memo
+        already saw verified, re-hashing only what changed since; it
+        checks the tree's shape but cannot notice media bytes flipped
+        after their last verification.  Salvage stores always scrub
+        deep (they carry no memo).
         """
         with self._lock:
             self._check_open()
             if not self._salvage:
                 self.checkpoint(force=True)
-            report, _ = scrub_store(self, collect=False)
+            report, _ = scrub_store(self, collect=False, deep=deep)
             return report
+
+    def reset_digest_memo(self) -> None:
+        """Forget every remembered verification.
+
+        The repair engine calls this once damage is confirmed: after
+        media corruption nothing remembered about the image is evidence
+        any more.
+        """
+        with self._lock:
+            if self.digest_memo is not None:
+                self.digest_memo.clear()
 
     def export_surviving(self) -> Tuple[DamageReport, Dict[int, bytes]]:
         """Scrub and return the plaintext of every chunk that verifies.
@@ -981,12 +1059,15 @@ class ChunkStore:
         payload_offset = offset + MapNodeBody.payload_offset_in_record(
             self.codec.header_size
         )
-        return Locator(
+        locator = Locator(
             segment=segment,
             offset=payload_offset,
             length=len(payload),
-            hash_value=self.hash_engine.digest(payload) if self.secure else b"",
+            hash_value=self._digest_payload(payload) if self.secure else b"",
         )
+        if self.digest_memo is not None:
+            self.digest_memo.note_node(level, index, locator)
+        return locator
 
     # ------------------------------------------------------------------
     # Space management

@@ -36,11 +36,29 @@ class SecurityProfile:
         When false the store runs in the paper's plain **TDB** mode: no
         hashing, no encryption, no one-way-counter bump per commit.  When
         true it runs as **TDB-S**.
+    ``kernel``
+        ``"fast"`` (default) selects the precomputed-table AES and the
+        batched whole-payload CBC/CTR kernels — the analogue of the
+        native crypto TDB-S measured with; ``"reference"`` keeps the
+        per-block byte-wise path as a correctness oracle.  Both kernels
+        produce identical on-disk images and interoperate freely.
+    ``digest_memo``
+        Whether the chunk store remembers which payload versions already
+        verified so incremental scrubs skip clean subtrees.  Costs a
+        dict entry per chunk; disable for minimal-footprint embeddings.
     """
 
     enabled: bool = True
     hash_name: str = "sha1"
     cipher_name: str = "aes-128"
+    kernel: str = "fast"
+    digest_memo: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kernel not in ("fast", "reference"):
+            raise ValueError(
+                f"kernel must be 'fast' or 'reference', got {self.kernel!r}"
+            )
 
     def with_cipher(self, cipher_name: str) -> "SecurityProfile":
         """Return a copy of this profile using a different cipher."""
@@ -50,6 +68,10 @@ class SecurityProfile:
         """Return a copy of this profile using a different hash."""
         return replace(self, hash_name=hash_name)
 
+    def with_kernel(self, kernel: str) -> "SecurityProfile":
+        """Return a copy of this profile using a different crypto kernel."""
+        return replace(self, kernel=kernel)
+
     @classmethod
     def insecure(cls) -> "SecurityProfile":
         """Profile for plain TDB (no tamper detection, no secrecy)."""
@@ -57,8 +79,17 @@ class SecurityProfile:
 
     @classmethod
     def paper_tdb_s(cls) -> "SecurityProfile":
-        """The paper's TDB-S configuration: SHA-1 hashing + block cipher."""
+        """The paper's TDB-S configuration: SHA-1 hashing + block cipher.
+
+        TDB-S ran on native crypto (the paper calls its crypto cost
+        *minor*), so the fast kernels are the faithful choice here.
+        """
         return cls(enabled=True, hash_name="sha1", cipher_name="aes-128")
+
+    @classmethod
+    def reference_kernels(cls) -> "SecurityProfile":
+        """TDB-S semantics on the per-block reference crypto path."""
+        return cls(enabled=True, kernel="reference")
 
 
 @dataclass(frozen=True)

@@ -33,6 +33,11 @@ from repro.crypto.mac import Hmac, create_mac
 from repro.crypto.sha1 import sha1
 from repro.crypto.des import Des, TripleDes
 from repro.crypto.aes import Aes
+from repro.crypto.aesfast import AesFast
+from repro.crypto.instrument import (
+    InstrumentedHashEngine,
+    InstrumentedPayloadCipher,
+)
 from repro.crypto import modes
 
 __all__ = [
@@ -51,5 +56,8 @@ __all__ = [
     "Des",
     "TripleDes",
     "Aes",
+    "AesFast",
+    "InstrumentedHashEngine",
+    "InstrumentedPayloadCipher",
     "modes",
 ]

@@ -14,6 +14,7 @@ from typing import Protocol
 
 from repro.crypto import modes
 from repro.crypto.aes import Aes
+from repro.crypto.aesfast import AesFast
 from repro.crypto.des import Des, TripleDes
 from repro.errors import CryptoError
 
@@ -88,13 +89,25 @@ class CbcPayloadCipher(PayloadCipher):
         return block + padding  # IV + PKCS#7
 
 
-def create_payload_cipher(name: str, key: bytes) -> PayloadCipher:
+def create_payload_cipher(
+    name: str, key: bytes, kernel: str = "fast"
+) -> PayloadCipher:
     """Build a payload cipher from a profile name and raw key material.
 
     ``key`` may be longer than needed; the required prefix is used.  Names:
     ``"null"``, ``"aes-128"``, ``"aes-192"``, ``"aes-256"``, ``"des"``,
     ``"3des"``.
+
+    ``kernel`` selects the implementation behind the AES profiles:
+    ``"fast"`` (default) uses the precomputed-table
+    :class:`~repro.crypto.aesfast.AesFast` and the batched CBC kernels;
+    ``"reference"`` keeps the per-block byte-wise path.  Both produce
+    identical ciphertext for the same key and IV, so stores written
+    under one kernel open under the other.  DES/3DES have no fast
+    kernel and ignore the selector.
     """
+    if kernel not in ("fast", "reference"):
+        raise ValueError(f"unknown crypto kernel: {kernel!r}")
     if name == "null":
         return NullPayloadCipher()
     key_sizes = {
@@ -113,7 +126,8 @@ def create_payload_cipher(name: str, key: bytes) -> PayloadCipher:
         )
     key = key[:needed]
     if name.startswith("aes"):
-        return CbcPayloadCipher(Aes(key), name)
+        block_cipher = AesFast(key) if kernel == "fast" else Aes(key)
+        return CbcPayloadCipher(block_cipher, name)
     if name == "des":
         return CbcPayloadCipher(Des(key), name)
     return CbcPayloadCipher(TripleDes(key), name)

@@ -43,6 +43,14 @@ class HashlibEngine(HashEngine):
     def digest(self, data: bytes) -> bytes:
         return hashlib.new(self._algorithm, data).digest()
 
+    def digest_many(self, *parts: bytes) -> bytes:
+        # Feed parts incrementally instead of joining: Merkle-node
+        # hashing over many children avoids one large copy per digest.
+        state = hashlib.new(self._algorithm)
+        for part in parts:
+            state.update(part)
+        return state.digest()
+
 
 class PureSha1Engine(HashEngine):
     """Engine backed by this repo's from-scratch SHA-1."""

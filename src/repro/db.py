@@ -262,9 +262,13 @@ class Database:
         self._require_objects()
         return self.collection_store.transaction()
 
-    def scrub(self):
-        """Merkle-verify the whole chunk level; returns a DamageReport."""
-        return self.chunk_store.scrub()
+    def scrub(self, deep: bool = True):
+        """Merkle-verify the whole chunk level; returns a DamageReport.
+
+        ``deep=False`` runs the memo-accelerated incremental scrub (see
+        :meth:`~repro.chunkstore.store.ChunkStore.scrub`).
+        """
+        return self.chunk_store.scrub(deep=deep)
 
     def export_surviving(self):
         """Scrub and return ``(DamageReport, {chunk_id: plaintext})``."""
@@ -286,6 +290,10 @@ class Database:
         """The untrusted store's :class:`~repro.platform.iostats.IOStats`."""
         return self.chunk_store.untrusted.stats
 
+    def perf_stats(self):
+        """The chunk store's :class:`~repro.perf.PerfStats` (crypto kernels)."""
+        return self.chunk_store.perf
+
     # ------------------------------------------------------------------
     # Group commit (service layer)
     # ------------------------------------------------------------------
@@ -300,6 +308,7 @@ class Database:
         max_batch: int = 32,
         max_delay: float = 0.005,
         max_pending: int = 256,
+        quorum_seal: bool = True,
     ):
         """Route transaction commits through a group-commit coordinator.
 
@@ -319,6 +328,7 @@ class Database:
             max_batch=max_batch,
             max_delay=max_delay,
             max_pending=max_pending,
+            quorum_seal=quorum_seal,
         )
         store.commit_sink = coordinator.commit
         self._group_commit = coordinator

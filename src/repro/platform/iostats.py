@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 __all__ = ["IOStats"]
 
@@ -41,9 +41,25 @@ class IOStats:
     transient_retries: int = 0
     transient_giveups: int = 0
     _write_cursors: Dict[str, int] = field(default_factory=dict, repr=False)
+    _sections: Dict[str, Callable[[], Dict[str, object]]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
+
+    def attach_section(
+        self, name: str, provider: Callable[[], Dict[str, object]]
+    ) -> None:
+        """Nest ``provider()``'s dict under ``name`` in :meth:`as_dict`.
+
+        The chunk store attaches its :class:`~repro.perf.PerfStats` here
+        so one ``stats`` round-trip reports I/O *and* crypto-kernel
+        counters.  Providers must be cheap and thread-safe; snapshots
+        and deltas carry plain counters only (no sections).
+        """
+        with self._lock:
+            self._sections[name] = provider
 
     def record_read(self, nbytes: int) -> None:
         with self._lock:
@@ -120,10 +136,12 @@ class IOStats:
             ),
         )
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, object]:
         """JSON-able view of the counters (the service ``stats`` verb)."""
         current = self.snapshot()
-        return {
+        with self._lock:
+            sections = dict(self._sections)
+        out: Dict[str, object] = {
             "bytes_read": current.bytes_read,
             "bytes_written": current.bytes_written,
             "read_calls": current.read_calls,
@@ -133,3 +151,6 @@ class IOStats:
             "transient_retries": current.transient_retries,
             "transient_giveups": current.transient_giveups,
         }
+        for name, provider in sections.items():
+            out[name] = provider()
+        return out

@@ -62,6 +62,7 @@ class GroupCommitStats:
     failed_batches: int = 0
     individual_retries: int = 0
     rejected: int = 0
+    quorum_seals: int = 0
     max_batch_size: int = 0
     batch_sizes: Dict[int, int] = field(default_factory=dict)
 
@@ -79,6 +80,7 @@ class GroupCommitStats:
             "failed_batches": self.failed_batches,
             "individual_retries": self.individual_retries,
             "rejected": self.rejected,
+            "quorum_seals": self.quorum_seals,
             "max_batch_size": self.max_batch_size,
             "mean_batch_size": round(self.mean_batch_size, 3),
             "batch_sizes": {str(k): v for k, v in sorted(self.batch_sizes.items())},
@@ -122,6 +124,7 @@ class GroupCommitCoordinator:
         max_batch: int = 32,
         max_delay: float = 0.005,
         max_pending: int = 256,
+        quorum_seal: bool = True,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
@@ -133,6 +136,12 @@ class GroupCommitCoordinator:
         self.max_batch = max_batch
         self.max_delay = max_delay
         self.max_pending = max_pending
+        #: Seal a batch as soon as every live session has joined it
+        #: instead of waiting out ``max_delay``.  With N active sessions
+        #: and N < ``max_batch`` the batch can never grow past N, so
+        #: once all N are aboard further waiting is pure latency — at
+        #: 8 clients that dead wait cost ~40% of throughput.
+        self.quorum_seal = quorum_seal
         #: How many potential committers exist right now (the server
         #: keeps this at its active-session count).  Below 2 the leader
         #: skips the batching window — group commit never taxes a lone
@@ -180,9 +189,11 @@ class GroupCommitCoordinator:
                 batch = _Batch()
                 self._open = batch
             batch.members.append(member)
-            if len(batch.members) >= self.max_batch:
+            if len(batch.members) >= self._seal_threshold():
                 batch.sealed = True
                 self._open = None
+                if len(batch.members) < self.max_batch:
+                    self.stats.quorum_seals += 1
                 self._filled.notify_all()
         try:
             if leader:
@@ -194,6 +205,20 @@ class GroupCommitCoordinator:
                 self._pending -= 1
         if member.error is not None:
             raise member.error
+
+    def _seal_threshold(self) -> int:
+        """Batch size that seals immediately (caller holds ``_mutex``).
+
+        Without quorum sealing a leader whose batch never reaches
+        ``max_batch`` waits out the whole ``max_delay`` window — exactly
+        what happened at 8 clients against the default ``max_batch=32``:
+        every batch of 8 still slept the full 5 ms.  The session count
+        bounds how many committers *can* join, so once that many are in
+        the batch there is nobody left to wait for.
+        """
+        if not self.quorum_seal or self.concurrency_hint < 2:
+            return self.max_batch
+        return min(self.max_batch, self.concurrency_hint)
 
     # ------------------------------------------------------------------
     # Leader path
@@ -282,6 +307,7 @@ class GroupCommitCoordinator:
                 failed_batches=self.stats.failed_batches,
                 individual_retries=self.stats.individual_retries,
                 rejected=self.stats.rejected,
+                quorum_seals=self.stats.quorum_seals,
                 max_batch_size=self.stats.max_batch_size,
                 batch_sizes=dict(self.stats.batch_sizes),
             )

@@ -442,6 +442,7 @@ class TdbServer:
         max_batch: int = 32,
         max_delay: float = 0.005,
         max_results: int = 1000,
+        quorum_seal: bool = True,
     ) -> None:
         self.db = db
         self.host = host
@@ -453,6 +454,7 @@ class TdbServer:
             max_batch=max_batch,
             max_delay=max_delay,
             max_pending=self.backpressure.max_pending_commits,
+            quorum_seal=quorum_seal,
         )
         if db.object_store is not None:
             db.object_store.registry.register(RemoteRecord)

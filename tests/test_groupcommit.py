@@ -136,6 +136,45 @@ class TestBatching:
         assert store.read(chunk_id) == b"solo"
         store.close()
 
+    def test_quorum_seals_without_waiting_out_the_window(self):
+        # 4 active sessions against max_batch=32: the batch can never
+        # grow past 4, so the leader must seal the moment the 4th
+        # member joins instead of sleeping max_delay (the 8-client
+        # throughput dip).  The long window makes the test fail loudly
+        # if sealing regresses.
+        untrusted, counter, store = _fresh_store()
+        ids = [store.allocate_chunk_id() for _ in range(4)]
+        coordinator = GroupCommitCoordinator(store, max_batch=32, max_delay=30.0)
+        coordinator.concurrency_hint = 4
+
+        started = time.monotonic()
+        errors = _run_merged_batch(coordinator, ids)
+        elapsed = time.monotonic() - started
+        assert errors == [None] * 4
+        assert elapsed < 5.0, "leader waited out max_delay despite a full quorum"
+
+        stats = coordinator.stats_snapshot()
+        assert stats.batches == 1
+        assert stats.quorum_seals == 1
+        assert stats.batch_sizes == {4: 1}
+        store.close()
+
+    def test_quorum_seal_can_be_disabled(self):
+        untrusted, counter, store = _fresh_store()
+        ids = [store.allocate_chunk_id() for _ in range(3)]
+        coordinator = GroupCommitCoordinator(
+            store, max_batch=32, max_delay=0.3, quorum_seal=False
+        )
+        coordinator.concurrency_hint = 3
+
+        started = time.monotonic()
+        errors = _run_merged_batch(coordinator, ids)
+        elapsed = time.monotonic() - started
+        assert errors == [None] * 3
+        assert elapsed >= 0.3, "disabled quorum sealing should wait the window"
+        assert coordinator.stats_snapshot().quorum_seals == 0
+        store.close()
+
     def test_empty_commit_is_a_noop(self):
         untrusted, counter, store = _fresh_store()
         coordinator = GroupCommitCoordinator(store)
