@@ -1,0 +1,71 @@
+"""Replication read-scaling run: 0, 1, and 2 verified read replicas.
+
+Runs :func:`repro.bench.replload.run_replication_scaling` — a primary
+under continuous durable write load, a fixed reader population spread
+round-robin across the primary plus N streaming replicas — and writes
+``BENCH_replication.json`` at the repository root (the non-gating CI
+artifact).  The interesting shape: the fsync-bound primary alone is a
+poor read server, so adding replicas multiplies system read throughput,
+while the sampled commit-seqno lag stays small and drains to zero once
+the writer stops (``catch_up_s``).
+
+Every server, reader, and writer is a separate OS process, so the
+scaling measured here is real parallelism, not thread interleaving —
+but absolute speedup still depends on the machine's core count
+(recorded as ``cpu_count`` in the report).
+
+Run directly (``python benchmarks/bench_replication.py``) or via pytest
+(``pytest benchmarks/bench_replication.py -q``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from repro.bench.replload import run_replication_scaling
+
+REPLICA_POINTS = (0, 1, 2)
+OUTPUT = os.path.join(
+    os.path.dirname(os.path.dirname(__file__)), "BENCH_replication.json"
+)
+
+
+def run_points(seconds: float = 6.0, readers: int = 6):
+    return run_replication_scaling(
+        replica_counts=REPLICA_POINTS, readers=readers, seconds=seconds
+    )
+
+
+def write_report(report, path: str = OUTPUT) -> None:
+    with open(path, "w") as handle:
+        json.dump({"replication_read_scaling": report}, handle, indent=2)
+        handle.write("\n")
+
+
+def test_replication_scaling_smoke():
+    """Smoke gate: all points complete, replicas serve, lag drains.
+
+    The 1.5x read-scaling acceptance ratio is asserted only on
+    multi-core machines: on a single core the replica processes share
+    one CPU with the primary, so extra processes cannot add throughput
+    no matter how good the replication protocol is.
+    """
+    report = run_points(seconds=3.0, readers=4)
+    points = report["configurations"]
+    assert set(points) == {str(n) for n in REPLICA_POINTS}
+    for point in points.values():
+        assert point["reads"] > 0, point
+        assert point["writer_commits"] > 0, point
+    assert report["catch_up_s"] < 60.0
+    if (os.cpu_count() or 1) >= 4:
+        assert report["speedup_max_vs_single"] >= 1.5, report
+    write_report(report)
+
+
+if __name__ == "__main__":
+    report = run_points()
+    write_report(report)
+    json.dump({"replication_read_scaling": report}, sys.stdout, indent=2)
+    print()

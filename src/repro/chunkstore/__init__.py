@@ -21,7 +21,13 @@ The chunk store stores a set of named, variable-sized byte sequences
   incremental backups.
 """
 
-from repro.chunkstore.store import ChunkStore, ChunkStoreStats, SalvageInfo
+from repro.chunkstore.store import (
+    ChunkStore,
+    ChunkStoreStats,
+    SalvageInfo,
+    SegmentExportInfo,
+    ShipmentAnchor,
+)
 from repro.chunkstore.scrub import DamagedChunk, DamagedNode, DamageReport
 from repro.chunkstore.snapshot import Snapshot
 
@@ -29,6 +35,8 @@ __all__ = [
     "ChunkStore",
     "ChunkStoreStats",
     "SalvageInfo",
+    "SegmentExportInfo",
+    "ShipmentAnchor",
     "DamagedChunk",
     "DamagedNode",
     "DamageReport",

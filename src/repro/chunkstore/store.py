@@ -59,6 +59,7 @@ from repro.crypto import (
 from repro.errors import (
     ChunkNotFoundError,
     ChunkStoreError,
+    ReadOnlyStoreError,
     RecoveryError,
     ReplayDetectedError,
     SalvageReadOnlyError,
@@ -70,7 +71,43 @@ from repro.platform.counter import OneWayCounter
 from repro.platform.secret import SecretStore
 from repro.platform.untrusted import UntrustedStore
 
-__all__ = ["ChunkStore", "ChunkStoreStats", "SalvageInfo"]
+__all__ = [
+    "ChunkStore",
+    "ChunkStoreStats",
+    "SalvageInfo",
+    "SegmentExportInfo",
+    "ShipmentAnchor",
+]
+
+
+@dataclass(frozen=True)
+class SegmentExportInfo:
+    """One live segment's shippable extent at shipment-anchor time."""
+
+    number: int
+    file_bytes: int
+    is_tail: bool
+
+
+@dataclass
+class ShipmentAnchor:
+    """Everything a replication shipment needs, captured atomically.
+
+    ``snapshot`` pins every listed segment against the cleaner until the
+    holder releases it; ``segments`` records each segment's size as of
+    the anchoring checkpoint — bytes below that size are immutable
+    (sealed segments never change, the tail only grows past it), so they
+    can be streamed without further locking.
+    """
+
+    snapshot: "Snapshot"
+    db_uuid: bytes
+    generation: int
+    commit_seqno: int
+    expected_counter: int
+    master_name: str
+    master_blob: bytes
+    segments: List[SegmentExportInfo]
 
 
 @dataclass
@@ -243,6 +280,7 @@ class ChunkStore:
         self._compaction_mark = 0
         self.possible_lost_commit = False
         self._salvage = False
+        self._read_only = False
         self.salvage_info: Optional[SalvageInfo] = None
         return self
 
@@ -301,8 +339,18 @@ class ChunkStore:
         counter: OneWayCounter,
         config: Optional[ChunkStoreConfig] = None,
         cache: Optional[SharedLruCache] = None,
+        read_only: bool = False,
     ) -> "ChunkStore":
-        """Open an existing database, recovering from the residual log."""
+        """Open an existing database, recovering from the residual log.
+
+        With ``read_only=True`` (replication: serving a verified shipped
+        image) the open performs the *same* full-trust recovery and
+        counter check as a writable open — a checkpoint-anchored image
+        replays nothing and touches no media — but afterwards every
+        mutating operation raises :class:`ReadOnlyStoreError` and
+        ``close()``/``scrub()`` write no checkpoint, so the image stays
+        byte-identical to what was verified.
+        """
         config = config or ChunkStoreConfig()
         self = cls._new(untrusted, secret_store, counter, config, cache)
         master = self.master_io.load_latest()
@@ -323,6 +371,7 @@ class ChunkStore:
             root_locator=master.root,
         )
         self._replay(master)
+        self._read_only = read_only
         return self
 
     @classmethod
@@ -954,7 +1003,7 @@ class ChunkStore:
         """
         with self._lock:
             self._check_open()
-            if not self._salvage:
+            if not self._salvage and not self._read_only:
                 self.checkpoint(force=True)
             report, _ = scrub_store(self, collect=False, deep=deep)
             return report
@@ -979,7 +1028,7 @@ class ChunkStore:
         """
         with self._lock:
             self._check_open()
-            if not self._salvage:
+            if not self._salvage and not self._read_only:
                 self.checkpoint(force=True)
             return scrub_store(self, collect=True)
 
@@ -1274,7 +1323,7 @@ class ChunkStore:
                 return
             for snap in list(self._snapshots.values()):
                 self.release_snapshot(snap)
-            if not self._salvage:
+            if not self._salvage and not self._read_only:
                 self.checkpoint()
                 self.segments.sync_dirty()
             self._closed = True
@@ -1294,8 +1343,111 @@ class ChunkStore:
             raise SalvageReadOnlyError(
                 "store was opened in read-only salvage mode"
             )
+        if self._read_only:
+            raise ReadOnlyStoreError(
+                "store was opened read-only (replica mode)"
+            )
 
     @property
     def salvage(self) -> bool:
         """Whether this store was opened read-only via :meth:`open_salvage`."""
         return self._salvage
+
+    @property
+    def read_only(self) -> bool:
+        """Whether this store was opened with ``read_only=True``."""
+        return self._read_only
+
+    @property
+    def db_uuid(self) -> bytes:
+        """The immutable identity this store was formatted with."""
+        return self._db_uuid
+
+    @property
+    def generation(self) -> int:
+        """Generation of the newest durable master record."""
+        with self._lock:
+            return self._generation
+
+    @property
+    def commit_seqno(self) -> int:
+        """Sequence number of the newest commit."""
+        with self._lock:
+            return self._seqno
+
+    # ------------------------------------------------------------------
+    # Replication export hooks
+    # ------------------------------------------------------------------
+
+    def read_segment_bytes(self, number: int, offset: int, length: int) -> bytes:
+        """Raw media bytes of a segment prefix, for replication shipping.
+
+        The shipper only asks for ranges below the ``file_bytes`` a
+        pinned snapshot's master record recorded for the segment: sealed
+        segments are immutable and the tail only *grows* past that
+        point, so the range is stable under concurrent commits.
+        """
+        name = segment_file_name(number)
+        return self.untrusted.read(name, offset, length)
+
+    def export_master_blob(self) -> Tuple[str, bytes]:
+        """``(file name, raw sealed bytes)`` of the current master slot.
+
+        Must be captured in the same locked region as the snapshot that
+        anchors a shipment: two checkpoints later the alternating slot
+        scheme overwrites the same file.
+        """
+        with self._lock:
+            self._check_open()
+            name = MASTER_FILES[self._generation % 2]
+            return name, self.untrusted.read(name)
+
+    def begin_shipment(
+        self,
+        last_generation: Optional[int] = None,
+        last_seqno: Optional[int] = None,
+    ) -> Optional["ShipmentAnchor"]:
+        """Atomically anchor a replication shipment.
+
+        Checkpoints, takes a pinned snapshot, and captures — all under
+        one lock acquisition, so they describe the same instant — the
+        master blob, identity/counter state, and the per-segment sizes
+        the just-written master recorded.  The caller owns the returned
+        anchor's snapshot and must release it.
+
+        If the subscriber already holds ``(last_generation, last_seqno)``
+        and no commit has happened since, returns ``None`` instead of
+        burning a checkpoint per poll (a forced checkpoint always
+        advances the generation, so re-anchoring an unchanged store
+        would churn forever).
+        """
+        with self._lock:
+            self._check_open()
+            if (
+                last_generation is not None
+                and last_generation == self._generation
+                and last_seqno == self._seqno
+            ):
+                return None
+            snap = self.snapshot()  # checkpoint(force=True) + pin
+            master_name = MASTER_FILES[self._generation % 2]
+            master_blob = self.untrusted.read(master_name)
+            segments = [
+                SegmentExportInfo(
+                    number=info.number,
+                    file_bytes=info.file_bytes,
+                    is_tail=info.is_tail,
+                )
+                for info in self.segments.segments.values()
+                if not info.is_free
+            ]
+            return ShipmentAnchor(
+                snapshot=snap,
+                db_uuid=self._db_uuid,
+                generation=self._generation,
+                commit_seqno=self._seqno,
+                expected_counter=self._counter_value,
+                master_name=master_name,
+                master_blob=master_blob,
+                segments=segments,
+            )

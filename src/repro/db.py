@@ -92,6 +92,11 @@ class Database:
         return self.chunk_store.salvage
 
     @property
+    def read_only(self) -> bool:
+        """Whether this database was opened in read-only replica mode."""
+        return self.chunk_store.read_only
+
+    @property
     def salvage_info(self):
         """Salvage anomalies (``None`` unless opened with ``salvage=True``)."""
         return self.chunk_store.salvage_info
@@ -113,6 +118,7 @@ class Database:
         registry: Optional[ClassRegistry],
         fresh: bool,
         salvage: bool = False,
+        read_only: bool = False,
     ) -> "Database":
         cache = SharedLruCache(object_config.cache_bytes)
         if fresh:
@@ -135,7 +141,12 @@ class Database:
                 object_store = None
         else:
             chunk_store = ChunkStore.open(
-                untrusted, secret, counter, chunk_config, cache=cache
+                untrusted,
+                secret,
+                counter,
+                chunk_config,
+                cache=cache,
+                read_only=read_only,
             )
             object_store = ObjectStore.attach(chunk_store, object_config, registry)
         collection_store = (

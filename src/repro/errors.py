@@ -26,6 +26,7 @@ __all__ = [
     "BackupError",
     "RestoreSequenceError",
     "RepairError",
+    "ReadOnlyStoreError",
     "SalvageReadOnlyError",
     "ObjectStoreError",
     "ObjectNotFoundError",
@@ -47,6 +48,8 @@ __all__ = [
     "ProtocolError",
     "ServerBusyError",
     "SessionStateError",
+    "ReplicationError",
+    "ReadOnlyReplicaError",
 ]
 
 
@@ -138,7 +141,11 @@ class RepairError(TDBError):
     """Damage could not be healed from the available backup chain."""
 
 
-class SalvageReadOnlyError(ChunkStoreError):
+class ReadOnlyStoreError(ChunkStoreError):
+    """Mutation attempted on a store opened in a read-only mode."""
+
+
+class SalvageReadOnlyError(ReadOnlyStoreError):
     """Mutation attempted on a store opened in read-only salvage mode."""
 
 
@@ -258,3 +265,18 @@ class ServerBusyError(ServerError):
 class SessionStateError(ServerError):
     """Verb issued in the wrong session state (no open transaction, a
     transaction already open, or a verb of the other transaction mode)."""
+
+
+# ---------------------------------------------------------------------------
+# Replication (repro.replication)
+# ---------------------------------------------------------------------------
+
+class ReplicationError(TDBError):
+    """Base class for replication-layer errors (shipper / applier)."""
+
+
+class ReadOnlyReplicaError(ReplicationError):
+    """A mutating verb reached a server running in read-only replica mode.
+
+    Permanent by design: the client must talk to the primary (or wait for
+    a ``promote``), so it is *not* marshalled as transient."""

@@ -32,6 +32,7 @@ from repro.platform.counter import (
     OneWayCounter,
     MemoryOneWayCounter,
     FileOneWayCounter,
+    MirrorOneWayCounter,
 )
 from repro.platform.archival import (
     ArchivalStore,
@@ -56,6 +57,7 @@ __all__ = [
     "OneWayCounter",
     "MemoryOneWayCounter",
     "FileOneWayCounter",
+    "MirrorOneWayCounter",
     "ArchivalStore",
     "MemoryArchivalStore",
     "FileArchivalStore",

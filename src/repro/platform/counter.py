@@ -16,9 +16,14 @@ import os
 import threading
 from abc import ABC, abstractmethod
 
-from repro.errors import StoreError
+from repro.errors import StoreError, TamperDetectedError
 
-__all__ = ["OneWayCounter", "MemoryOneWayCounter", "FileOneWayCounter"]
+__all__ = [
+    "OneWayCounter",
+    "MemoryOneWayCounter",
+    "FileOneWayCounter",
+    "MirrorOneWayCounter",
+]
 
 
 class OneWayCounter(ABC):
@@ -52,6 +57,37 @@ class MemoryOneWayCounter(OneWayCounter):
             return self._value
 
 
+class MirrorOneWayCounter(OneWayCounter):
+    """A pinned counter for verifying a *copy* of someone else's store.
+
+    A replica holds a byte-for-byte image of the primary's untrusted
+    store, so the counter value authenticated inside that image is the
+    *primary's* — the replica has no hardware of its own to consult.  The
+    applier pins this mirror to the counter value the primary asserted
+    for the shipped generation; opening the image then demands exact
+    equality.  In particular the chunk store's lost-commit tolerance
+    (actual == expected - 1 re-advances the counter) is unavailable:
+    :meth:`increment` raises, turning a truncate-one-commit +
+    rewind-the-asserted-counter shipment into a detected tamper instead
+    of a silently accepted rollback.
+    """
+
+    def __init__(self, value: int) -> None:
+        if value < 0:
+            raise StoreError("counter cannot be negative")
+        self._value = value
+
+    def read(self) -> int:
+        return self._value
+
+    def increment(self) -> int:
+        raise TamperDetectedError(
+            "replica counter is a read-only mirror of the primary's "
+            "one-way counter; the shipped image does not match the "
+            "counter value asserted for it"
+        )
+
+
 class FileOneWayCounter(OneWayCounter):
     """File-backed counter with crash-safe, monotonic updates.
 
@@ -69,6 +105,29 @@ class FileOneWayCounter(OneWayCounter):
         if not os.path.exists(self.path):
             self._persist(0)
         self._high_water = self._load()
+
+    @classmethod
+    def initialize(cls, path: str, value: int) -> "FileOneWayCounter":
+        """Seed (or fast-forward) the counter file at ``path`` to ``value``.
+
+        Used by replica promotion: the promoted node binds itself to a
+        real one-way counter starting at the last value it verified from
+        the primary.  Refuses to move an existing counter backwards —
+        that would be exactly the rewind the counter exists to prevent.
+        """
+        if value < 0:
+            raise StoreError("counter cannot be negative")
+        counter = cls(path)
+        with counter._lock:
+            current = counter._load()
+            if current > value:
+                raise StoreError(
+                    "refusing to rewind one-way counter "
+                    f"({current} -> {value})"
+                )
+            counter._persist(value)
+            counter._high_water = value
+        return counter
 
     def _load(self) -> int:
         try:

@@ -1,0 +1,54 @@
+"""Verified log-shipping replication: primary, read replicas, promote.
+
+TDB's log-structured store is unusually replication-friendly: segments
+are immutable once sealed, the location map *is* the Merkle tree, and
+the one-way counter already defends against replay.  A replica can
+therefore hold a byte-for-byte copy of the primary's untrusted store and
+**verify every shipped byte before trusting it** — the same tamper
+checks `ChunkStore.open` runs against a local attacker run against the
+shipping channel for free.
+
+Roles:
+
+* :class:`ReplicationShipper` — primary side.  Anchors each shipment in
+  a pinned snapshot (so the cleaner can never recycle a segment a slow
+  replica still needs), and serves the ``repl.subscribe`` /
+  ``repl.segments`` / ``repl.master`` verbs of the wire protocol.
+* :class:`ReplicaApplier` — replica side.  Fetches a shipment, rebuilds
+  the candidate image in memory, verifies it (master MAC, residual-log
+  chain, strict counter equality, deep Merkle scrub, monotonicity
+  against its own persisted high-water state), and only then installs it
+  and atomically swaps the read-only serving database.
+* :func:`seed_replica` — bootstrap a replica from a PR 2 backup chain so
+  it can serve (stale) reads before its first contact with the primary.
+* :func:`promote_replica` — bind a verified replica image to a real
+  one-way counter and reopen it writable when the primary dies.
+
+The replica shares the primary's device secret: copy ``secret.key`` into
+the replica directory out of band (a real deployment provisions it into
+the replica's trusted hardware).  Without it the replica could not check
+a single MAC — an unverified replica is exactly what this module exists
+to prevent.
+"""
+
+from repro.replication.state import ReplicaState, load_state, save_state
+from repro.replication.shipper import ReplicationShipper
+from repro.replication.applier import (
+    ReplicaApplier,
+    TransactionGate,
+    open_replica_database,
+    promote_replica,
+    seed_replica,
+)
+
+__all__ = [
+    "ReplicaState",
+    "load_state",
+    "save_state",
+    "ReplicationShipper",
+    "ReplicaApplier",
+    "TransactionGate",
+    "open_replica_database",
+    "promote_replica",
+    "seed_replica",
+]

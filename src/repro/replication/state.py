@@ -1,0 +1,123 @@
+"""The replica's persisted high-water state (``replica.state``).
+
+A replica has no one-way counter of its own, so its replay defense
+against the *shipping channel* is a MACed sidecar recording the newest
+``(generation, commit seqno, counter)`` it ever verified.  A shipment
+older than the sidecar is a replay of the channel and is rejected; a
+shipment claiming the same generation with different contents is a fork
+and is rejected as tampering.
+
+The sidecar is MACed under a key derived from the shared device secret
+(``tdb-replication-state``), so the storage attacker cannot forge it.
+They *can* delete it together with the whole image — rolling the replica
+back to a blank slate — which is exactly the attack the paper's one-way
+counter exists to stop on the primary; a replica is only as
+rollback-proof as its channel to the primary, and :func:`promote_replica`
+re-binds to a real counter before the node ever accepts a write.  See
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+import os
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ReplicationError, TamperDetectedError
+from repro.platform import SecretStore
+
+__all__ = ["ReplicaState", "STATE_FILE", "load_state", "save_state", "remove_state"]
+
+#: Sidecar file name inside the replica directory.
+STATE_FILE = "replica.state"
+
+_LENGTH = struct.Struct(">I")
+_MAC_BYTES = 32
+_STATE_CONTEXT = "tdb-replication-state"
+
+
+@dataclass
+class ReplicaState:
+    """Newest shipment this replica fully verified."""
+
+    db_uuid: str          # hex; the primary's identity once adopted
+    generation: int       # master-record generation of the image
+    commit_seqno: int     # newest commit seqno in the image
+    counter: int          # one-way counter value authenticated in it
+    seeded: bool = False  # True until first contact with the primary
+
+    def as_dict(self) -> dict:
+        return {
+            "db_uuid": self.db_uuid,
+            "generation": self.generation,
+            "commit_seqno": self.commit_seqno,
+            "counter": self.counter,
+            "seeded": self.seeded,
+        }
+
+
+def _state_mac(secret_store: SecretStore, body: bytes) -> bytes:
+    key = secret_store.derive_key(_STATE_CONTEXT, 32)
+    return hmac.new(key, body, "sha256").digest()
+
+
+def save_state(directory: str, state: ReplicaState, secret_store: SecretStore) -> str:
+    """Atomically persist ``state`` under ``directory``; returns the path."""
+    path = os.path.join(os.path.abspath(directory), STATE_FILE)
+    body = json.dumps(state.as_dict(), sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+    blob = _LENGTH.pack(len(body)) + body + _state_mac(secret_store, body)
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(blob)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def load_state(directory: str, secret_store: SecretStore) -> Optional[ReplicaState]:
+    """Load and authenticate the sidecar; ``None`` if it does not exist.
+
+    A present-but-unverifiable sidecar raises
+    :class:`~repro.errors.TamperDetectedError` — it is the replica's
+    replay high-water mark, so treating garbage as "no state" would let
+    an attacker reset the mark by corrupting one file.
+    """
+    path = os.path.join(os.path.abspath(directory), STATE_FILE)
+    if not os.path.exists(path):
+        return None
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    if len(blob) < _LENGTH.size + _MAC_BYTES:
+        raise TamperDetectedError("replica state sidecar is truncated")
+    (length,) = _LENGTH.unpack(blob[: _LENGTH.size])
+    body = blob[_LENGTH.size : _LENGTH.size + length]
+    tag = blob[_LENGTH.size + length :]
+    if len(body) != length or len(tag) != _MAC_BYTES:
+        raise TamperDetectedError("replica state sidecar is truncated")
+    if not hmac.compare_digest(tag, _state_mac(secret_store, body)):
+        raise TamperDetectedError("replica state sidecar failed its MAC")
+    try:
+        fields = json.loads(body.decode("utf-8"))
+        return ReplicaState(
+            db_uuid=str(fields["db_uuid"]),
+            generation=int(fields["generation"]),
+            commit_seqno=int(fields["commit_seqno"]),
+            counter=int(fields["counter"]),
+            seeded=bool(fields.get("seeded", False)),
+        )
+    except (ValueError, KeyError, TypeError) as exc:
+        # MAC passed but contents unusable: a bug, not an attack.
+        raise ReplicationError(f"replica state sidecar malformed: {exc}") from exc
+
+
+def remove_state(directory: str) -> None:
+    """Delete the sidecar (promotion hands replay defense to the counter)."""
+    path = os.path.join(os.path.abspath(directory), STATE_FILE)
+    if os.path.exists(path):
+        os.remove(path)

@@ -31,7 +31,22 @@ verb               parameters                                     txn mode
 ``col.remove``     ``name``, ``key``, ``field`` (optional)        collection
 ``col.iterate``    ``name``, ``field``/``lo``/``hi``/``limit``    collection
 ``stats``          —                                              admin, any
+``repl.subscribe`` ``last_generation``/``last_seqno`` (optional)  admin, none
+``repl.segments``  ``segment``, ``offset``, ``length``            admin, none
+``repl.master``    —                                              admin, none
 =================  =============================================  ===========
+
+The ``repl.*`` verbs implement verified log shipping
+(:mod:`repro.replication`).  ``repl.subscribe`` checkpoints, pins every
+live segment in a snapshot, and returns the shipment manifest (database
+uuid, generation, commit seqno, expected counter, master-record file
+name and length, per-segment sizes and content digests) — or
+``{"up_to_date": true}`` when the primary has not committed past
+``last_generation``/``last_seqno``.  ``repl.segments`` returns raw
+segment bytes (base64, clipped to the manifest's recorded size) and
+``repl.master`` the sealed master-record blob captured at subscribe
+time.  Re-subscribing acknowledges the previous shipment and releases
+its pins.
 
 The payload model is JSON values: the server stores them in
 :class:`~repro.server.server.RemoteRecord` persistent objects, so a
@@ -80,6 +95,9 @@ VERBS = (
     "col.remove",
     "col.iterate",
     "stats",
+    "repl.subscribe",
+    "repl.segments",
+    "repl.master",
 )
 
 

@@ -27,6 +27,7 @@ remote client needs no Python class registry.
 
 from __future__ import annotations
 
+import base64
 import dataclasses
 import json
 import socket
@@ -36,6 +37,8 @@ from typing import Any, Dict, List, Optional
 from repro.collectionstore import Indexer
 from repro.errors import (
     ProtocolError,
+    ReadOnlyReplicaError,
+    ReplicationError,
     SchemaError,
     ServerBusyError,
     SessionStateError,
@@ -108,6 +111,21 @@ def field_indexer(
     )
 
 
+#: Verbs refused outright on a read-only replica server.  ``begin`` /
+#: ``commit`` / ``abort`` stay allowed: a read-only transaction's commit
+#: carries no writes, so it never reaches the chunk store's commit path.
+_MUTATING_VERBS = frozenset(
+    {
+        "obj.put",
+        "obj.remove",
+        "name.bind",
+        "col.create",
+        "col.insert",
+        "col.remove",
+    }
+)
+
+
 class _SessionTimeout(Exception):
     """Internal: the idle/request timeout fired for this session."""
 
@@ -128,6 +146,7 @@ class Session:
         self.session_id = session_id
         self.txn = None
         self.mode: Optional[str] = None
+        self._gate_held = False
         self.requests_served = 0
         self._stop = False
         self.thread = threading.Thread(
@@ -192,12 +211,20 @@ class Session:
 
     def _abort_open_txn(self) -> None:
         if self.txn is None:
+            self._release_gate()
             return
         txn, self.txn, self.mode = self.txn, None, None
         try:
             txn.abort()
         except TDBError:
             pass
+        finally:
+            self._release_gate()
+
+    def _release_gate(self) -> None:
+        if self._gate_held:
+            self._gate_held = False
+            self.server.txn_gate.release_shared()
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -210,6 +237,11 @@ class Session:
         handler = getattr(self, "_op_" + op.replace(".", "_"), None)
         if handler is None or op not in protocol.VERBS:
             raise ProtocolError(f"unknown verb {op!r}")
+        if self.server.read_only and op in _MUTATING_VERBS:
+            raise ReadOnlyReplicaError(
+                f"verb {op!r} refused: this server is a read-only replica; "
+                "write to the primary or promote this node"
+            )
         return handler(request)
 
     @staticmethod
@@ -241,8 +273,17 @@ class Session:
             raise SessionStateError(
                 "a transaction is already open in this session"
             )
-        db = self.server.db
-        self.txn = db.transaction() if mode == "object" else db.ctransaction()
+        if self.server.txn_gate is not None:
+            # Replica mode: the transaction pins the current image so the
+            # applier cannot swap it mid-transaction.
+            self.server.txn_gate.acquire_shared()
+            self._gate_held = True
+        try:
+            db = self.server.db
+            self.txn = db.transaction() if mode == "object" else db.ctransaction()
+        except BaseException:
+            self._release_gate()
+            raise
         self.mode = mode
         return {"mode": mode}
 
@@ -263,13 +304,18 @@ class Session:
             except TDBError:
                 pass
             raise
+        finally:
+            self._release_gate()
         return {"durable": durable}
 
     def _op_abort(self, request) -> Dict[str, Any]:
         if self.txn is None:
             raise SessionStateError("no open transaction to abort")
         txn, self.txn, self.mode = self.txn, None, None
-        txn.abort()
+        try:
+            txn.abort()
+        finally:
+            self._release_gate()
         return {}
 
     # -- object verbs ------------------------------------------------------
@@ -424,6 +470,46 @@ class Session:
             iterator.close()
         return values
 
+    # -- replication -------------------------------------------------------
+
+    def _require_shipper(self):
+        shipper = self.server.shipper
+        if shipper is None:
+            raise ReplicationError(
+                "this server does not ship: it is itself a read-only replica"
+            )
+        return shipper
+
+    def _op_repl_subscribe(self, request) -> Dict[str, Any]:
+        shipper = self._require_shipper()
+        last_generation = self._param(request, "last_generation", required=False)
+        last_seqno = self._param(request, "last_seqno", required=False)
+        return shipper.subscribe(
+            self.session_id,
+            None if last_generation is None else int(last_generation),
+            None if last_seqno is None else int(last_seqno),
+        )
+
+    def _op_repl_segments(self, request) -> Dict[str, Any]:
+        shipper = self._require_shipper()
+        segment = int(self._param(request, "segment"))
+        offset = int(self._param(request, "offset"))
+        length = int(self._param(request, "length"))
+        data = shipper.read_segment(self.session_id, segment, offset, length)
+        return {
+            "segment": segment,
+            "offset": offset,
+            "data": base64.b64encode(data).decode("ascii"),
+        }
+
+    def _op_repl_master(self, request) -> Dict[str, Any]:
+        shipper = self._require_shipper()
+        payload = shipper.master_blob(self.session_id)
+        return {
+            "name": payload["name"],
+            "data": base64.b64encode(payload["blob"]).decode("ascii"),
+        }
+
     # -- admin -------------------------------------------------------------
 
     def _op_stats(self, request) -> Dict[str, Any]:
@@ -443,21 +529,35 @@ class TdbServer:
         max_delay: float = 0.005,
         max_results: int = 1000,
         quorum_seal: bool = True,
+        read_only: bool = False,
+        txn_gate=None,
+        replication_stats=None,
     ) -> None:
         self.db = db
         self.host = host
         self.port = port
         self.backpressure = backpressure or BackpressureConfig()
         self.max_results = max_results
+        self.read_only = read_only
+        self.txn_gate = txn_gate
+        self.replication_stats = replication_stats
         self.admission = AdmissionControl(self.backpressure.max_sessions)
-        self.coordinator: GroupCommitCoordinator = db.enable_group_commit(
-            max_batch=max_batch,
-            max_delay=max_delay,
-            max_pending=self.backpressure.max_pending_commits,
-            quorum_seal=quorum_seal,
-        )
-        if db.object_store is not None:
-            db.object_store.registry.register(RemoteRecord)
+        if read_only:
+            # A replica commits nothing, so there is nothing to batch —
+            # and its store would refuse the coordinator's commits anyway.
+            self.coordinator: Optional[GroupCommitCoordinator] = None
+            self.shipper = None
+        else:
+            self.coordinator = db.enable_group_commit(
+                max_batch=max_batch,
+                max_delay=max_delay,
+                max_pending=self.backpressure.max_pending_commits,
+                quorum_seal=quorum_seal,
+            )
+            from repro.replication.shipper import ReplicationShipper
+
+            self.shipper = ReplicationShipper(db.chunk_store)
+        self.register_data_model()
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._sessions: Dict[int, Session] = {}
@@ -511,7 +611,10 @@ class TdbServer:
             session.stop()
         for session in sessions:
             session.thread.join(timeout=5.0)
-        self.db.disable_group_commit()
+        if self.shipper is not None:
+            self.shipper.close()
+        if self.coordinator is not None:
+            self.db.disable_group_commit()
         self._started = False
 
     def __enter__(self) -> "TdbServer":
@@ -540,7 +643,8 @@ class TdbServer:
                 self._next_session_id += 1
                 session = Session(self, sock, address, session_id)
                 self._sessions[session_id] = session
-            self.coordinator.concurrency_hint = self.admission.active
+            if self.coordinator is not None:
+                self.coordinator.concurrency_hint = self.admission.active
             session.start()
 
     def _reject(self, sock: socket.socket) -> None:
@@ -565,19 +669,43 @@ class TdbServer:
     def _session_finished(self, session: Session) -> None:
         with self._sessions_lock:
             self._sessions.pop(session.session_id, None)
+        if self.shipper is not None:
+            self.shipper.release(session.session_id)
         self.admission.release()
-        self.coordinator.concurrency_hint = self.admission.active
+        if self.coordinator is not None:
+            self.coordinator.concurrency_hint = self.admission.active
 
     # ------------------------------------------------------------------
     # Stats
     # ------------------------------------------------------------------
 
+    def register_data_model(self) -> None:
+        """(Re-)register the remote data model with the current database.
+
+        Called at construction and again by the replica applier after it
+        swaps ``self.db`` for a freshly installed image.
+        """
+        if self.db.object_store is not None:
+            self.db.object_store.registry.register(RemoteRecord)
+
     def stats_payload(self) -> Dict[str, Any]:
         """The admin ``stats`` verb: one JSON-able view of the stack."""
         chunk = dataclasses.asdict(self.db.stats())
-        return {
+        payload = {
             "chunk_store": chunk,
             "io": self.db.io_stats().as_dict(),
-            "group_commit": self.coordinator.stats_snapshot().as_dict(),
+            "group_commit": (
+                self.coordinator.stats_snapshot().as_dict()
+                if self.coordinator is not None
+                else None
+            ),
             "sessions": self.admission.as_dict(),
+            "read_only": self.read_only,
         }
+        replication: Dict[str, Any] = {"role": "replica" if self.read_only else "primary"}
+        if self.shipper is not None:
+            replication["shipper"] = self.shipper.stats_snapshot()
+        if self.replication_stats is not None:
+            replication["applier"] = self.replication_stats()
+        payload["replication"] = replication
+        return payload

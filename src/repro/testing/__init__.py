@@ -15,7 +15,10 @@ suite, examples, and benchmarks:
   typed byte region of a media image (:func:`map_image_regions`) and
   demands detection or clean recovery, never silent acceptance,
 * :mod:`repro.testing.scenarios` — ready-made workloads
-  (:class:`ChunkStoreCrashScenario`).
+  (:class:`ChunkStoreCrashScenario`),
+* :mod:`repro.testing.shipping` — in-flight replication-channel attacks
+  (:class:`TamperingReplicationClient`, record/replay clients) and the
+  :class:`ShipmentTamperMatrix` proving a replica rejects every one.
 """
 
 from repro.testing.faults import (
@@ -26,6 +29,17 @@ from repro.testing.faults import (
     InjectedCrash,
 )
 from repro.testing.scenarios import ChunkStoreCrashScenario
+from repro.testing.shipping import (
+    RecordingReplicationClient,
+    ReplayShipmentClient,
+    SHIPMENT_TAMPER_KINDS,
+    ShipmentCaseResult,
+    ShipmentRecording,
+    ShipmentTamper,
+    ShipmentTamperMatrix,
+    ShipmentTamperReport,
+    TamperingReplicationClient,
+)
 from repro.testing.sweeper import (
     CommitLedger,
     CrashPointResult,
@@ -51,6 +65,15 @@ __all__ = [
     "FaultyUntrustedStore",
     "InjectedCrash",
     "ChunkStoreCrashScenario",
+    "RecordingReplicationClient",
+    "ReplayShipmentClient",
+    "SHIPMENT_TAMPER_KINDS",
+    "ShipmentCaseResult",
+    "ShipmentRecording",
+    "ShipmentTamper",
+    "ShipmentTamperMatrix",
+    "ShipmentTamperReport",
+    "TamperingReplicationClient",
     "CommitLedger",
     "CrashPointResult",
     "CrashScenario",

@@ -21,7 +21,15 @@ Subcommands over a file-backed database directory (the layout
   dump every chunk that still Merkle-verifies to files in an output
   directory, with a manifest.
 * ``serve`` — open the database and serve it over the TCP wire
-  protocol (:mod:`repro.server`) until interrupted.
+  protocol (:mod:`repro.server`) until interrupted; group-commit and
+  backpressure tuning via ``--max-batch`` / ``--max-delay`` /
+  ``--max-pending`` / ``--no-quorum-seal`` / ``--max-results``.
+* ``replicate`` — run a read replica of a serving primary: sync once
+  (``--once``), keep following, and optionally serve read-only clients
+  (``--serve-port``); ``--seed`` bootstraps the image from the backup
+  chain first.
+* ``promote`` — bind a replica image to a fresh local one-way counter
+  and open it writable (the primary is gone; this node takes over).
 
 Usage::
 
@@ -31,9 +39,13 @@ Usage::
     python -m repro.tools repair  /path/to/dbdir
     python -m repro.tools salvage-export /path/to/dbdir /path/to/outdir
     python -m repro.tools serve   /path/to/dbdir [--host H] [--port P]
+    python -m repro.tools replicate /path/to/replicadir --primary H:P \\
+        [--once] [--serve-port P] [--poll SECONDS] [--seed NAME ...]
+    python -m repro.tools promote /path/to/replicadir
 
-``inspect``, ``verify``, ``scrub --salvage`` and ``salvage-export`` are
-read-only; ``repair`` rewrites the untrusted store.
+``inspect``, ``verify``, ``scrub --salvage``, ``salvage-export`` and
+``replicate`` are read-only on their database; ``repair`` rewrites the
+untrusted store and ``promote`` rewrites the replica's control files.
 """
 
 from __future__ import annotations
@@ -58,7 +70,14 @@ from repro.platform import (
 )
 from repro.repair import RepairEngine
 
-__all__ = ["main", "open_readonly_stack", "verify_database", "serve_database"]
+__all__ = [
+    "main",
+    "open_readonly_stack",
+    "verify_database",
+    "serve_database",
+    "replicate_database",
+    "promote_database",
+]
 
 
 def _platform_parts(directory: str):
@@ -299,6 +318,9 @@ def serve_database(
     idle_timeout: float = 30.0,
     max_batch: int = 32,
     max_delay: float = 0.005,
+    max_pending: int = 256,
+    quorum_seal: bool = True,
+    max_results: int = 1000,
     ready_callback=None,
     stop_event=None,
 ) -> int:
@@ -318,7 +340,9 @@ def serve_database(
 
     db = Database.open_existing(directory, chunk_config=config)
     backpressure = BackpressureConfig(
-        max_sessions=max_sessions, idle_timeout=idle_timeout
+        max_sessions=max_sessions,
+        idle_timeout=idle_timeout,
+        max_pending_commits=max_pending,
     )
     server = TdbServer(
         db,
@@ -327,6 +351,8 @@ def serve_database(
         backpressure=backpressure,
         max_batch=max_batch,
         max_delay=max_delay,
+        quorum_seal=quorum_seal,
+        max_results=max_results,
     )
     server.start()
     bound_host, bound_port = server.address
@@ -341,6 +367,115 @@ def serve_database(
         print("interrupted; shutting down")
     finally:
         server.stop()
+        db.close()
+    return 0
+
+
+def replicate_database(
+    directory: str,
+    primary: str,
+    once: bool = False,
+    serve_host: str = "127.0.0.1",
+    serve_port: Optional[int] = None,
+    poll: float = 1.0,
+    seed: Optional[List[str]] = None,
+    config: Optional[ChunkStoreConfig] = None,
+    ready_callback=None,
+    stop_event=None,
+) -> int:
+    """Run a verifying read replica against ``primary`` (``host:port``).
+
+    With ``--once`` a single shipment is synced and the process exits
+    (0 = installed or already current, 1 = shipment rejected).  Otherwise
+    the applier polls every ``poll`` seconds until interrupted and, when
+    ``serve_port`` is given, serves read-only clients from the last
+    verified image the whole time.  ``seed`` restores the named backup
+    chain into the replica first, so a cold replica can serve stale reads
+    before its first contact with the primary.
+    """
+    import threading
+
+    from repro.replication import ReplicaApplier, seed_replica
+
+    host, _, port_text = primary.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(f"--primary must be host:port, got {primary!r}", file=sys.stderr)
+        return 2
+    if seed:
+        state = seed_replica(directory, seed, chunk_config=config)
+        print(
+            f"seeded from {len(seed)} backup(s): generation "
+            f"{state.generation}, commit seqno {state.commit_seqno}"
+        )
+    applier = ReplicaApplier(
+        directory,
+        host,
+        int(port_text),
+        chunk_config=config,
+        poll_interval=poll,
+    )
+    try:
+        if once:
+            try:
+                installed = applier.sync_once()
+            except TDBError as exc:
+                print(f"shipment rejected: {type(exc).__name__}: {exc}")
+                return 1
+            print("installed new image" if installed else "already up to date")
+            stats = applier.stats_snapshot()
+            print(
+                f"  applied seqno {stats['applied_seqno']}, "
+                f"fetched {stats['bytes_fetched']} bytes, "
+                f"reused {stats['segments_reused']} segment(s)"
+            )
+            return 0
+        bound = None
+        if serve_port is not None:
+            # Serving needs an installed image: sync one shipment up
+            # front (a rejected shipment is tolerable if a previously
+            # verified image is already on disk).
+            try:
+                applier.sync_once()
+            except TDBError as exc:
+                print(f"initial sync failed: {type(exc).__name__}: {exc}")
+            try:
+                server = applier.serve(serve_host, serve_port)
+            except TDBError as exc:
+                print(f"cannot serve: {type(exc).__name__}: {exc}",
+                      file=sys.stderr)
+                return 1
+            bound = server.address
+            print(f"replica serving read-only on {bound[0]}:{bound[1]}")
+        applier.start()
+        print(f"following {primary} (poll every {poll:.3g}s)")
+        if ready_callback is not None:
+            ready_callback(*(bound or (None, None)))
+        if stop_event is None:
+            stop_event = threading.Event()
+        try:
+            stop_event.wait()
+        except KeyboardInterrupt:
+            print("interrupted; shutting down")
+        return 0
+    finally:
+        applier.close()
+
+
+def promote_database(
+    directory: str, config: Optional[ChunkStoreConfig] = None
+) -> int:
+    """Promote a replica image to a writable primary."""
+    from repro.replication import promote_replica
+
+    db = promote_replica(directory, config)
+    try:
+        stats = db.stats()
+        print(
+            f"promoted {directory}: commit seqno {stats.commit_seqno}, "
+            f"counter {stats.counter_value}"
+        )
+        print("the replica sidecar is retired; serve this directory normally")
+    finally:
         db.close()
     return 0
 
@@ -365,7 +500,16 @@ def main(argv=None) -> int:
         prog="python -m repro.tools", description=__doc__.splitlines()[0]
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    for name in ("inspect", "verify", "scrub", "repair", "salvage-export", "serve"):
+    for name in (
+        "inspect",
+        "verify",
+        "scrub",
+        "repair",
+        "salvage-export",
+        "serve",
+        "replicate",
+        "promote",
+    ):
         cmd = sub.add_parser(name)
         cmd.add_argument("directory")
         if name == "scrub":
@@ -384,6 +528,28 @@ def main(argv=None) -> int:
                              help="group-commit batch-size cap")
             cmd.add_argument("--max-delay", type=float, default=0.005,
                              help="group-commit batching window in seconds")
+            cmd.add_argument("--max-pending", type=int, default=256,
+                             help="pending-commit admission limit")
+            cmd.add_argument("--no-quorum-seal", dest="quorum_seal",
+                             action="store_false", default=True,
+                             help="acknowledge batches before the seal sync")
+            cmd.add_argument("--max-results", type=int, default=1000,
+                             help="cap on rows returned per query verb")
+        if name == "replicate":
+            cmd.add_argument("--primary", required=True,
+                             help="primary server as host:port")
+            cmd.add_argument("--once", action="store_true", default=False,
+                             help="sync a single shipment and exit")
+            cmd.add_argument("--serve-host", default="127.0.0.1")
+            cmd.add_argument("--serve-port", type=int, default=None,
+                             help="serve read-only clients on this port "
+                                  "(0 picks an ephemeral port)")
+            cmd.add_argument("--poll", type=float, default=1.0,
+                             help="seconds between catch-up polls")
+            cmd.add_argument("--seed", nargs="+", default=None,
+                             metavar="BACKUP",
+                             help="seed the image from this backup chain "
+                                  "(names in chain order) before syncing")
         cmd.add_argument("--segment-kb", type=int, default=None,
                          help="segment size in KB if non-default")
         cmd.add_argument("--fanout", type=int, default=None,
@@ -414,7 +580,23 @@ def main(argv=None) -> int:
                 idle_timeout=args.idle_timeout,
                 max_batch=args.max_batch,
                 max_delay=args.max_delay,
+                max_pending=args.max_pending,
+                quorum_seal=args.quorum_seal,
+                max_results=args.max_results,
             )
+        if args.command == "replicate":
+            return replicate_database(
+                args.directory,
+                args.primary,
+                once=args.once,
+                serve_host=args.serve_host,
+                serve_port=args.serve_port,
+                poll=args.poll,
+                seed=args.seed,
+                config=config,
+            )
+        if args.command == "promote":
+            return promote_database(args.directory, config)
         return verify_database(args.directory, config)
     except TDBError as exc:
         print(f"{type(exc).__name__}: {exc}", file=sys.stderr)

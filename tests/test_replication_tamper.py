@@ -1,0 +1,109 @@
+"""The replication channel under attack: 100% rejection required.
+
+Runs the full :class:`~repro.testing.shipping.ShipmentTamperMatrix`
+against a live primary: corrupted, truncated, dropped, reordered, and
+replayed segment/master frames, manifest lies (counter and generation
+rewind), and single-byte payload corruption hidden behind a consistently
+forged transport digest (the case only the deep scrub can catch).  Every
+attack must end in an error — never an installed divergent image.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import os
+import shutil
+
+import pytest
+
+from repro.config import ChunkStoreConfig
+from repro.db import Database
+from repro.errors import ReplayDetectedError, TamperDetectedError
+from repro.server import TdbClient, TdbServer
+from repro.testing import (
+    SHIPMENT_TAMPER_KINDS,
+    ShipmentTamper,
+    ShipmentTamperMatrix,
+    TamperingReplicationClient,
+)
+from repro.replication import ReplicaApplier
+
+CHUNK = ChunkStoreConfig(
+    segment_size=8192, checkpoint_residual_bytes=8192, initial_segments=4
+)
+
+
+@contextlib.contextmanager
+def attack_rig(tmp_path):
+    """A populated primary plus a matrix wired to fresh replica dirs."""
+    pdir = os.path.join(str(tmp_path), "primary")
+    db = Database.create(pdir, CHUNK)
+    server = TdbServer(db).start()
+    counter = itertools.count()
+
+    def write_batch(count=20, size=400):
+        with TdbClient(*server.address) as client:
+            with client.transaction() as txn:
+                for _ in range(count):
+                    txn.put({"n": next(counter), "pad": "x" * size})
+
+    def make_replica_dir():
+        rdir = os.path.join(str(tmp_path), f"replica-{next(counter)}")
+        os.makedirs(rdir)
+        shutil.copy(
+            os.path.join(pdir, "secret.key"), os.path.join(rdir, "secret.key")
+        )
+        return rdir
+
+    write_batch(30)
+    matrix = ShipmentTamperMatrix(
+        server,
+        make_replica_dir,
+        advance_primary=lambda: write_batch(5),
+        chunk_config=CHUNK,
+    )
+    try:
+        yield matrix, server, make_replica_dir
+    finally:
+        server.stop()
+        db.close()
+
+
+class TestShipmentTamperMatrix:
+    def test_every_channel_attack_is_rejected(self, tmp_path):
+        with attack_rig(tmp_path) as (matrix, _server, _mk):
+            report = matrix.run()
+            assert len(report.cases) == len(SHIPMENT_TAMPER_KINDS)
+            assert len(report.detected) == len(report.cases), report.summary()
+            report.assert_ok()
+
+    def test_rejected_shipment_leaves_replica_serving(self, tmp_path):
+        """A tampered shipment must not take down a working replica."""
+        with attack_rig(tmp_path) as (matrix, server, make_replica_dir):
+            rdir = make_replica_dir()
+            with ReplicaApplier(rdir, *server.address, chunk_config=CHUNK) as app:
+                app.sync_once()
+                before = app.stats_snapshot()["applied_seqno"]
+                matrix.advance_primary()
+                evil = TamperingReplicationClient(
+                    TdbClient(*server.address), ShipmentTamper("corrupt-master")
+                )
+                app._client, good = evil, app._client
+                try:
+                    with pytest.raises(TamperDetectedError):
+                        app.sync_once()
+                finally:
+                    app._client = good
+                    evil.close()
+                stats = app.stats_snapshot()
+                assert stats["tamper_rejected"] == 1
+                assert stats["applied_seqno"] == before
+                # The honest channel still works afterwards.
+                assert app.sync_once() is True
+
+    def test_replay_raises_replay_detected(self, tmp_path):
+        with attack_rig(tmp_path) as (matrix, _server, _mk):
+            result = matrix._run_replay_case()
+            assert result.outcome == "detected"
+            assert result.detail == ReplayDetectedError.__name__

@@ -275,3 +275,156 @@ class TestServeCommand:
         out = capsys.readouterr().out
         assert "--max-batch" in out
         assert "--idle-timeout" in out
+
+
+class TestReplicationCommands:
+    @staticmethod
+    def _serve_in_thread(directory):
+        import threading
+
+        from repro.tools import serve_database
+
+        ready: dict = {}
+        got_ready = threading.Event()
+        stop = threading.Event()
+
+        def on_ready(host, port):
+            ready["addr"] = (host, port)
+            got_ready.set()
+
+        thread = threading.Thread(
+            target=serve_database,
+            args=(directory, "127.0.0.1", 0),
+            kwargs={"ready_callback": on_ready, "stop_event": stop},
+            daemon=True,
+        )
+        thread.start()
+        assert got_ready.wait(10), "server never reported ready"
+        return ready["addr"], stop, thread
+
+    def test_replicate_once_then_promote(self, tmp_path, capsys):
+        import os
+        import shutil
+
+        from repro.server import TdbClient
+
+        pdir = str(tmp_path / "primary")
+        Database.create(pdir).close()
+        (host, port), stop, thread = self._serve_in_thread(pdir)
+        rdir = str(tmp_path / "replica")
+        os.makedirs(rdir)
+        shutil.copy(
+            os.path.join(pdir, "secret.key"), os.path.join(rdir, "secret.key")
+        )
+        try:
+            with TdbClient(host, port) as client:
+                with client.transaction() as txn:
+                    oid = txn.put({"city": "Osaka"})
+            primary = f"{host}:{port}"
+            assert tools_main(["replicate", rdir, "--primary", primary,
+                               "--once"]) == 0
+            assert "installed new image" in capsys.readouterr().out
+            assert tools_main(["replicate", rdir, "--primary", primary,
+                               "--once"]) == 0
+            assert "already up to date" in capsys.readouterr().out
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+
+        # The primary is gone; this node takes over and accepts writes.
+        assert tools_main(["promote", rdir]) == 0
+        assert "promoted" in capsys.readouterr().out
+        db = Database.open_existing(rdir)
+        from repro.server.server import RemoteRecord
+
+        db.register_class(RemoteRecord)
+        with db.transaction() as txn:
+            assert txn.open_readonly(oid, RemoteRecord).deref().value == {
+                "city": "Osaka"
+            }
+            txn.insert(RemoteRecord({"written": "after promote"}))
+        db.close()
+
+    def test_replicate_follow_serves_read_only(self, tmp_path):
+        import os
+        import shutil
+        import threading
+
+        from repro.errors import ReadOnlyReplicaError
+        from repro.server import TdbClient
+        from repro.tools import replicate_database
+
+        pdir = str(tmp_path / "primary")
+        Database.create(pdir).close()
+        (host, port), pstop, pthread = self._serve_in_thread(pdir)
+        rdir = str(tmp_path / "replica")
+        os.makedirs(rdir)
+        shutil.copy(
+            os.path.join(pdir, "secret.key"), os.path.join(rdir, "secret.key")
+        )
+        try:
+            with TdbClient(host, port) as client:
+                with client.transaction() as txn:
+                    oid = txn.put({"n": 1})
+                    txn.bind("the-object", oid)
+
+            rready: dict = {}
+            rgot = threading.Event()
+            rstop = threading.Event()
+
+            def on_ready(rhost, rport):
+                rready["addr"] = (rhost, rport)
+                rgot.set()
+
+            rthread = threading.Thread(
+                target=replicate_database,
+                args=(rdir, f"{host}:{port}"),
+                kwargs={
+                    "serve_port": 0,
+                    "poll": 0.05,
+                    "ready_callback": on_ready,
+                    "stop_event": rstop,
+                },
+                daemon=True,
+            )
+            rthread.start()
+            try:
+                assert rgot.wait(10), "replica never reported ready"
+                rhost, rport = rready["addr"]
+                with TdbClient(rhost, rport) as client:
+                    with client.transaction() as txn:
+                        assert txn.get(txn.lookup("the-object"))["n"] == 1
+                        with pytest.raises(ReadOnlyReplicaError):
+                            txn.put({"write": "refused"})
+                    # The follower picks up new primary commits.
+                    with TdbClient(host, port) as pclient:
+                        with pclient.transaction() as txn:
+                            txn.put({"n": 2}, oid=oid)
+                    deadline = threading.Event()
+                    for _ in range(100):
+                        with client.transaction() as txn:
+                            if txn.get(oid)["n"] == 2:
+                                break
+                        deadline.wait(0.05)
+                    with client.transaction() as txn:
+                        assert txn.get(oid)["n"] == 2
+            finally:
+                rstop.set()
+                rthread.join(timeout=10)
+        finally:
+            pstop.set()
+            pthread.join(timeout=10)
+
+    def test_cli_help_lists_replication_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            tools_main(["serve", "--help"])
+        out = capsys.readouterr().out
+        assert "--max-pending" in out
+        assert "--no-quorum-seal" in out
+        assert "--max-results" in out
+        with pytest.raises(SystemExit):
+            tools_main(["replicate", "--help"])
+        out = capsys.readouterr().out
+        assert "--primary" in out
+        assert "--once" in out
+        assert "--seed" in out
