@@ -23,8 +23,8 @@ import struct
 from dataclasses import dataclass
 from typing import Dict, List, Set, Tuple
 
-from repro.crypto.aes import Aes
 from repro.crypto.mac import Hmac
+from repro.crypto.native import best_aes
 from repro.crypto.modes import ctr_transform
 from repro.errors import BackupError, TamperDetectedError
 
@@ -114,8 +114,10 @@ class BackupHeader:
         return _HEADER.size
 
 
-def _keystream_cipher(key: bytes) -> Aes:
-    return Aes(key[:16])
+def _keystream_cipher(key: bytes):
+    # CTR keystream bytes are identical under every AES engine, so the
+    # wire format is stable; pick the fastest one available.
+    return best_aes(key[:16])
 
 
 def encode_backup(

@@ -23,6 +23,8 @@ from repro.crypto.hashes import (
     create_hash_engine,
 )
 from repro.crypto.cipher import (
+    CIPHER_KEY_SIZES,
+    ENGINE_NAMES,
     BlockCipher,
     PayloadCipher,
     NullPayloadCipher,
@@ -34,6 +36,8 @@ from repro.crypto.sha1 import sha1
 from repro.crypto.des import Des, TripleDes
 from repro.crypto.aes import Aes
 from repro.crypto.aesfast import AesFast
+from repro.crypto.native import HAVE_NATIVE_BACKEND, NativeAes, best_aes
+from repro.crypto.pool import DigestPool
 from repro.crypto.instrument import (
     InstrumentedHashEngine,
     InstrumentedPayloadCipher,
@@ -57,6 +61,12 @@ __all__ = [
     "TripleDes",
     "Aes",
     "AesFast",
+    "NativeAes",
+    "HAVE_NATIVE_BACKEND",
+    "best_aes",
+    "DigestPool",
+    "CIPHER_KEY_SIZES",
+    "ENGINE_NAMES",
     "InstrumentedHashEngine",
     "InstrumentedPayloadCipher",
     "modes",

@@ -16,15 +16,33 @@ from repro.crypto import modes
 from repro.crypto.aes import Aes
 from repro.crypto.aesfast import AesFast
 from repro.crypto.des import Des, TripleDes
-from repro.errors import CryptoError
+from repro.crypto.native import NativeAes
+from repro.errors import ConfigError, CryptoError
 
 __all__ = [
     "BlockCipher",
     "PayloadCipher",
     "NullPayloadCipher",
     "CbcPayloadCipher",
+    "CIPHER_KEY_SIZES",
+    "ENGINE_NAMES",
     "create_payload_cipher",
 ]
+
+#: Engine (kernel) names accepted by :func:`create_payload_cipher` and
+#: :class:`~repro.config.SecurityProfile`.
+ENGINE_NAMES = ("native", "fast", "reference")
+
+#: Cipher profile names and the key bytes each consumes.
+CIPHER_KEY_SIZES = {
+    "aes-128": 16,
+    "aes-192": 24,
+    "aes-256": 32,
+    "des": 8,
+    "3des": 24,
+}
+
+_AES_BY_ENGINE = {"native": NativeAes, "fast": AesFast, "reference": Aes}
 
 
 class BlockCipher(Protocol):
@@ -98,36 +116,35 @@ def create_payload_cipher(
     ``"null"``, ``"aes-128"``, ``"aes-192"``, ``"aes-256"``, ``"des"``,
     ``"3des"``.
 
-    ``kernel`` selects the implementation behind the AES profiles:
-    ``"fast"`` (default) uses the precomputed-table
+    ``kernel`` selects the engine behind the AES profiles: ``"native"``
+    uses the platform's crypto (:class:`~repro.crypto.native.NativeAes`,
+    falling back to the table kernels when no native backend is
+    importable); ``"fast"`` uses the precomputed-table
     :class:`~repro.crypto.aesfast.AesFast` and the batched CBC kernels;
-    ``"reference"`` keeps the per-block byte-wise path.  Both produce
-    identical ciphertext for the same key and IV, so stores written
-    under one kernel open under the other.  DES/3DES have no fast
-    kernel and ignore the selector.
+    ``"reference"`` keeps the per-block byte-wise path.  All three
+    produce identical ciphertext for the same key and IV, so stores
+    written under one engine open under any other.  DES/3DES have no
+    accelerated engine and ignore the selector.
     """
-    if kernel not in ("fast", "reference"):
-        raise ValueError(f"unknown crypto kernel: {kernel!r}")
+    if kernel not in ENGINE_NAMES:
+        raise ConfigError(
+            f"unknown crypto engine: {kernel!r} (valid: {', '.join(ENGINE_NAMES)})"
+        )
     if name == "null":
         return NullPayloadCipher()
-    key_sizes = {
-        "aes-128": 16,
-        "aes-192": 24,
-        "aes-256": 32,
-        "des": 8,
-        "3des": 24,
-    }
-    if name not in key_sizes:
-        raise ValueError(f"unknown cipher: {name!r}")
-    needed = key_sizes[name]
+    if name not in CIPHER_KEY_SIZES:
+        raise ConfigError(
+            f"unknown cipher: {name!r} "
+            f"(valid: null, {', '.join(CIPHER_KEY_SIZES)})"
+        )
+    needed = CIPHER_KEY_SIZES[name]
     if len(key) < needed:
         raise CryptoError(
             f"cipher {name!r} needs {needed} key bytes, got {len(key)}"
         )
     key = key[:needed]
     if name.startswith("aes"):
-        block_cipher = AesFast(key) if kernel == "fast" else Aes(key)
-        return CbcPayloadCipher(block_cipher, name)
+        return CbcPayloadCipher(_AES_BY_ENGINE[kernel](key), name)
     if name == "des":
         return CbcPayloadCipher(Des(key), name)
     return CbcPayloadCipher(TripleDes(key), name)

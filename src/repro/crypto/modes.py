@@ -5,7 +5,7 @@ random IV (the paper pads to the block size; that padding is part of
 TDB-S's measured write overhead).  CTR mode is provided for length-
 preserving streams (used by the backup store).
 
-Two code paths coexist:
+Three code paths coexist:
 
 * the **per-block reference path** drives any
   :class:`~repro.crypto.cipher.BlockCipher` through ``encrypt_block`` /
@@ -16,10 +16,15 @@ Two code paths coexist:
   payload is unpacked into 32-bit words once, chained with int-XOR in
   one flat loop, and packed back once — no per-block allocations.  CTR
   generates its keystream in one batch and applies it with a single
-  big-int XOR.
+  big-int XOR;
+* the **native payload path** engages for ciphers exposing the
+  whole-payload interface (:class:`~repro.crypto.native.NativeAes` with
+  a live OpenSSL backend): one C call transforms the entire payload.
+  IV generation, PKCS#7 framing, and validation stay here in one place,
+  so all engines share the exact record layout.
 
-Both paths produce byte-identical output for the same key and IV, so
-fast and reference profiles interoperate on disk.
+All paths produce byte-identical output for the same key and IV, so
+native, fast, and reference profiles interoperate on disk.
 """
 
 from __future__ import annotations
@@ -163,6 +168,10 @@ def _has_word_kernel(cipher) -> bool:
     )
 
 
+def _has_native_kernel(cipher) -> bool:
+    return getattr(cipher, "backend", None) == "openssl"
+
+
 # ---------------------------------------------------------------------------
 # Public modes
 # ---------------------------------------------------------------------------
@@ -176,6 +185,8 @@ def cbc_encrypt(cipher, plaintext: bytes, iv: Optional[bytes] = None) -> bytes:
     if len(iv) != block:
         raise CryptoError(f"IV must be {block} bytes, got {len(iv)}")
     padded = pkcs7_pad(plaintext, block)
+    if _has_native_kernel(cipher):
+        return iv + cipher.cbc_encrypt_payload(padded, iv)
     if _has_word_kernel(cipher):
         return _cbc_encrypt_words(cipher, padded, iv)
     out = bytearray(iv)
@@ -195,6 +206,8 @@ def cbc_decrypt(cipher, data: bytes) -> bytes:
     if len(data) < 2 * block or len(data) % block:
         raise CryptoError("CBC ciphertext too short or not block-aligned")
     iv, body = data[:block], data[block:]
+    if _has_native_kernel(cipher):
+        return pkcs7_unpad(cipher.cbc_decrypt_payload(iv, body), block)
     if _has_word_kernel(cipher):
         return pkcs7_unpad(_cbc_decrypt_words(cipher, iv, body), block)
     out = bytearray()
@@ -218,6 +231,8 @@ def ctr_transform(cipher, data: bytes, nonce: bytes) -> bytes:
     prefix = nonce.ljust(block - 4, b"\x00")
     if not data:
         return b""
+    if _has_native_kernel(cipher):
+        return cipher.ctr_payload(data, prefix)
     if _has_word_kernel(cipher):
         return _ctr_transform_words(cipher, data, prefix)
     out = bytearray()

@@ -1,0 +1,143 @@
+"""Native AES: the ``"native"`` crypto engine.
+
+Pure-python crypto is the wall of every GB-scale scenario: the table
+kernels (:class:`~repro.crypto.aesfast.AesFast`) top out around 1 MB/s
+while the disk underneath moves hundreds.  This module puts the
+platform's real crypto behind the same :class:`BlockCipher` shape — the
+`cryptography <https://cryptography.io>`_ package's OpenSSL-backed AES
+when importable, and a transparent fallback onto the table kernels when
+it is not (no new hard dependency; the engine name stays valid either
+way, only the speed changes).
+
+Three properties keep the engine swappable:
+
+* **Identical on-disk images.**  CBC and CTR are deterministic given key
+  and IV, so the native path produces byte-for-byte the ciphertext of
+  the reference and fast kernels; a store written under any engine opens
+  under any other.  The differential suite
+  (``tests/test_engine_differential.py``) fuzzes this invariant and the
+  reopen guard in ``tests/test_crypto_kernels.py`` pins it on real store
+  images.
+* **Same interface.**  :class:`NativeAes` exposes ``encrypt_block`` /
+  ``decrypt_block`` like every other block cipher here.  When the
+  OpenSSL backend is live it additionally exposes the *whole-payload*
+  methods (:meth:`cbc_encrypt_payload` and friends) that
+  :mod:`repro.crypto.modes` dispatches to — one C call per payload
+  instead of one Python call per 16-byte block.  In fallback mode it
+  exposes the word kernels instead, so the batched pure-python path
+  engages.
+* **Oracle guard.**  The reference and fast kernels are kept forever as
+  cross-check oracles; nothing about them changed.  ``native`` is just a
+  third point on the same interface.
+
+DES/3DES have no native path (the paper's 3DES profile exists for
+fidelity, not speed) and silently keep their reference implementation,
+exactly as they do under the ``fast`` engine.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aesfast import AesFast
+from repro.errors import CryptoError
+
+__all__ = ["HAVE_NATIVE_BACKEND", "NativeAes", "best_aes"]
+
+try:  # pragma: no cover - exercised indirectly by every native test
+    from cryptography.hazmat.primitives.ciphers import (
+        Cipher as _Cipher,
+        algorithms as _algorithms,
+        modes as _cmodes,
+    )
+
+    HAVE_NATIVE_BACKEND = True
+except ImportError:  # pragma: no cover - container without cryptography
+    _Cipher = _algorithms = _cmodes = None
+    HAVE_NATIVE_BACKEND = False
+
+
+class NativeAes:
+    """AES-128/192/256 over the platform's native crypto, if present.
+
+    With the OpenSSL backend the instance carries the whole-payload
+    methods the mode layer fast-paths on; without it the instance
+    borrows :class:`AesFast`'s word kernels, so it degrades to exactly
+    the ``fast`` engine (correct, just slower).  ``backend`` tells an
+    operator (and the benches) which one is live.
+    """
+
+    block_size = 16
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in (16, 24, 32):
+            raise CryptoError(
+                f"AES key must be 16, 24, or 32 bytes, got {len(key)}"
+            )
+        if HAVE_NATIVE_BACKEND:
+            self.backend = "openssl"
+            self._algorithm = _algorithms.AES(key)
+            self._fallback = None
+        else:
+            self.backend = "fallback"
+            self._fallback = AesFast(key)
+            # Exposing the word kernels as instance attributes makes
+            # modes._has_word_kernel() true, engaging the batched
+            # pure-python path for whole payloads.
+            self.encrypt_words = self._fallback.encrypt_words
+            self.decrypt_words = self._fallback.decrypt_words
+
+    # -- per-block interface (shared by all engines) ---------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise CryptoError(f"AES block must be 16 bytes, got {len(block)}")
+        if self._fallback is not None:
+            return self._fallback.encrypt_block(block)
+        ctx = _Cipher(self._algorithm, _cmodes.ECB()).encryptor()
+        return ctx.update(block) + ctx.finalize()
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise CryptoError(f"AES block must be 16 bytes, got {len(block)}")
+        if self._fallback is not None:
+            return self._fallback.decrypt_block(block)
+        ctx = _Cipher(self._algorithm, _cmodes.ECB()).decryptor()
+        return ctx.update(block) + ctx.finalize()
+
+    # -- whole-payload interface (native backend only) -------------------
+    #
+    # Only defined meaningfully when the backend is live; the mode layer
+    # checks ``backend == "openssl"`` via modes._has_native_kernel before
+    # calling them.
+
+    def cbc_encrypt_payload(self, padded: bytes, iv: bytes) -> bytes:
+        """CBC-encrypt an already-padded payload; returns body (no IV)."""
+        ctx = _Cipher(self._algorithm, _cmodes.CBC(iv)).encryptor()
+        return ctx.update(padded) + ctx.finalize()
+
+    def cbc_decrypt_payload(self, iv: bytes, body: bytes) -> bytes:
+        """CBC-decrypt a payload body; returns still-padded plaintext."""
+        ctx = _Cipher(self._algorithm, _cmodes.CBC(iv)).decryptor()
+        return ctx.update(body) + ctx.finalize()
+
+    def ctr_payload(self, data: bytes, prefix: bytes) -> bytes:
+        """CTR-transform ``data``; ``prefix`` is the 12-byte nonce block.
+
+        The initial counter block is ``prefix || 0x00000000`` — OpenSSL
+        increments the whole 128-bit block, which matches the reference
+        path's 32-bit big-endian counter for every payload smaller than
+        2**32 blocks (64 GiB), far beyond any segment or backup stream.
+        """
+        ctx = _Cipher(
+            self._algorithm, _cmodes.CTR(prefix + b"\x00\x00\x00\x00")
+        ).encryptor()
+        return ctx.update(data) + ctx.finalize()
+
+
+def best_aes(key: bytes):
+    """The fastest AES available for *internal* keystreams.
+
+    Used where the cipher choice is an implementation detail with a
+    stable wire format (the backup store's CTR keystream): all engines
+    produce identical bytes, so picking the fastest is free.
+    """
+    return NativeAes(key) if HAVE_NATIVE_BACKEND else AesFast(key)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 __all__ = [
     "TDBError",
+    "ConfigError",
     "SecurityError",
     "TamperDetectedError",
     "ReplayDetectedError",
@@ -55,6 +56,17 @@ __all__ = [
 
 class TDBError(Exception):
     """Base class for all errors raised by this library."""
+
+
+class ConfigError(TDBError, ValueError):
+    """A configuration object was built with invalid knob values.
+
+    Raised *at profile construction time* — an unknown cipher, hash, or
+    crypto-engine name fails here with the list of valid names, instead
+    of surfacing later as a cryptic error deep inside cipher or store
+    construction.  Subclasses :class:`ValueError` so pre-existing
+    callers that caught ``ValueError`` keep working.
+    """
 
 
 # ---------------------------------------------------------------------------

@@ -33,10 +33,9 @@ from __future__ import annotations
 
 import base64
 import contextlib
-import hashlib
 import os
 import threading
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.chunkstore import ChunkStore
 from repro.chunkstore.master import MASTER_FILES
@@ -46,6 +45,7 @@ from repro.config import (
     CollectionStoreConfig,
     ObjectStoreConfig,
 )
+from repro.crypto.pool import DigestPool
 from repro.db import Database
 from repro.errors import (
     ReplayDetectedError,
@@ -261,6 +261,7 @@ class ReplicaApplier:
         object_config: Optional[ObjectStoreConfig] = None,
         collection_config: Optional[CollectionStoreConfig] = None,
         poll_interval: float = 0.2,
+        digest_workers: int = 1,
     ) -> None:
         self.directory = os.path.abspath(directory)
         os.makedirs(self.directory, exist_ok=True)
@@ -272,6 +273,9 @@ class ReplicaApplier:
         self.object_config = object_config or ObjectStoreConfig()
         self.collection_config = collection_config or CollectionStoreConfig()
         self.poll_interval = poll_interval
+        # Transport-digest verification of fetched/reused segments fans
+        # across worker processes when digest_workers > 1 (0 = per CPU).
+        self.digest_pool = DigestPool(max_workers=digest_workers)
         self.gate = TransactionGate()
         self.db: Optional[Database] = None
         self._host = host
@@ -411,34 +415,55 @@ class ReplicaApplier:
         """
         candidate = MemoryUntrustedStore()
         reused = 0
-        for entry in manifest["segments"]:
+        entries = manifest["segments"]
+        # Pass 1: assemble a local candidate per segment (a full local
+        # copy, or a local prefix grown by fetching only the tail delta)
+        # and digest all candidates in one batch across the pool.
+        locals_: Dict[int, bytes] = {}
+        for position, entry in enumerate(entries):
             number, want = entry["number"], entry["file_bytes"]
             name = segment_file_name(number)
-            digest = entry["digest"]
-            data = None
-            if self.untrusted.exists(name):
-                have = min(self.untrusted.size(name), want)
-                local = self.untrusted.read(name, 0, have) if have else b""
-                if len(local) == want:
-                    if hashlib.sha256(local).hexdigest() == digest:
-                        data = local
-                        reused += 1
-                elif len(local) < want:
-                    tail = self._fetch_range(number, len(local), want - len(local))
-                    grown = local + tail
-                    if hashlib.sha256(grown).hexdigest() == digest:
-                        data = grown
-                        reused += 1
-            if data is None:
-                data = self._fetch_range(number, 0, want)
-                if hashlib.sha256(data).hexdigest() != digest:
-                    raise TamperDetectedError(
-                        f"segment {number} bytes do not match the manifest "
-                        "digest after a full fetch"
-                    )
-                with self._lock:
-                    self._segments_fetched += 1
-            candidate.write(name, 0, data)
+            if not self.untrusted.exists(name):
+                continue
+            have = min(self.untrusted.size(name), want)
+            local = self.untrusted.read(name, 0, have) if have else b""
+            if len(local) == want:
+                locals_[position] = local
+            elif len(local) < want:
+                tail = self._fetch_range(number, len(local), want - len(local))
+                locals_[position] = local + tail
+        ordered = sorted(locals_)
+        local_digests = dict(
+            zip(
+                ordered,
+                self.digest_pool.sha256_many([locals_[i] for i in ordered]),
+            )
+        )
+        chosen: Dict[int, bytes] = {}
+        for position, digest in local_digests.items():
+            if digest == entries[position]["digest"]:
+                chosen[position] = locals_[position]
+                reused += 1
+        # Pass 2: everything not reusable is fully fetched, then the
+        # fetched batch is digest-verified the same way.
+        fetched_positions = [i for i in range(len(entries)) if i not in chosen]
+        fetched: List[bytes] = [
+            self._fetch_range(entries[i]["number"], 0, entries[i]["file_bytes"])
+            for i in fetched_positions
+        ]
+        for position, data, digest in zip(
+            fetched_positions, fetched, self.digest_pool.sha256_many(fetched)
+        ):
+            if digest != entries[position]["digest"]:
+                raise TamperDetectedError(
+                    f"segment {entries[position]['number']} bytes do not "
+                    "match the manifest digest after a full fetch"
+                )
+            chosen[position] = data
+            with self._lock:
+                self._segments_fetched += 1
+        for position, entry in enumerate(entries):
+            candidate.write(segment_file_name(entry["number"]), 0, chosen[position])
         reply = self._call("repl.master")
         blob = base64.b64decode(reply["data"])
         if reply.get("name") != manifest["master_name"] or len(blob) != int(
@@ -603,6 +628,7 @@ class ReplicaApplier:
 
     def close(self) -> None:
         self.stop()
+        self.digest_pool.close()
         if self._server is not None:
             self._server.stop()
             self._server = None

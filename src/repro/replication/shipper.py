@@ -20,7 +20,6 @@ released) and either anchors a fresh one or — when the subscriber's
 
 from __future__ import annotations
 
-import hashlib
 import threading
 from typing import Any, Dict, Optional
 
@@ -97,7 +96,7 @@ class ReplicationShipper:
         return manifest
 
     def _build_manifest(self, anchor: ShipmentAnchor) -> Dict[str, Any]:
-        segments = []
+        blobs = []
         for info in anchor.segments:
             # Hashing happens outside the store lock: the range below
             # the recorded size is immutable (see module docstring).
@@ -106,14 +105,19 @@ class ReplicationShipper:
                 raise ReplicationError(
                     f"segment {info.number} shrank below its anchored size"
                 )
-            segments.append(
-                {
-                    "number": info.number,
-                    "file_bytes": info.file_bytes,
-                    "is_tail": info.is_tail,
-                    "digest": hashlib.sha256(data).hexdigest(),
-                }
-            )
+            blobs.append(data)
+        # Whole-segment digests fan across the store's digest pool when
+        # it has workers; serial (and allocation-free) otherwise.
+        digests = self.store.digest_pool.sha256_many(blobs)
+        segments = [
+            {
+                "number": info.number,
+                "file_bytes": info.file_bytes,
+                "is_tail": info.is_tail,
+                "digest": digest,
+            }
+            for info, digest in zip(anchor.segments, digests)
+        ]
         return {
             "up_to_date": False,
             "db_uuid": anchor.db_uuid.hex(),

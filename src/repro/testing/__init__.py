@@ -25,6 +25,7 @@ from repro.testing.faults import (
     Fault,
     FaultSchedule,
     FaultyArchivalStore,
+    FaultyDigestPool,
     FaultyUntrustedStore,
     InjectedCrash,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "Fault",
     "FaultSchedule",
     "FaultyArchivalStore",
+    "FaultyDigestPool",
     "FaultyUntrustedStore",
     "InjectedCrash",
     "ChunkStoreCrashScenario",

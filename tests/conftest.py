@@ -12,6 +12,24 @@ from repro.platform import (
     MemoryUntrustedStore,
 )
 
+#: Engines the engine-parametrized suites run under.  ``native`` is the
+#: production default; ``reference`` is the per-block oracle.  ``fast``
+#: is covered separately by the kernel suite, so the parametrized suites
+#: stay affordable.
+PARAMETRIZED_ENGINES = ("native", "reference")
+
+
+@pytest.fixture(params=PARAMETRIZED_ENGINES)
+def crypto_engine(request, monkeypatch):
+    """Pin the engine the default ``kernel="auto"`` profiles resolve to.
+
+    ``SecurityProfile.resolved_kernel`` reads ``REPRO_CRYPTO_ENGINE`` at
+    store-construction time, so this works even for config objects baked
+    into module-level constants at import.
+    """
+    monkeypatch.setenv("REPRO_CRYPTO_ENGINE", request.param)
+    return request.param
+
 
 @pytest.fixture
 def secret_store():

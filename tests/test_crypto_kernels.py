@@ -20,11 +20,12 @@ from repro.config import ChunkStoreConfig, SecurityProfile
 from repro.crypto import (
     Aes,
     AesFast,
+    NativeAes,
     create_hash_engine,
     create_payload_cipher,
     modes,
 )
-from repro.errors import CryptoError
+from repro.errors import ConfigError, CryptoError
 from repro.platform import (
     MemoryOneWayCounter,
     MemorySecretStore,
@@ -184,7 +185,14 @@ def _config(kernel: str) -> ChunkStoreConfig:
 class TestKernelInterop:
     @pytest.mark.parametrize(
         "write_kernel,read_kernel",
-        [("fast", "reference"), ("reference", "fast")],
+        [
+            ("fast", "reference"),
+            ("reference", "fast"),
+            ("native", "reference"),
+            ("reference", "native"),
+            ("native", "fast"),
+            ("fast", "native"),
+        ],
     )
     def test_cross_kernel_store_images(self, write_kernel, read_kernel):
         """A store written by one kernel opens clean under the other."""
@@ -212,15 +220,44 @@ class TestKernelInterop:
     def test_cipher_factory_kernel_selection(self):
         fast = create_payload_cipher("aes-128", b"k" * 16, kernel="fast")
         ref = create_payload_cipher("aes-128", b"k" * 16, kernel="reference")
+        native = create_payload_cipher("aes-128", b"k" * 16, kernel="native")
         assert isinstance(fast._cipher, AesFast)
         assert isinstance(ref._cipher, Aes)
+        assert isinstance(native._cipher, NativeAes)
         data = b"payload" * 37
-        # Each profile decrypts the other's ciphertext.
+        # Each profile decrypts the others' ciphertext.
         assert ref.decrypt(fast.encrypt(data)) == data
         assert fast.decrypt(ref.encrypt(data)) == data
+        assert ref.decrypt(native.encrypt(data)) == data
+        assert native.decrypt(fast.encrypt(data)) == data
 
     def test_profile_rejects_unknown_kernel(self):
         with pytest.raises(ValueError):
             SecurityProfile(kernel="turbo")
         with pytest.raises(ValueError):
             create_payload_cipher("aes-128", b"k" * 16, kernel="turbo")
+
+    def test_profile_rejects_unknown_names_with_config_error(self):
+        """Bad knobs fail at profile construction, naming the valid set."""
+        with pytest.raises(ConfigError, match="valid: auto, native"):
+            SecurityProfile(kernel="turbo")
+        with pytest.raises(ConfigError, match="unknown cipher"):
+            SecurityProfile(cipher_name="rot13")
+        with pytest.raises(ConfigError, match="unknown hash"):
+            SecurityProfile(hash_name="md5")
+        with pytest.raises(ConfigError, match="pool_workers"):
+            SecurityProfile(pool_workers=-1)
+        with pytest.raises(ConfigError, match="unknown crypto engine"):
+            create_payload_cipher("aes-128", b"k" * 16, kernel="turbo")
+
+    def test_auto_kernel_resolves_via_environment(self, monkeypatch):
+        profile = SecurityProfile()  # kernel="auto"
+        monkeypatch.delenv("REPRO_CRYPTO_ENGINE", raising=False)
+        assert profile.resolved_kernel == "native"
+        monkeypatch.setenv("REPRO_CRYPTO_ENGINE", "reference")
+        assert profile.resolved_kernel == "reference"
+        monkeypatch.setenv("REPRO_CRYPTO_ENGINE", "turbo")
+        with pytest.raises(ConfigError, match="REPRO_CRYPTO_ENGINE"):
+            profile.resolved_kernel
+        # An explicit kernel ignores the environment entirely.
+        assert SecurityProfile(kernel="fast").resolved_kernel == "fast"

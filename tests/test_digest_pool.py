@@ -1,0 +1,261 @@
+"""The digest pool: parallel verification that can only cost time.
+
+The pool fans whole-payload digest/decrypt jobs across worker
+processes, and its contract has two halves:
+
+* **equivalence** — every pooled result is byte-identical to the serial
+  path (same digests, same verdicts, same scrub reports), and
+* **fail-safe degradation** — a crashed or flaky worker pool retreats to
+  the serial path and re-runs the *same* jobs, so real damage is always
+  reported; injection via
+  :class:`~repro.testing.faults.FaultyDigestPool` proves it.
+
+The memo-gate acceptance test at the bottom pins the interaction with
+the digest memo: pooled or not, an incremental scrub of an unchanged
+store re-hashes nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.chunkstore import ChunkStore
+from repro.config import ChunkStoreConfig, SecurityProfile
+from repro.crypto import DigestPool
+from repro.perf import PerfStats
+from repro.platform import (
+    MemoryOneWayCounter,
+    MemorySecretStore,
+    MemoryUntrustedStore,
+)
+from repro.testing import FaultyDigestPool
+
+SECRET = b"digest-pool-secret-0123456789abc"
+
+
+def pooled_config(pool_workers=2, **overrides):
+    defaults = dict(
+        segment_size=8 * 1024,
+        initial_segments=4,
+        checkpoint_residual_bytes=16 * 1024,
+        map_fanout=8,
+        security=SecurityProfile(pool_workers=pool_workers),
+    )
+    defaults.update(overrides)
+    return ChunkStoreConfig(**defaults)
+
+
+def fresh_store(pool_workers=2, chunks=24):
+    untrusted = MemoryUntrustedStore()
+    secret = MemorySecretStore(SECRET)
+    counter = MemoryOneWayCounter()
+    store = ChunkStore.format(
+        untrusted, secret, counter, pooled_config(pool_workers)
+    )
+    expected = {}
+    for i in range(chunks):
+        cid = store.allocate_chunk_id()
+        expected[cid] = bytes((i * 17 + j) % 256 for j in range(60 + 13 * i))
+    store.commit(expected, durable=True)
+    store.checkpoint(force=True)
+    return store, untrusted, expected
+
+
+def corrupt_chunk(store, untrusted, chunk_id):
+    """Flip one media byte inside the stored payload of ``chunk_id``."""
+    from repro.chunkstore.segments import segment_file_name
+
+    loc = store.location_map.lookup(chunk_id)
+    name = segment_file_name(loc.segment)
+    offset = loc.offset + loc.length // 2
+    original = untrusted.read(name, offset, 1)
+    untrusted.write(name, offset, bytes([original[0] ^ 0x40]))
+    return loc
+
+
+# ---------------------------------------------------------------------------
+# Pool primitives: parallel == serial
+# ---------------------------------------------------------------------------
+
+
+class TestPoolEquivalence:
+    def test_parallel_matches_serial_digests(self):
+        blobs = [bytes((i * j) % 256 for j in range(997)) for i in range(40)]
+        serial = DigestPool(max_workers=1)
+        with DigestPool(max_workers=2, batch_size=4) as parallel:
+            assert parallel.parallel
+            assert parallel.sha256_many(blobs) == serial.sha256_many(blobs)
+            assert parallel.hmac_sha256_many(b"k", blobs) == (
+                serial.hmac_sha256_many(b"k", blobs)
+            )
+        assert serial.sha256_many([]) == []
+
+    def test_verify_payloads_verdicts(self):
+        key = b"verify-key-0123456789abcdef01234"
+        spec = ("aes-128", key, "native", "sha1")
+        from repro.crypto import create_hash_engine, create_payload_cipher
+
+        cipher = create_payload_cipher("aes-128", key, kernel="native")
+        hasher = create_hash_engine("sha1")
+        good = cipher.encrypt(b"clean payload")
+        tampered = bytearray(good)
+        tampered[-1] ^= 0x01
+        jobs = [
+            (good, hasher.digest(good)),
+            (good, b"\x00" * 20),                       # forged digest
+            (bytes(tampered), hasher.digest(bytes(tampered))),  # bad padding
+        ]
+        for workers in (1, 2):
+            with DigestPool(max_workers=workers, batch_size=2) as pool:
+                ok, forged, padding = pool.verify_payloads(spec, jobs)
+                assert ok is None
+                assert "hash" in forged
+                assert padding is not None
+
+    def test_perf_counters_meter_parallel_dispatch(self):
+        perf = PerfStats()
+        blobs = [b"x" * 100] * 10
+        with DigestPool(max_workers=2, perf=perf, batch_size=3) as pool:
+            pool.sha256_many(blobs)
+        assert perf.counter("pool.dispatches") == 1
+        assert perf.counter("pool.jobs") == 10
+        assert perf.counter("pool.bytes") == 1000
+        assert perf.counter("pool.fallbacks") == 0
+        # Serial pools never touch the pool counters.
+        serial_perf = PerfStats()
+        DigestPool(max_workers=1, perf=serial_perf).sha256_many(blobs)
+        assert serial_perf.counter("pool.dispatches") == 0
+
+    def test_zero_workers_means_cpu_count(self):
+        import os
+
+        pool = DigestPool(max_workers=0)
+        assert pool.max_workers == (os.cpu_count() or 1)
+        pool.close()
+
+
+# ---------------------------------------------------------------------------
+# Fault injection: crashes and transient errors degrade, never lie
+# ---------------------------------------------------------------------------
+
+
+class TestPoolFaults:
+    def test_worker_crash_falls_back_serially(self):
+        perf = PerfStats()
+        blobs = [bytes([i]) * 64 for i in range(20)]
+        pool = FaultyDigestPool(max_workers=2, perf=perf, crash_dispatches=1)
+        # The crashed dispatch is redone serially: results still correct.
+        assert pool.sha256_many(blobs) == [
+            hashlib.sha256(b).hexdigest() for b in blobs
+        ]
+        assert perf.counter("pool.fallbacks") == 1
+        assert perf.counter("pool.dispatches") == 0
+        assert not pool.parallel  # broken pools stay serial
+        # Later calls run serially without another dispatch attempt.
+        assert pool.sha256_many(blobs[:3]) == [
+            hashlib.sha256(b).hexdigest() for b in blobs[:3]
+        ]
+        assert pool.dispatch_attempts == 1
+        pool.close()
+
+    def test_transient_error_falls_back_serially(self):
+        perf = PerfStats()
+        pool = FaultyDigestPool(
+            max_workers=2,
+            perf=perf,
+            crash_dispatches=1,
+            transient_error=OSError("injected: pipe exhausted"),
+        )
+        assert pool.hmac_sha256_many(b"k", [b"a", b"b"]) == (
+            DigestPool(max_workers=1).hmac_sha256_many(b"k", [b"a", b"b"])
+        )
+        assert perf.counter("pool.fallbacks") == 1
+        pool.close()
+
+    @pytest.mark.parametrize(
+        "transient", [None, OSError("injected transient")],
+        ids=["worker-crash", "transient-error"],
+    )
+    def test_scrub_reports_damage_despite_pool_failure(self, transient):
+        """A dying pool must never let scrub report a clean tree."""
+        store, untrusted, expected = fresh_store(pool_workers=2)
+        victim = sorted(expected)[3]
+        loc = corrupt_chunk(store, untrusted, victim)
+        # Swap in a pool whose first dispatch fails.
+        store.digest_pool.close()
+        store.digest_pool = FaultyDigestPool(
+            max_workers=2,
+            perf=store.perf,
+            crash_dispatches=1,
+            transient_error=transient,
+        )
+        report = store.scrub(deep=True)
+        assert not report.clean
+        assert [d.chunk_id for d in report.damaged_chunks] == [victim]
+        assert report.damaged_chunks[0].segment == loc.segment
+        assert report.verified_chunks == len(expected) - 1
+        assert store.perf.counter("pool.fallbacks") == 1
+        store.close()
+
+
+# ---------------------------------------------------------------------------
+# Store integration: pooled scrub == serial scrub
+# ---------------------------------------------------------------------------
+
+
+class TestPooledScrub:
+    def test_pooled_scrub_matches_serial_scrub(self):
+        pooled, _, expected = fresh_store(pool_workers=2)
+        serial, _, _ = fresh_store(pool_workers=1)
+        assert pooled.digest_pool.parallel
+        assert not serial.digest_pool.parallel
+        r_pooled, r_serial = pooled.scrub(deep=True), serial.scrub(deep=True)
+        assert r_pooled.clean and r_serial.clean
+        assert r_pooled.verified_chunks == r_serial.verified_chunks == len(expected)
+        assert r_pooled.verified_nodes == r_serial.verified_nodes
+        assert pooled.perf.counter("pool.dispatches") >= 1
+        assert pooled.perf.counter("pool.jobs") == len(expected)
+        pooled.close()
+        serial.close()
+
+    def test_pooled_scrub_localizes_damage(self):
+        store, untrusted, expected = fresh_store(pool_workers=2)
+        victims = sorted(expected)[:2]
+        for victim in victims:
+            corrupt_chunk(store, untrusted, victim)
+        report = store.scrub(deep=True)
+        assert sorted(d.chunk_id for d in report.damaged_chunks) == victims
+        assert report.verified_chunks == len(expected) - 2
+        assert all("hash" in d.error for d in report.damaged_chunks)
+        store.close()
+
+    def test_payload_digest_counter_counts_pooled_work(self):
+        store, _, expected = fresh_store(pool_workers=2)
+        store.perf.reset()
+        store.scrub(deep=True)
+        # Every chunk re-hash is visible in the counter, pooled or not
+        # (map nodes are digested serially on top of that).
+        assert store.perf.counter("payload_digests") >= len(expected)
+        store.close()
+
+    def test_memo_gate_holds_with_pool_and_native_engine(self):
+        """Incremental scrub of an unchanged store re-hashes nothing."""
+        store, _, expected = fresh_store(pool_workers=2)
+        deep = store.scrub(deep=True)
+        assert deep.clean and deep.verified_chunks == len(expected)
+        store.perf.reset()
+        incremental = store.scrub(deep=False)
+        assert incremental.clean
+        assert incremental.memo_skipped_chunks == len(expected)
+        assert incremental.verified_chunks == 0
+        assert store.perf.counter("payload_digests") == 0
+        assert store.perf.counter("pool.dispatches") == 0
+        store.close()
+
+    def test_close_shuts_down_pool(self):
+        store, _, _ = fresh_store(pool_workers=2)
+        pool = store.digest_pool
+        store.close()
+        assert not pool.parallel

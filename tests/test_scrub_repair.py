@@ -52,6 +52,18 @@ CONFIG = ChunkStoreConfig(
 )
 
 
+@pytest.fixture(autouse=True)
+def _engine(crypto_engine):
+    """Run this whole suite under each crypto engine (native, reference).
+
+    ``CONFIG`` above keeps ``kernel="auto"``: it resolves via the
+    ``REPRO_CRYPTO_ENGINE`` variable at store-construction time, so even
+    this import-time constant honours the fixture's engine.  Baselines
+    cached across params get *verified* under both engines — the
+    identical-image invariant in action.
+    """
+
+
 def _payload(tag: int, seq: int, size: int) -> bytes:
     pattern = bytes((tag * 31 + seq * 7 + i) % 256 for i in range(min(size, 48)))
     return (pattern * (size // len(pattern) + 1))[:size]

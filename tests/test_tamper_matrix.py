@@ -32,6 +32,16 @@ from repro.testing import (
 OFFSETS_PER_REGION = 4
 
 
+@pytest.fixture(autouse=True)
+def _engine(crypto_engine):
+    """Sweep the tamper matrix under each crypto engine (native, reference).
+
+    The cached baseline image is recorded under whichever engine runs
+    first and re-verified under the other — engines must agree not just
+    on clean images but on every tamper verdict.
+    """
+
+
 @lru_cache(maxsize=None)
 def baseline(clean_close: bool):
     """(image, expected states, tag size) for one secure workload run."""
