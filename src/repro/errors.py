@@ -49,6 +49,7 @@ __all__ = [
     "ProtocolError",
     "ServerBusyError",
     "SessionStateError",
+    "CommitInDoubtError",
     "ReplicationError",
     "ReadOnlyReplicaError",
 ]
@@ -277,6 +278,18 @@ class ServerBusyError(ServerError):
 class SessionStateError(ServerError):
     """Verb issued in the wrong session state (no open transaction, a
     transaction already open, or a verb of the other transaction mode)."""
+
+
+class CommitInDoubtError(ServerError):
+    """The outcome of a tokened commit could not be determined.
+
+    Raised client-side when the connection died during ``commit`` and
+    ``commit.result`` cannot produce an authoritative answer — the
+    server restarted (losing its in-memory token cache) or stayed
+    unreachable past the resolution deadline.  Deliberately *not*
+    transient: retrying the transaction could double-apply it, so the
+    application must reconcile against database state before retrying.
+    """
 
 
 # ---------------------------------------------------------------------------

@@ -62,6 +62,7 @@ from repro.platform import (
     MemoryUntrustedStore,
     MirrorOneWayCounter,
 )
+from repro.platform.resilient import RetryPolicy
 from repro.replication.state import (
     ReplicaState,
     load_state,
@@ -262,6 +263,7 @@ class ReplicaApplier:
         collection_config: Optional[CollectionStoreConfig] = None,
         poll_interval: float = 0.2,
         digest_workers: int = 1,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.directory = os.path.abspath(directory)
         os.makedirs(self.directory, exist_ok=True)
@@ -273,6 +275,16 @@ class ReplicaApplier:
         self.object_config = object_config or ObjectStoreConfig()
         self.collection_config = collection_config or CollectionStoreConfig()
         self.poll_interval = poll_interval
+        # Follow-mode link failures back off exponentially (capped, with
+        # deterministic jitter) instead of hammering a down primary at
+        # the poll interval.
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=6,
+            base_delay=max(poll_interval, 0.01),
+            multiplier=2.0,
+            max_delay=max(poll_interval * 16.0, 2.0),
+            jitter=0.25,
+        )
         # Transport-digest verification of fetched/reused segments fans
         # across worker processes when digest_workers > 1 (0 = per CPU).
         self.digest_pool = DigestPool(max_workers=digest_workers)
@@ -295,6 +307,10 @@ class ReplicaApplier:
         self._last_error: Optional[str] = None
         self._applied_seqno = 0
         self._primary_seqno = 0
+        self._link_failures = 0
+        self._reconnects = 0
+        self._consecutive_failures = 0
+        self._last_backoff = 0.0
 
     # ------------------------------------------------------------------
     # Transport
@@ -607,17 +623,37 @@ class ReplicaApplier:
         self._thread.start()
 
     def _poll_loop(self) -> None:
+        failures = 0
         while not self._stop.is_set():
             try:
                 self.sync_once()
-            except TDBError as exc:
-                # A rejected shipment must not take the replica down: it
-                # keeps serving its last verified image and keeps polling.
+            except (TDBError, OSError) as exc:
+                # A rejected shipment or a dead link must not take the
+                # replica down: it keeps serving its last verified image
+                # and keeps polling — backing off exponentially (capped,
+                # deterministic jitter) while the failures persist.
+                # sync_once always re-subscribes, so a primary restart
+                # needs no special re-pin path: the first successful
+                # poll after the outage re-establishes the subscription.
+                failures += 1
+                backoff = self.retry_policy.delay(
+                    min(failures, self.retry_policy.max_attempts), failures
+                )
                 with self._lock:
                     self._last_error = f"{type(exc).__name__}: {exc}"
-            except OSError as exc:
+                    self._link_failures += 1
+                    self._consecutive_failures = failures
+                    self._last_backoff = backoff
+                self._stop.wait(backoff)
+                continue
+            if failures:
+                # The link healed: count the reconnect and restore the
+                # normal polling cadence.
+                failures = 0
                 with self._lock:
-                    self._last_error = f"{type(exc).__name__}: {exc}"
+                    self._reconnects += 1
+                    self._consecutive_failures = 0
+                    self._last_backoff = 0.0
             self._stop.wait(self.poll_interval)
 
     def stop(self) -> None:
@@ -664,4 +700,8 @@ class ReplicaApplier:
                 "applied_seqno": self._applied_seqno,
                 "primary_seqno": self._primary_seqno,
                 "lag_seqno": self._primary_seqno - self._applied_seqno,
+                "link_failures": self._link_failures,
+                "reconnects": self._reconnects,
+                "consecutive_failures": self._consecutive_failures,
+                "last_backoff": self._last_backoff,
             }

@@ -35,13 +35,23 @@ class BackpressureConfig:
         aborts its transaction and drops the connection.
     ``request_timeout``
         Seconds one request frame may take to arrive completely once
-        its first byte has been read (slow-writer protection).
+        its first byte has been read (slow-writer protection) — an
+        absolute deadline across partial reads, so trickled bytes do
+        not reset it.
+    ``resume_grace``
+        Seconds a session whose connection *dropped* (rather than timed
+        out or closed cleanly) stays parked server-side with its
+        transaction and locks intact, waiting for the client to
+        reconnect via ``session.resume``.  Effectively capped at
+        ``idle_timeout`` (a parked session must never outlive an idle
+        one); ``0`` disables parking and restores abort-on-drop.
     """
 
     max_sessions: int = 64
     max_pending_commits: int = 256
     idle_timeout: float = 30.0
     request_timeout: float = 10.0
+    resume_grace: float = 2.0
 
     def __post_init__(self) -> None:
         if self.max_sessions < 1:
@@ -52,6 +62,13 @@ class BackpressureConfig:
             raise ValueError("idle_timeout must be positive")
         if self.request_timeout <= 0:
             raise ValueError("request_timeout must be positive")
+        if self.resume_grace < 0:
+            raise ValueError("resume_grace must be non-negative")
+
+    @property
+    def effective_resume_grace(self) -> float:
+        """The grace window actually applied: never beyond idle_timeout."""
+        return min(self.resume_grace, self.idle_timeout)
 
 
 class AdmissionControl:

@@ -15,9 +15,27 @@ taxonomy: connection failures and transient server rejections
 (:class:`~repro.errors.ServerBusyError`, admission refusals) surface as
 transient errors, and :meth:`TdbClient.run_transaction` retries them a
 bounded number of times — the same discipline the chunk store applies
-to its own flaky untrusted store.  Non-transient errors (lock timeouts,
-tamper detection, schema violations) are re-raised as the exception
-class the server named and are never retried silently.
+to its own flaky untrusted store.  Backoff between retries follows a
+:class:`~repro.platform.resilient.RetryPolicy`: capped exponential with
+deterministic CRC32 jitter, so sweeps replay identically.  Non-transient
+errors (lock timeouts, tamper detection, schema violations) are
+re-raised as the exception class the server named and are never retried
+silently.
+
+Exactly-once semantics over a lossy network:
+
+* ``begin`` hands back a session resume token; when the connection
+  drops mid-transaction the client reconnects, ``session.resume``\\ s,
+  and re-sends the in-flight request **with its original id** — the
+  server replays the cached response instead of executing twice,
+* every commit carries a fresh commit token; if the connection dies
+  during ``commit`` (and resume cannot settle it) the client polls
+  ``commit.result`` for the authoritative outcome.  ``unknown`` from
+  the *same* server epoch means the commit never ran (safe to retry);
+  ``unknown`` after an epoch change means the server restarted and the
+  outcome must be reconciled by the application —
+  :class:`~repro.errors.CommitInDoubtError`, deliberately not
+  retryable.
 
 One client owns one socket and one session; the session scopes at most
 one open transaction, enforced on both ends.
@@ -25,11 +43,14 @@ one open transaction, enforced on both ends.
 
 from __future__ import annotations
 
+import secrets
 import socket
 import time
+import zlib
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import (
+    CommitInDoubtError,
     LockTimeoutError,
     ProtocolError,
     ServerBusyError,
@@ -38,9 +59,26 @@ from repro.errors import (
     TDBError,
     TransientStoreError,
 )
+from repro.platform.resilient import RetryPolicy
 from repro.server import protocol
 
 __all__ = ["TdbClient", "RemoteTransaction"]
+
+#: How many stale (id-mismatched) responses a client skips before it
+#: declares the stream corrupt.  Stale responses are the residue of a
+#: duplicated request frame: the server replays its cached response for
+#: the duplicate, leaving one extra response in the pipe.
+_MAX_STALE_RESPONSES = 8
+
+
+class _TransportLost(Exception):
+    """Internal: the request/response exchange died at the transport
+    level (as opposed to the server answering with an error).  Carries
+    the public exception to surface if recovery fails."""
+
+    def __init__(self, error: Exception) -> None:
+        super().__init__(str(error))
+        self.error = error
 
 
 class TdbClient:
@@ -53,30 +91,60 @@ class TdbClient:
         connect_retries: int = 3,
         retry_delay: float = 0.05,
         timeout: float = 30.0,
+        retry_policy: Optional[RetryPolicy] = None,
+        resume_sessions: bool = True,
+        resolve_timeout: float = 5.0,
     ) -> None:
         if connect_retries < 0:
             raise ValueError("connect_retries cannot be negative")
+        if resolve_timeout <= 0:
+            raise ValueError("resolve_timeout must be positive")
         self.host = host
         self.port = port
         self.connect_retries = connect_retries
         self.retry_delay = retry_delay
         self.timeout = timeout
+        self.resume_sessions = resume_sessions
+        self.resolve_timeout = resolve_timeout
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=max(2, connect_retries + 1),
+            base_delay=retry_delay,
+            max_delay=1.0,
+            jitter=0.25,
+            seed=zlib.crc32(f"{host}:{port}".encode("utf-8")),
+        )
         self._sock: Optional[socket.socket] = None
         self._next_id = 1
         self._in_txn = False
         self._closed = False
+        self._ever_connected = False
+        self._session_token: Optional[str] = None
+        self._session_epoch: Optional[str] = None
+        self._op_counter = 0
+        #: Client-side resilience counters (mirrors the server's view).
+        self.counters: Dict[str, int] = {
+            "reconnects": 0,
+            "session_resumes": 0,
+            "resume_failures": 0,
+            "indoubt_queries": 0,
+            "indoubt_committed": 0,
+            "indoubt_failed": 0,
+            "stale_responses_skipped": 0,
+        }
 
     # ------------------------------------------------------------------
     # Connection management
     # ------------------------------------------------------------------
 
     def connect(self) -> "TdbClient":
-        """Connect (with bounded retries on transient socket errors)."""
+        """Connect (capped exponential backoff on transient errors)."""
         if self._sock is not None:
             return self
         if self._closed:
             raise ServerError("client is closed")
         attempts = self.connect_retries + 1
+        self._op_counter += 1
+        op_id = self._op_counter
         last_error: Optional[Exception] = None
         for attempt in range(attempts):
             try:
@@ -85,11 +153,14 @@ class TdbClient:
                 )
                 sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
                 self._sock = sock
+                if self._ever_connected:
+                    self.counters["reconnects"] += 1
+                self._ever_connected = True
                 return self
             except OSError as exc:
                 last_error = exc
                 if attempt + 1 < attempts:
-                    time.sleep(self.retry_delay * (attempt + 1))
+                    time.sleep(self.retry_policy.delay(attempt + 1, op_id))
         raise TransientStoreError(
             f"cannot connect to {self.host}:{self.port} after {attempts} "
             f"attempts: {last_error}"
@@ -123,50 +194,149 @@ class TdbClient:
         """Send one request, wait for its response, unwrap errors.
 
         Connection-level failures surface as
-        :class:`~repro.errors.TransientStoreError`; the connection is
-        dropped (a fresh :meth:`connect` happens on the next call).  An
-        open transaction is gone with the connection — the server aborts
-        it — so retrying is only safe from a transaction boundary, which
-        is what :meth:`run_transaction` implements.
+        :class:`~repro.errors.TransientStoreError` — but first, if the
+        client holds a session resume token, it reconnects, resumes the
+        parked session, and re-sends the request with its original id
+        (the server replays its cached response if the request already
+        executed, so nothing runs twice).  Only when resume is disabled,
+        impossible, or refused does the transient error escape; the
+        connection is dropped and an open transaction not covered by a
+        resume is gone — retrying is then only safe from a transaction
+        boundary, which is what :meth:`run_transaction` implements.
         """
-        self.connect()
         request = {"id": self._next_id, "op": op}
         request.update(params)
         self._next_id += 1
         try:
+            return self._roundtrip(request)
+        except _TransportLost as lost:
+            recovered = self._resume_and_replay(request)
+            if recovered is not None:
+                return recovered[0]
+            raise lost.error from lost
+
+    def _roundtrip(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """One request/response exchange on the current connection.
+
+        Transport failures raise :class:`_TransportLost` (internal);
+        server-reported errors raise the reconstructed exception class.
+        """
+        op = request["op"]
+        self.connect()
+        try:
             protocol.write_frame(self._sock, request)
-            response = protocol.read_frame(self._sock)
+            response = self._read_matching(request["id"])
         except socket.timeout as exc:
             self._drop_connection()
-            raise TransientStoreError(
-                f"server did not answer {op!r} within {self.timeout}s"
+            raise _TransportLost(
+                TransientStoreError(
+                    f"server did not answer {op!r} within {self.timeout}s"
+                )
             ) from exc
-        except ProtocolError:
+        except ProtocolError as exc:
             self._drop_connection()
-            raise
+            raise _TransportLost(exc) from exc
         except OSError as exc:
             self._drop_connection()
-            raise TransientStoreError(
-                f"connection lost during {op!r}: {exc}"
+            raise _TransportLost(
+                TransientStoreError(f"connection lost during {op!r}: {exc}")
             ) from exc
         if response is None:
             self._drop_connection()
-            raise TransientStoreError(f"server closed the connection on {op!r}")
+            raise _TransportLost(
+                TransientStoreError(f"server closed the connection on {op!r}")
+            )
         if not response.get("ok") and response.get("id") is None:
             # A session-level rejection (admission control answers before
             # reading any request, so it cannot echo an id).
             self._drop_connection()
             raise protocol.exception_from_payload(response)
-        if response.get("id") != request["id"]:
-            self._drop_connection()
-            raise ProtocolError(
-                f"response id {response.get('id')!r} does not match request "
-                f"id {request['id']!r}"
-            )
         if response.get("ok"):
             result = response.get("result")
             return result if isinstance(result, dict) else {}
         raise protocol.exception_from_payload(response)
+
+    def _read_matching(self, want: Any) -> Optional[Dict[str, Any]]:
+        """Read responses until one matches the request id.
+
+        A duplicated request frame (hostile network) makes the server
+        emit one extra response; skipping id-mismatched responses keeps
+        the stream in sync instead of failing every later call.
+        """
+        for _ in range(_MAX_STALE_RESPONSES + 1):
+            response = protocol.read_frame(self._sock)
+            if response is None:
+                return None
+            if response.get("id") == want or response.get("id") is None:
+                return response
+            self.counters["stale_responses_skipped"] += 1
+        raise ProtocolError(
+            f"no response matching request id {want!r} within "
+            f"{_MAX_STALE_RESPONSES} frames"
+        )
+
+    def _resume_and_replay(
+        self, request: Dict[str, Any]
+    ) -> Optional[tuple]:
+        """Reconnect, resume the parked session, re-send ``request``.
+
+        Returns a 1-tuple with the replayed result, or ``None`` when the
+        session cannot be resumed (caller surfaces the original error).
+        A legitimate server-side error from the replayed request
+        propagates — the exchange itself succeeded.
+        """
+        if (
+            not self.resume_sessions
+            or self._closed
+            or self._session_token is None
+            or request["op"] in ("begin", "session.resume")
+        ):
+            return None
+        token = self._session_token
+        self._op_counter += 1
+        op_id = self._op_counter
+        unknown_token_retries = 0
+        for attempt in range(1, 4):
+            resume_request = {
+                "id": self._next_id,
+                "op": "session.resume",
+                "session": token,
+            }
+            self._next_id += 1
+            try:
+                self._roundtrip(resume_request)
+            except _TransportLost:
+                time.sleep(
+                    self.retry_policy.delay(
+                        min(attempt, self.retry_policy.max_attempts), op_id
+                    )
+                )
+                continue
+            except SessionStateError:
+                # Unknown token — but possibly only *not yet parked*: the
+                # server parks a session when the dead socket surfaces on
+                # its side, and a fast reconnect can outrun that.  Give
+                # it one backoff tick before declaring the grace window
+                # closed.
+                unknown_token_retries += 1
+                if unknown_token_retries <= 1:
+                    time.sleep(
+                        self.retry_policy.delay(
+                            min(attempt, self.retry_policy.max_attempts), op_id
+                        )
+                    )
+                    continue
+                self._session_token = None
+                self.counters["resume_failures"] += 1
+                return None
+            self.counters["session_resumes"] += 1
+            try:
+                return (self._roundtrip(request),)
+            except _TransportLost:
+                # Dropped again mid-replay; go around and resume again.
+                continue
+        self.counters["resume_failures"] += 1
+        return None
 
     # ------------------------------------------------------------------
     # Transactions
@@ -185,17 +355,35 @@ class TdbClient:
         fn: Callable[["RemoteTransaction"], Any],
         mode: str = "object",
         attempts: int = 5,
-        retry_delay: float = 0.02,
+        retry_delay: Optional[float] = None,
     ) -> Any:
         """Run ``fn(txn)`` in a transaction, retrying transient failures.
 
         Retries cover connection loss, :class:`ServerBusyError`
         admission rejections, and lock-timeout aborts — each attempt is
-        a fresh transaction, so ``fn`` must be safe to re-run.  The last
-        error is re-raised once the attempt budget is exhausted.
+        a fresh transaction, so ``fn`` must be safe to re-run.  Tokened
+        commits make "connection died during commit" safe to classify:
+        a commit whose outcome resolves to *committed* returns normally,
+        one that provably never ran retries, and an irresolvable one
+        raises :class:`~repro.errors.CommitInDoubtError` — which is
+        **not** retried, because re-running could double-apply.  Backoff
+        between attempts is capped exponential with deterministic
+        jitter; the last error is re-raised once the budget is spent.
         """
         if attempts < 1:
             raise ValueError("attempts must be at least 1")
+        policy = self.retry_policy
+        if retry_delay is not None:
+            # Legacy knob: honored as the backoff base, still capped.
+            policy = RetryPolicy(
+                max_attempts=policy.max_attempts,
+                base_delay=retry_delay,
+                max_delay=policy.max_delay,
+                jitter=policy.jitter,
+                seed=policy.seed,
+            )
+        self._op_counter += 1
+        op_id = self._op_counter
         last_error: Optional[Exception] = None
         for attempt in range(attempts):
             try:
@@ -204,13 +392,97 @@ class TdbClient:
             except TDBError as exc:
                 retryable = isinstance(
                     exc, (TransientStoreError, ServerBusyError, LockTimeoutError)
-                )
+                ) and not isinstance(exc, CommitInDoubtError)
                 if not retryable:
                     raise
                 last_error = exc
                 if attempt + 1 < attempts:
-                    time.sleep(retry_delay * (attempt + 1))
+                    time.sleep(
+                        policy.delay(
+                            min(attempt + 1, policy.max_attempts), op_id
+                        )
+                    )
         raise last_error
+
+    # ------------------------------------------------------------------
+    # Commit-token resolution
+    # ------------------------------------------------------------------
+
+    def resolve_commit(self, token: str) -> Dict[str, Any]:
+        """Query the authoritative outcome of a tokened commit."""
+        self.counters["indoubt_queries"] += 1
+        return self.call("commit.result", token=token)
+
+    def _settle_commit(
+        self, token: str, epoch: Optional[str], cause: Exception
+    ) -> Dict[str, Any]:
+        """The connection died during a tokened commit: find the truth.
+
+        Polls ``commit.result`` until the resolution deadline.  Returns
+        the commit result on *committed*; re-raises the server's
+        recorded error on *failed*; raises
+        :class:`~repro.errors.TransientStoreError` when the commit
+        provably never ran (same server epoch, token unknown — safe to
+        retry the transaction); raises
+        :class:`~repro.errors.CommitInDoubtError` when the server
+        restarted (epoch changed, token cache lost) or stayed
+        unreachable or *pending* past the deadline.
+        """
+        deadline = time.monotonic() + self.resolve_timeout
+        self._op_counter += 1
+        op_id = self._op_counter
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                payload = self.resolve_commit(token)
+            except (TransientStoreError, ProtocolError) as exc:
+                if time.monotonic() >= deadline:
+                    raise CommitInDoubtError(
+                        f"commit outcome unknown: server unreachable within "
+                        f"{self.resolve_timeout}s of the connection dying "
+                        f"({cause})"
+                    ) from exc
+                time.sleep(
+                    self.retry_policy.delay(
+                        min(attempt, self.retry_policy.max_attempts), op_id
+                    )
+                )
+                continue
+            status = payload.get("status")
+            if status == "committed":
+                self.counters["indoubt_committed"] += 1
+                return {"durable": payload.get("durable", True), "resolved": True}
+            if status == "failed":
+                self.counters["indoubt_failed"] += 1
+                raise protocol.exception_from_payload(
+                    {
+                        "error": payload.get("error", "ServerError"),
+                        "message": payload.get("message", "commit failed"),
+                        "transient": bool(payload.get("transient")),
+                    }
+                )
+            if status == "unknown":
+                if epoch is not None and payload.get("epoch") != epoch:
+                    raise CommitInDoubtError(
+                        "server restarted and lost its commit-token cache; "
+                        "reconcile against database state before retrying"
+                    ) from cause
+                raise TransientStoreError(
+                    "commit never reached the server (token unknown, same "
+                    "server epoch); safe to retry the transaction"
+                ) from cause
+            # status == "pending": the commit is still in flight.
+            if time.monotonic() >= deadline:
+                raise CommitInDoubtError(
+                    f"commit still in flight after {self.resolve_timeout}s; "
+                    "query commit.result again or reconcile state"
+                ) from cause
+            time.sleep(
+                self.retry_policy.delay(
+                    min(attempt, self.retry_policy.max_attempts), op_id
+                )
+            )
 
     # ------------------------------------------------------------------
     # Admin
@@ -234,13 +506,32 @@ class RemoteTransaction:
     def begin(self) -> "RemoteTransaction":
         if self._open:
             raise SessionStateError("transaction already begun")
-        self.client.call("begin", mode=self.mode)
+        result = self.client.call("begin", mode=self.mode)
+        self.client._session_token = result.get("session")
+        self.client._session_epoch = result.get("epoch")
         self.client._in_txn = True
         self._open = True
         return self
 
     def commit(self, durable: bool = True) -> None:
-        self._finish("commit", durable=durable)
+        """Commit with a fresh commit token: exactly-once over the wire.
+
+        If the connection dies mid-commit (and a session resume cannot
+        settle it), the client polls ``commit.result`` with the token —
+        so a durably committed transaction is reported committed, a
+        failed one re-raises the recorded error, and one that never ran
+        surfaces as a retryable transient error.
+        """
+        if not self._open:
+            raise SessionStateError("no open transaction to commit")
+        token = secrets.token_hex(16)
+        epoch = self.client._session_epoch
+        self._open = False
+        self.client._in_txn = False
+        try:
+            self.client.call("commit", durable=durable, token=token)
+        except (TransientStoreError, ProtocolError) as exc:
+            self.client._settle_commit(token, epoch, exc)
 
     def abort(self) -> None:
         self._finish("abort")

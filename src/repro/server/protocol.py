@@ -14,27 +14,40 @@ the class name.
 Verbs
 -----
 
-=================  =============================================  ===========
-verb               parameters                                     txn mode
-=================  =============================================  ===========
-``begin``          ``mode`` ("object" | "collection")             none open
-``commit``         ``durable`` (default true)                     any
-``abort``          —                                              any
-``obj.put``        ``oid`` (null inserts), ``value``              object
-``obj.get``        ``oid``                                        object
-``obj.remove``     ``oid``                                        object
-``name.bind``      ``name``, ``oid``                              object
-``name.lookup``    ``name``                                       object
-``col.create``     ``name``, ``field``, ``kind``, ``unique``      collection
-``col.insert``     ``name``, ``value`` (object with ``field``)    collection
-``col.get``        ``name``, ``key``, ``field`` (optional)        collection
-``col.remove``     ``name``, ``key``, ``field`` (optional)        collection
-``col.iterate``    ``name``, ``field``/``lo``/``hi``/``limit``    collection
-``stats``          —                                              admin, any
-``repl.subscribe`` ``last_generation``/``last_seqno`` (optional)  admin, none
-``repl.segments``  ``segment``, ``offset``, ``length``            admin, none
-``repl.master``    —                                              admin, none
-=================  =============================================  ===========
+==================  ============================================  ===========
+verb                parameters                                    txn mode
+==================  ============================================  ===========
+``begin``           ``mode`` ("object" | "collection")            none open
+``commit``          ``durable`` (default true), ``token``         any
+``commit.result``   ``token``                                     admin, any
+``session.resume``  ``session``                                   none open
+``abort``           —                                             any
+``obj.put``         ``oid`` (null inserts), ``value``             object
+``obj.get``         ``oid``                                       object
+``obj.remove``      ``oid``                                       object
+``name.bind``       ``name``, ``oid``                             object
+``name.lookup``     ``name``                                      object
+``col.create``      ``name``, ``field``, ``kind``, ``unique``     collection
+``col.insert``      ``name``, ``value`` (object with ``field``)   collection
+``col.get``         ``name``, ``key``, ``field`` (optional)       collection
+``col.remove``      ``name``, ``key``, ``field`` (optional)       collection
+``col.iterate``     ``name``, ``field``/``lo``/``hi``/``limit``   collection
+``stats``           —                                             admin, any
+``repl.subscribe``  ``last_generation``/``last_seqno`` (optional) admin, none
+``repl.segments``   ``segment``, ``offset``, ``length``           admin, none
+``repl.master``     —                                             admin, none
+==================  ============================================  ===========
+
+Exactly-once commits: ``begin`` returns a ``session`` resume token and
+the server's boot ``epoch``.  A client that loses its connection
+mid-transaction reconnects and issues ``session.resume`` to adopt the
+parked session — open transaction, locks, and the last cached response
+(re-sending the in-flight request id replays that response without
+re-execution).  A ``commit`` carrying a ``token`` records its outcome
+in a bounded result cache; ``commit.result`` returns the authoritative
+outcome (``committed`` / ``failed`` / ``pending`` / ``unknown``) plus
+the current ``epoch`` so clients can tell a fresh token from one lost
+to a server restart.
 
 The ``repl.*`` verbs implement verified log shipping
 (:mod:`repro.replication`).  ``repl.subscribe`` checkpoints, pins every
@@ -58,6 +71,7 @@ from __future__ import annotations
 import json
 import socket
 import struct
+import time
 from typing import Any, Dict, Optional, Type
 
 from repro import errors as _errors
@@ -83,6 +97,8 @@ MAX_FRAME_BYTES = 16 * 1024 * 1024
 VERBS = (
     "begin",
     "commit",
+    "commit.result",
+    "session.resume",
     "abort",
     "obj.put",
     "obj.get",
@@ -114,17 +130,33 @@ def encode_frame(message: Dict[str, Any]) -> bytes:
     return _LENGTH.pack(len(body)) + body
 
 
-def recv_exact(sock: socket.socket, nbytes: int) -> Optional[bytes]:
+def recv_exact(
+    sock: socket.socket,
+    nbytes: int,
+    deadline: Optional[float] = None,
+) -> Optional[bytes]:
     """Read exactly ``nbytes`` from ``sock``.
 
     Returns ``None`` on a clean EOF *before the first byte* (peer went
     away between frames); raises :class:`ProtocolError` on EOF inside a
-    frame.  Socket timeouts and OS errors propagate to the caller, which
-    owns the reconnect/abort policy.
+    frame.  With ``deadline`` (a ``time.monotonic()`` instant) the
+    *whole* read must finish by that moment: each recv gets only the
+    remaining budget, so a peer trickling one byte per call cannot
+    reset the clock and hold the slot forever.  Socket timeouts and OS
+    errors propagate to the caller, which owns the reconnect/abort
+    policy.
     """
     chunks = []
     remaining = nbytes
     while remaining > 0:
+        if deadline is not None:
+            budget = deadline - time.monotonic()
+            if budget <= 0:
+                raise socket.timeout(
+                    f"frame read deadline exceeded ({nbytes - remaining}/{nbytes}"
+                    " bytes received)"
+                )
+            sock.settimeout(budget)
         chunk = sock.recv(min(remaining, 65536))
         if not chunk:
             if remaining == nbytes:
@@ -145,24 +177,30 @@ def read_frame(
 ) -> Optional[Dict[str, Any]]:
     """Read one frame; ``None`` on clean EOF between frames.
 
-    With timeouts given, ``idle_timeout`` bounds the wait for the frame
-    header (the time a peer may sit idle) and ``body_timeout`` bounds
-    the arrival of the rest of the frame once started (slow-writer
-    protection).  ``socket.timeout`` propagates to the caller.
+    With timeouts given, ``idle_timeout`` bounds the wait for the first
+    byte of the frame header (the time a peer may sit idle) and
+    ``body_timeout`` bounds the arrival of the rest of the frame once
+    started — enforced as an absolute deadline across partial reads, so
+    a slow-loris peer dribbling bytes cannot stretch it.
+    ``socket.timeout`` propagates to the caller.
     """
     if idle_timeout is not None:
         sock.settimeout(idle_timeout)
-    header = recv_exact(sock, _LENGTH.size)
-    if header is None:
+    first = recv_exact(sock, 1)
+    if first is None:
         return None
+    deadline = None
     if body_timeout is not None:
-        sock.settimeout(body_timeout)
-    (length,) = _LENGTH.unpack(header)
+        deadline = time.monotonic() + body_timeout
+    rest = recv_exact(sock, _LENGTH.size - 1, deadline)
+    if rest is None:
+        raise ProtocolError("connection closed inside frame header")
+    (length,) = _LENGTH.unpack(first + rest)
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(
             f"peer announced a {length}-byte frame (limit {MAX_FRAME_BYTES})"
         )
-    body = recv_exact(sock, length)
+    body = recv_exact(sock, length, deadline)
     if body is None:
         raise ProtocolError("connection closed between frame header and body")
     try:

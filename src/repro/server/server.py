@@ -18,7 +18,19 @@ Concurrency model:
 * a session that times out idle or mid-request has its transaction
   aborted — releasing its locks so other sessions stop blocking on a
   dead client — and its connection closed
-  (:mod:`repro.server.backpressure`).
+  (:mod:`repro.server.backpressure`),
+* a session whose connection *drops* (rather than timing out or closing
+  cleanly) is **parked** for a bounded grace window: its transaction and
+  locks survive, and a reconnecting client presents its resume token via
+  ``session.resume`` to adopt them and continue.  Strict 2PL locks are
+  keyed by transaction id, not thread, so the adoption is safe.
+
+Exactly-once commits ride on two caches: each session keeps its last
+response (re-sending the in-flight request id after a resume replays it
+without re-execution), and tokened commits record their authoritative
+outcome in the server-wide :class:`~repro.server.commitcache.
+CommitResultCache`, queryable via ``commit.result`` even from a brand
+new connection.
 
 The remote data model is JSON: values live in :class:`RemoteRecord`
 persistent objects and collections are indexed by record fields, so a
@@ -30,8 +42,10 @@ from __future__ import annotations
 import base64
 import dataclasses
 import json
+import secrets
 import socket
 import threading
+import time
 from typing import Any, Dict, List, Optional
 
 from repro.collectionstore import Indexer
@@ -43,9 +57,11 @@ from repro.errors import (
     ServerBusyError,
     SessionStateError,
     TDBError,
+    TransientStoreError,
 )
 from repro.objectstore import BufferReader, BufferWriter, Persistent
 from repro.server.backpressure import AdmissionControl, BackpressureConfig
+from repro.server.commitcache import CommitResultCache
 from repro.server.groupcommit import GroupCommitCoordinator
 from repro.server import protocol
 
@@ -130,6 +146,41 @@ class _SessionTimeout(Exception):
     """Internal: the idle/request timeout fired for this session."""
 
 
+class _ParkedSession:
+    """Transaction state preserved across a dropped connection."""
+
+    __slots__ = (
+        "token",
+        "txn",
+        "mode",
+        "gate_held",
+        "last_request",
+        "last_response",
+        "requests_served",
+        "deadline",
+    )
+
+    def __init__(
+        self,
+        token: str,
+        txn,
+        mode: Optional[str],
+        gate_held: bool,
+        last_request: Optional[Dict[str, Any]],
+        last_response: Optional[Dict[str, Any]],
+        requests_served: int,
+        deadline: float,
+    ) -> None:
+        self.token = token
+        self.txn = txn
+        self.mode = mode
+        self.gate_held = gate_held
+        self.last_request = last_request
+        self.last_response = last_response
+        self.requests_served = requests_served
+        self.deadline = deadline
+
+
 class Session:
     """One connection: a protocol loop scoping one open transaction."""
 
@@ -149,6 +200,16 @@ class Session:
         self._gate_held = False
         self.requests_served = 0
         self._stop = False
+        #: Token a disconnected client presents to ``session.resume``.
+        self.resume_token = secrets.token_hex(16)
+        # One-slot response cache: a re-delivered request (chaos
+        # duplicate, or the in-flight request re-sent after a resume)
+        # replays the stored response instead of executing twice.  The
+        # whole request is matched, not just its id: a *new* client
+        # adopting a parked session starts its own id sequence, and a
+        # colliding id on a different request must execute, not replay.
+        self.last_request: Optional[Dict[str, Any]] = None
+        self.last_response: Optional[Dict[str, Any]] = None
         self.thread = threading.Thread(
             target=self._run, name=f"tdb-session-{session_id}", daemon=True
         )
@@ -170,6 +231,7 @@ class Session:
 
     def _run(self) -> None:
         config = self.server.backpressure
+        parked = False
         try:
             while not self._stop:
                 try:
@@ -187,9 +249,14 @@ class Session:
             if self.txn is not None:
                 self.server.admission.record_timeout_abort()
         except (OSError, ProtocolError):
-            pass  # peer vanished or spoke garbage; clean up below
+            # The peer vanished mid-conversation (or a frame was cut
+            # short).  Instead of instantly aborting the transaction,
+            # park the session state for the resume grace window so the
+            # client can reconnect with its token and carry on.
+            parked = self.server._try_park(self)
         finally:
-            self._abort_open_txn()
+            if not parked:
+                self._abort_open_txn()
             try:
                 self.sock.close()
             except OSError:
@@ -198,16 +265,29 @@ class Session:
 
     def _serve_one(self, request: Dict[str, Any]) -> None:
         request_id = request.get("id")
+        if (
+            request_id is not None
+            and self.last_response is not None
+            and request == self.last_request
+        ):
+            self.server._count("srv_request_replays")
+            protocol.write_frame(self.sock, self.last_response)
+            return
         try:
             result = self._dispatch(request)
             response = {"id": request_id, "ok": True, "result": result}
         except TDBError as exc:
             response = protocol.error_payload(request_id, exc)
         self.requests_served += 1
-        try:
-            protocol.write_frame(self.sock, response)
-        except OSError:
-            self._stop = True
+        # Cache before writing: if the write dies the session parks with
+        # the response, and the resumed client's re-send replays it.  A
+        # resume response must not clobber the slot it just adopted —
+        # the slot still holds the dropped connection's in-flight
+        # response, which the client is about to ask for.
+        if request.get("op") != "session.resume":
+            self.last_request = dict(request)
+            self.last_response = response
+        protocol.write_frame(self.sock, response)
 
     def _abort_open_txn(self) -> None:
         if self.txn is None:
@@ -285,16 +365,30 @@ class Session:
             self._release_gate()
             raise
         self.mode = mode
-        return {"mode": mode}
+        return {
+            "mode": mode,
+            "session": self.resume_token,
+            "epoch": self.server.epoch,
+        }
 
     def _op_commit(self, request) -> Dict[str, Any]:
-        if self.txn is None:
-            raise SessionStateError("no open transaction to commit")
+        token = self._param(request, "token", required=False)
+        if token is not None and not isinstance(token, str):
+            raise ProtocolError("commit token must be a string")
         durable = bool(self._param(request, "durable", required=False, default=True))
+        cache = self.server.commit_results
+        if token is not None:
+            prior = cache.begin(token)
+            if prior is not None:
+                return self._replay_commit_outcome(token, prior)
+        if self.txn is None:
+            if token is not None:
+                cache.cancel(token)
+            raise SessionStateError("no open transaction to commit")
         txn, self.txn, self.mode = self.txn, None, None
         try:
             txn.commit(durable=durable)
-        except TDBError:
+        except TDBError as exc:
             # The commit failed (queue full, store fault, deferred index
             # violation...).  Release the locks so the failed session
             # cannot wedge its neighbours, then report the error.
@@ -303,10 +397,87 @@ class Session:
                     txn.abort()
             except TDBError:
                 pass
+            if token is not None:
+                cache.resolve(
+                    token,
+                    {
+                        "status": "failed",
+                        "error": type(exc).__name__,
+                        "message": str(exc),
+                        "transient": protocol.error_payload(None, exc)["transient"],
+                    },
+                )
+            raise
+        except BaseException:
+            # Crash injection or interpreter-level failure mid-commit:
+            # the outcome is genuinely unknown, so the token stays
+            # pending and commit.result answers honestly.
             raise
         finally:
             self._release_gate()
+        if token is not None:
+            cache.resolve(token, {"status": "committed", "durable": durable})
         return {"durable": durable}
+
+    def _replay_commit_outcome(self, token: str, prior: Dict[str, Any]) -> Dict[str, Any]:
+        """A commit re-sent with an already-seen token: replay, never re-run."""
+        status = prior.get("status")
+        if status == "pending":
+            # Another session (or a crashed one) holds this token's
+            # commit in flight; the client should poll commit.result.
+            raise TransientStoreError(
+                "a commit with this token is already in flight; "
+                "query commit.result for the outcome"
+            )
+        self.server._count("srv_commit_replays")
+        if status == "failed":
+            raise protocol.exception_from_payload(
+                {
+                    "error": prior.get("error", "ServerError"),
+                    "message": prior.get("message", "commit failed"),
+                    "transient": bool(prior.get("transient")),
+                }
+            )
+        return {"durable": prior.get("durable", True), "replayed": True}
+
+    def _op_commit_result(self, request) -> Dict[str, Any]:
+        token = self._param(request, "token")
+        if not isinstance(token, str):
+            raise ProtocolError("commit token must be a string")
+        payload = self.server.commit_results.lookup(token)
+        self.server._count(
+            "srv_indoubt_misses" if payload["status"] == "unknown"
+            else "srv_indoubt_hits"
+        )
+        payload["epoch"] = self.server.epoch
+        return payload
+
+    def _op_session_resume(self, request) -> Dict[str, Any]:
+        token = self._param(request, "session")
+        if not isinstance(token, str):
+            raise ProtocolError("session token must be a string")
+        if self.txn is not None:
+            raise SessionStateError(
+                "cannot resume into a session with an open transaction"
+            )
+        parked = self.server._take_parked(token)
+        if parked is None:
+            raise SessionStateError(
+                "unknown, expired, or already-resumed session token"
+            )
+        self.resume_token = token
+        self.txn = parked.txn
+        self.mode = parked.mode
+        self._gate_held = parked.gate_held
+        self.last_request = parked.last_request
+        self.last_response = parked.last_response
+        self.requests_served = parked.requests_served
+        return {
+            "resumed": True,
+            "txn_open": self.txn is not None,
+            "mode": self.mode,
+            "epoch": self.server.epoch,
+        }
 
     def _op_abort(self, request) -> Dict[str, Any]:
         if self.txn is None:
@@ -565,6 +736,26 @@ class TdbServer:
         self._next_session_id = 1
         self._stopping = False
         self._started = False
+        #: Boot nonce: lets a client distinguish "this server never saw
+        #: your commit token" from "the server restarted and lost its
+        #: token cache" — the latter makes an unknown token *in doubt*.
+        self.epoch = secrets.token_hex(8)
+        self.commit_results = CommitResultCache()
+        self._parked: Dict[str, _ParkedSession] = {}
+        self._parked_lock = threading.Lock()
+        self._reaper_thread: Optional[threading.Thread] = None
+        self._reaper_wake = threading.Event()
+        self._resilience_lock = threading.Lock()
+        self._resilience: Dict[str, int] = {
+            "sessions_parked": 0,
+            "sessions_resumed": 0,
+            "resume_failures": 0,
+            "grace_expired": 0,
+            "request_replays": 0,
+            "commit_replays": 0,
+            "indoubt_hits": 0,
+            "indoubt_misses": 0,
+        }
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -586,6 +777,11 @@ class TdbServer:
         )
         self._started = True
         self._accept_thread.start()
+        if self.backpressure.effective_resume_grace > 0:
+            self._reaper_thread = threading.Thread(
+                target=self._reaper_loop, name="tdb-park-reaper", daemon=True
+            )
+            self._reaper_thread.start()
         return self
 
     @property
@@ -611,6 +807,15 @@ class TdbServer:
             session.stop()
         for session in sessions:
             session.thread.join(timeout=5.0)
+        self._reaper_wake.set()
+        if self._reaper_thread is not None:
+            self._reaper_thread.join(timeout=5.0)
+            self._reaper_thread = None
+        with self._parked_lock:
+            parked = list(self._parked.values())
+            self._parked.clear()
+        for entry in parked:
+            self._discard_parked(entry, expired=False)
         if self.shipper is not None:
             self.shipper.close()
         if self.coordinator is not None:
@@ -676,6 +881,92 @@ class TdbServer:
             self.coordinator.concurrency_hint = self.admission.active
 
     # ------------------------------------------------------------------
+    # Session parking (resume grace window)
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        """Bump a resilience counter, mirrored into PerfStats so it also
+        shows up under the io/perf section of the stats verb."""
+        key = name[4:] if name.startswith("srv_") else name
+        with self._resilience_lock:
+            self._resilience[key] = self._resilience.get(key, 0) + amount
+        self.db.perf_stats().incr(name, amount)
+
+    def _try_park(self, session: Session) -> bool:
+        """Preserve a dropped session's state for the grace window.
+
+        Returns ``False`` (caller aborts as before) when parking is
+        disabled, the server is stopping, the session was stopped
+        deliberately, there is nothing worth preserving, or the parked
+        registry is full.  The admission slot is *released* either way —
+        a parked session must not starve live connections.
+        """
+        grace = self.backpressure.effective_resume_grace
+        if grace <= 0 or self._stopping or session._stop:
+            return False
+        if session.txn is None and session.last_response is None:
+            return False
+        entry = _ParkedSession(
+            token=session.resume_token,
+            txn=session.txn,
+            mode=session.mode,
+            gate_held=session._gate_held,
+            last_request=session.last_request,
+            last_response=session.last_response,
+            requests_served=session.requests_served,
+            deadline=time.monotonic() + grace,
+        )
+        with self._parked_lock:
+            if self._stopping or len(self._parked) >= self.backpressure.max_sessions:
+                return False
+            self._parked[session.resume_token] = entry
+        # Ownership moved to the parked entry: the session's normal
+        # cleanup must not abort the transaction or release the gate.
+        session.txn = None
+        session.mode = None
+        session._gate_held = False
+        self._count("srv_sessions_parked")
+        self._reaper_wake.set()
+        return True
+
+    def _take_parked(self, token: str) -> Optional[_ParkedSession]:
+        with self._parked_lock:
+            entry = self._parked.pop(token, None)
+        if entry is None:
+            self._count("srv_resume_failures")
+            return None
+        self._count("srv_sessions_resumed")
+        return entry
+
+    def _discard_parked(self, entry: _ParkedSession, expired: bool) -> None:
+        if entry.txn is not None:
+            try:
+                entry.txn.abort()
+            except TDBError:
+                pass
+        if entry.gate_held and self.txn_gate is not None:
+            self.txn_gate.release_shared()
+        if expired:
+            self._count("srv_grace_expired")
+
+    def _reaper_loop(self) -> None:
+        grace = self.backpressure.effective_resume_grace
+        interval = max(0.02, min(grace / 4.0, 0.25))
+        while not self._stopping:
+            self._reaper_wake.wait(interval)
+            self._reaper_wake.clear()
+            if self._stopping:
+                break
+            now = time.monotonic()
+            expired: List[_ParkedSession] = []
+            with self._parked_lock:
+                for token, entry in list(self._parked.items()):
+                    if entry.deadline <= now:
+                        expired.append(self._parked.pop(token))
+            for entry in expired:
+                self._discard_parked(entry, expired=True)
+
+    # ------------------------------------------------------------------
     # Stats
     # ------------------------------------------------------------------
 
@@ -702,6 +993,14 @@ class TdbServer:
             "sessions": self.admission.as_dict(),
             "read_only": self.read_only,
         }
+        with self._resilience_lock:
+            resilience: Dict[str, Any] = dict(self._resilience)
+        with self._parked_lock:
+            resilience["parked_sessions"] = len(self._parked)
+        resilience["resume_grace"] = self.backpressure.effective_resume_grace
+        resilience["epoch"] = self.epoch
+        resilience["commit_tokens"] = self.commit_results.stats_snapshot()
+        payload["resilience"] = resilience
         replication: Dict[str, Any] = {"role": "replica" if self.read_only else "primary"}
         if self.shipper is not None:
             replication["shipper"] = self.shipper.stats_snapshot()

@@ -14,6 +14,11 @@ suite, examples, and benchmarks:
 * :mod:`repro.testing.tamper` — :class:`TamperMatrix` corrupts every
   typed byte region of a media image (:func:`map_image_regions`) and
   demands detection or clean recovery, never silent acceptance,
+* :mod:`repro.testing.netfaults` — :class:`ChaosProxy`, a deterministic
+  in-process TCP proxy that drops, delays, truncates, trickles,
+  duplicates, and black-holes protocol frames on an exact
+  ``(connection, frame)`` schedule (:class:`NetFaultSchedule`) — the
+  network-layer mirror of the storage fault harness,
 * :mod:`repro.testing.scenarios` — ready-made workloads
   (:class:`ChunkStoreCrashScenario`),
 * :mod:`repro.testing.shipping` — in-flight replication-channel attacks
@@ -28,6 +33,12 @@ from repro.testing.faults import (
     FaultyDigestPool,
     FaultyUntrustedStore,
     InjectedCrash,
+)
+from repro.testing.netfaults import (
+    ChaosProxy,
+    NET_FAULT_ACTIONS,
+    NetFault,
+    NetFaultSchedule,
 )
 from repro.testing.scenarios import ChunkStoreCrashScenario
 from repro.testing.shipping import (
@@ -66,6 +77,10 @@ __all__ = [
     "FaultyDigestPool",
     "FaultyUntrustedStore",
     "InjectedCrash",
+    "ChaosProxy",
+    "NET_FAULT_ACTIONS",
+    "NetFault",
+    "NetFaultSchedule",
     "ChunkStoreCrashScenario",
     "RecordingReplicationClient",
     "ReplayShipmentClient",

@@ -1,0 +1,410 @@
+"""Deterministic network fault injection: the ChaosProxy.
+
+The storage fault harness (:mod:`repro.testing.faults`) enumerates what
+a power cut can do to the media; this module does the same for what a
+hostile network can do to the wire protocol.  A :class:`ChaosProxy`
+sits between a :class:`~repro.server.client.TdbClient` and a
+:class:`~repro.server.server.TdbServer` as an in-process TCP proxy
+that understands the length-prefixed framing, so faults land at exact
+frame boundaries — the points where exactly-once semantics are won or
+lost:
+
+* **drop-before** — the request frame never reaches the server (the
+  client cannot know whether it was sent),
+* **drop-after** — the request executes but its response is discarded
+  (the classic in-doubt commit),
+* **truncate** — only a prefix of the request frame arrives before the
+  connection dies (the server sees a mid-frame EOF),
+* **delay** — the frame is held for a fixed time before forwarding
+  (timeout paths),
+* **trickle** — the frame dribbles in a few bytes at a time (slow-loris;
+  the server's absolute frame deadline must fire),
+* **duplicate** — the frame is delivered twice (idempotency paths),
+* **blackhole** — the connection accepts but nothing is ever forwarded
+  or answered (client timeout paths).
+
+Faults are scheduled on exact ``(connection, frame)`` coordinates —
+both 1-based, mirroring the storage harness's 1-based operation
+indices — via the chainable :class:`NetFaultSchedule`, so a sweep is
+deterministic and replayable with no global random state.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "NetFault",
+    "NetFaultSchedule",
+    "ChaosProxy",
+    "NET_FAULT_ACTIONS",
+]
+
+_LENGTH = struct.Struct(">I")
+
+# Fault actions.
+DROP_BEFORE = "drop_before"  # never forward the request; kill the connection
+DROP_AFTER = "drop_after"    # forward, execute, discard the response
+TRUNCATE = "truncate"        # forward only `keep` bytes, then kill
+DELAY = "delay"              # hold the frame for `delay` seconds
+TRICKLE = "trickle"          # forward in `chunk`-byte slices, `interval` apart
+DUPLICATE = "duplicate"      # deliver the frame twice
+BLACKHOLE = "blackhole"      # accept the connection, forward nothing, ever
+
+NET_FAULT_ACTIONS = (
+    DROP_BEFORE, DROP_AFTER, TRUNCATE, DELAY, TRICKLE, DUPLICATE, BLACKHOLE,
+)
+
+
+@dataclass
+class NetFault:
+    """One scheduled network fault.
+
+    ``connection``/``frame`` select the trigger: the ``frame``-th
+    request frame (1-based) of the ``connection``-th accepted
+    connection (1-based).  A :data:`BLACKHOLE` fault binds to the whole
+    connection; its ``frame`` is ignored.
+    """
+
+    connection: int
+    frame: int
+    action: str
+    delay: float = 0.0       # seconds, for DELAY
+    keep: int = 4            # forwarded prefix bytes, for TRUNCATE
+    chunk: int = 1           # slice size in bytes, for TRICKLE
+    interval: float = 0.05   # sleep between slices, for TRICKLE
+    fired: bool = field(init=False, default=False)
+
+    def __post_init__(self) -> None:
+        if self.action not in NET_FAULT_ACTIONS:
+            raise ValueError(f"unknown net fault action {self.action!r}")
+        if self.connection < 1 or self.frame < 1:
+            raise ValueError("connection and frame indices are 1-based")
+        if self.keep < 0:
+            raise ValueError("keep must be non-negative")
+        if self.chunk < 1:
+            raise ValueError("chunk must be at least 1 byte")
+
+
+class NetFaultSchedule:
+    """An ordered collection of :class:`NetFault` objects (chainable)."""
+
+    def __init__(self, faults: Optional[List[NetFault]] = None) -> None:
+        self.faults: List[NetFault] = list(faults or [])
+
+    # -- builders ----------------------------------------------------------
+
+    def add(self, fault: NetFault) -> "NetFaultSchedule":
+        self.faults.append(fault)
+        return self
+
+    def drop_before(self, connection: int, frame: int) -> "NetFaultSchedule":
+        return self.add(NetFault(connection, frame, DROP_BEFORE))
+
+    def drop_after(self, connection: int, frame: int) -> "NetFaultSchedule":
+        return self.add(NetFault(connection, frame, DROP_AFTER))
+
+    def truncate(
+        self, connection: int, frame: int, keep: int = 4
+    ) -> "NetFaultSchedule":
+        return self.add(NetFault(connection, frame, TRUNCATE, keep=keep))
+
+    def delay(
+        self, connection: int, frame: int, seconds: float
+    ) -> "NetFaultSchedule":
+        return self.add(NetFault(connection, frame, DELAY, delay=seconds))
+
+    def trickle(
+        self,
+        connection: int,
+        frame: int,
+        chunk: int = 1,
+        interval: float = 0.05,
+    ) -> "NetFaultSchedule":
+        return self.add(
+            NetFault(connection, frame, TRICKLE, chunk=chunk, interval=interval)
+        )
+
+    def duplicate(self, connection: int, frame: int) -> "NetFaultSchedule":
+        return self.add(NetFault(connection, frame, DUPLICATE))
+
+    def blackhole(self, connection: int) -> "NetFaultSchedule":
+        return self.add(NetFault(connection, 1, BLACKHOLE))
+
+    # -- queries -----------------------------------------------------------
+
+    def matching(self, connection: int, frame: int) -> Optional[NetFault]:
+        for fault in self.faults:
+            if fault.action == BLACKHOLE and fault.connection == connection:
+                return fault
+            if fault.connection == connection and fault.frame == frame:
+                return fault
+        return None
+
+    def fired(self) -> List[NetFault]:
+        return [f for f in self.faults if f.fired]
+
+    def unfired(self) -> List[NetFault]:
+        return [f for f in self.faults if not f.fired]
+
+
+class _ProxyConnection:
+    """One client connection pumped through the fault schedule."""
+
+    def __init__(
+        self,
+        proxy: "ChaosProxy",
+        client_sock: socket.socket,
+        index: int,
+    ) -> None:
+        self.proxy = proxy
+        self.client = client_sock
+        self.index = index
+        self.server: Optional[socket.socket] = None
+        self.frames = 0
+        self.thread = threading.Thread(
+            target=self._pump, name=f"chaos-conn-{index}", daemon=True
+        )
+
+    def start(self) -> None:
+        self.thread.start()
+
+    def close(self) -> None:
+        for sock in (self.client, self.server):
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    def _kill(self) -> None:
+        """Abortive close (RST, not FIN) on both sides.
+
+        A fault must look like a *dropped* connection, not a polite
+        goodbye: the server parks a session whose peer vanished
+        (OSError/ProtocolError) but treats a clean EOF as "client done"
+        and aborts immediately.
+        """
+        for sock in (self.client, self.server):
+            if sock is not None:
+                try:
+                    sock.setsockopt(
+                        socket.SOL_SOCKET,
+                        socket.SO_LINGER,
+                        struct.pack("ii", 1, 0),
+                    )
+                except OSError:
+                    pass
+        self.close()
+
+    # -- framing -----------------------------------------------------------
+
+    def _recv_exact(self, sock: socket.socket, nbytes: int) -> Optional[bytes]:
+        chunks = []
+        remaining = nbytes
+        while remaining > 0:
+            chunk = sock.recv(min(remaining, 65536))
+            if not chunk:
+                return None
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _read_raw_frame(self, sock: socket.socket) -> Optional[bytes]:
+        header = self._recv_exact(sock, _LENGTH.size)
+        if header is None:
+            return None
+        (length,) = _LENGTH.unpack(header)
+        body = self._recv_exact(sock, length)
+        if body is None:
+            return None
+        return header + body
+
+    # -- pump --------------------------------------------------------------
+
+    def _pump(self) -> None:
+        try:
+            self.server = socket.create_connection(
+                (self.proxy.target_host, self.proxy.target_port), timeout=10.0
+            )
+            self.server.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._pump_loop()
+        except OSError:
+            pass
+        finally:
+            self.close()
+            self.proxy._connection_finished(self)
+
+    def _pump_loop(self) -> None:
+        while not self.proxy._stopping:
+            frame = self._read_raw_frame(self.client)
+            if frame is None:
+                return  # client done (or gone)
+            self.frames += 1
+            fault = self.proxy.schedule.matching(self.index, self.frames)
+            if fault is None:
+                self.server.sendall(frame)
+                self._relay_responses(1)
+                continue
+            fault.fired = True
+            self.proxy._record_fault(fault)
+            if fault.action == BLACKHOLE:
+                # Swallow everything; the client's timeout is the only
+                # way out.  Keep reading so the client's sends succeed.
+                while self._read_raw_frame(self.client) is not None:
+                    pass
+                return
+            if fault.action == DROP_BEFORE:
+                self._kill()  # drop both sides without forwarding
+                return
+            if fault.action == TRUNCATE:
+                self.server.sendall(frame[: fault.keep])
+                self._kill()  # mid-frame cut on the server side
+                return
+            if fault.action == DELAY:
+                time.sleep(fault.delay)
+                self.server.sendall(frame)
+                self._relay_responses(1)
+                continue
+            if fault.action == TRICKLE:
+                try:
+                    for start in range(0, len(frame), fault.chunk):
+                        self.server.sendall(frame[start : start + fault.chunk])
+                        time.sleep(fault.interval)
+                except OSError:
+                    return  # the server hung up on the slow-loris: done
+                self._relay_responses(1)
+                continue
+            if fault.action == DUPLICATE:
+                self.server.sendall(frame)
+                self.server.sendall(frame)
+                self._relay_responses(2)
+                continue
+            if fault.action == DROP_AFTER:
+                self.server.sendall(frame)
+                # Let the request execute and discard its response.
+                self._read_raw_frame(self.server)
+                self._kill()
+                return
+            raise AssertionError(f"unhandled fault action {fault.action!r}")
+
+    def _relay_responses(self, count: int) -> None:
+        for _ in range(count):
+            response = self._read_raw_frame(self.server)
+            if response is None:
+                # Server closed (timeout abort, shutdown): mirror the
+                # EOF to the client and end the pump via OSError.
+                raise OSError("upstream closed")
+            self.client.sendall(response)
+            self.proxy.frames_forwarded += 1
+
+
+class ChaosProxy:
+    """A deterministic in-process TCP proxy injecting network faults.
+
+    Frame-synchronous by design: each accepted connection is pumped
+    request-by-request, so a fault lands on an exact protocol frame.
+    Usable as a context manager; ``proxy.address`` is where the client
+    should connect.
+    """
+
+    def __init__(
+        self,
+        target_host: str,
+        target_port: int,
+        schedule: Optional[NetFaultSchedule] = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.target_host = target_host
+        self.target_port = target_port
+        self.schedule = schedule or NetFaultSchedule()
+        self.host = host
+        self.port = 0
+        self.connections_accepted = 0
+        self.frames_forwarded = 0
+        self.faults_fired: List[Tuple[int, str]] = []
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._connections: Dict[int, _ProxyConnection] = {}
+        self._lock = threading.Lock()
+        self._stopping = False
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ChaosProxy":
+        if self._started:
+            return self
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(64)
+        listener.settimeout(0.1)
+        self._listener = listener
+        self.host, self.port = listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="chaos-accept", daemon=True
+        )
+        self._started = True
+        self._accept_thread.start()
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    def stop(self) -> None:
+        if not self._started or self._stopping:
+            return
+        self._stopping = True
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        with self._lock:
+            connections = list(self._connections.values())
+        for conn in connections:
+            conn.close()
+        for conn in connections:
+            conn.thread.join(timeout=5.0)
+        self._started = False
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- internals ---------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping:
+            try:
+                sock, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._lock:
+                self.connections_accepted += 1
+                index = self.connections_accepted
+                conn = _ProxyConnection(self, sock, index)
+                self._connections[index] = conn
+            conn.start()
+
+    def _connection_finished(self, conn: _ProxyConnection) -> None:
+        with self._lock:
+            self._connections.pop(conn.index, None)
+
+    def _record_fault(self, fault: NetFault) -> None:
+        with self._lock:
+            self.faults_fired.append((fault.connection, fault.action))

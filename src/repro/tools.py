@@ -317,6 +317,7 @@ def serve_database(
     config: Optional[ChunkStoreConfig] = None,
     max_sessions: int = 64,
     idle_timeout: float = 30.0,
+    resume_grace: float = 2.0,
     max_batch: int = 32,
     max_delay: float = 0.005,
     max_pending: int = 256,
@@ -343,6 +344,7 @@ def serve_database(
     backpressure = BackpressureConfig(
         max_sessions=max_sessions,
         idle_timeout=idle_timeout,
+        resume_grace=resume_grace,
         max_pending_commits=max_pending,
     )
     server = TdbServer(
@@ -379,6 +381,7 @@ def replicate_database(
     serve_host: str = "127.0.0.1",
     serve_port: Optional[int] = None,
     poll: float = 1.0,
+    max_backoff: float = 0.0,
     seed: Optional[List[str]] = None,
     config: Optional[ChunkStoreConfig] = None,
     ready_callback=None,
@@ -408,12 +411,24 @@ def replicate_database(
             f"seeded from {len(seed)} backup(s): generation "
             f"{state.generation}, commit seqno {state.commit_seqno}"
         )
+    retry_policy = None
+    if max_backoff > 0:
+        from repro.platform.resilient import RetryPolicy
+
+        retry_policy = RetryPolicy(
+            max_attempts=6,
+            base_delay=max(poll, 0.01),
+            multiplier=2.0,
+            max_delay=max_backoff,
+            jitter=0.25,
+        )
     applier = ReplicaApplier(
         directory,
         host,
         int(port_text),
         chunk_config=config,
         poll_interval=poll,
+        retry_policy=retry_policy,
     )
     try:
         if once:
@@ -540,6 +555,9 @@ def main(argv=None) -> int:
             cmd.add_argument("--max-sessions", type=int, default=64)
             cmd.add_argument("--idle-timeout", type=float, default=30.0,
                              help="seconds before an idle session is dropped")
+            cmd.add_argument("--resume-grace", type=float, default=2.0,
+                             help="seconds a dropped session stays resumable "
+                                  "(0 disables session parking)")
             cmd.add_argument("--max-batch", type=int, default=32,
                              help="group-commit batch-size cap")
             cmd.add_argument("--max-delay", type=float, default=0.005,
@@ -562,6 +580,9 @@ def main(argv=None) -> int:
                                   "(0 picks an ephemeral port)")
             cmd.add_argument("--poll", type=float, default=1.0,
                              help="seconds between catch-up polls")
+            cmd.add_argument("--max-backoff", type=float, default=0.0,
+                             help="cap on the link-failure backoff in "
+                                  "seconds (0 uses the default cap)")
             cmd.add_argument("--seed", nargs="+", default=None,
                              metavar="BACKUP",
                              help="seed the image from this backup chain "
@@ -600,6 +621,7 @@ def main(argv=None) -> int:
                 config,
                 max_sessions=args.max_sessions,
                 idle_timeout=args.idle_timeout,
+                resume_grace=args.resume_grace,
                 max_batch=args.max_batch,
                 max_delay=args.max_delay,
                 max_pending=args.max_pending,
@@ -614,6 +636,7 @@ def main(argv=None) -> int:
                 serve_host=args.serve_host,
                 serve_port=args.serve_port,
                 poll=args.poll,
+                max_backoff=args.max_backoff,
                 seed=args.seed,
                 config=config,
             )

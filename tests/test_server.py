@@ -138,8 +138,17 @@ class TestProtocolErrors:
                 payload = client.stats()
                 assert set(payload) >= {
                     "chunk_store", "io", "group_commit", "sessions",
+                    "resilience",
                 }
                 assert payload["sessions"]["active_sessions"] == 1
+                resilience = payload["resilience"]
+                assert set(resilience) >= {
+                    "sessions_parked", "sessions_resumed", "resume_failures",
+                    "grace_expired", "request_replays", "commit_replays",
+                    "indoubt_hits", "indoubt_misses", "parked_sessions",
+                    "resume_grace", "epoch", "commit_tokens",
+                }
+                assert resilience["epoch"] == server.epoch
 
     def test_garbage_frame_drops_the_connection(self):
         with running_server() as server:
