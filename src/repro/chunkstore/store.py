@@ -71,6 +71,7 @@ from repro.perf import PerfStats
 from repro.platform.counter import OneWayCounter
 from repro.platform.secret import SecretStore
 from repro.platform.untrusted import UntrustedStore
+from repro.proofs.headlog import TransparencyLog
 
 __all__ = [
     "ChunkStore",
@@ -290,6 +291,7 @@ class ChunkStore:
         self._salvage = False
         self._read_only = False
         self.salvage_info: Optional[SalvageInfo] = None
+        self.transparency: Optional[TransparencyLog] = None
         return self
 
     # ------------------------------------------------------------------
@@ -336,6 +338,10 @@ class ChunkStore:
         if config.initial_segments > 1:
             self.segments.preallocate_free_slots(config.initial_segments - 1)
         self._counter_value = counter.read() if self.secure else 0
+        if self.secure:
+            self.transparency = TransparencyLog.create(
+                untrusted, secret_store, self._db_uuid, self.hash_size
+            )
         self.checkpoint(force=True)
         return self
 
@@ -379,6 +385,9 @@ class ChunkStore:
             root_locator=master.root,
         )
         self._replay(master)
+        # Replay/counter checks first: a stale whole-image replay must
+        # surface as ReplayDetectedError, not as a head-log anomaly.
+        self._attach_transparency(master, read_only)
         self._read_only = read_only
         return self
 
@@ -452,6 +461,100 @@ class ChunkStore:
                 f"hash size mismatch: store {master.hash_size}, "
                 f"config {self.hash_size}"
             )
+
+    def _attach_transparency(self, master: MasterRecord, read_only: bool) -> None:
+        """Load, verify, and catch up the signed head log at open.
+
+        The head is appended *after* the master reaches the media, so a
+        crash can only leave the log lagging (or with a torn tail) —
+        never ahead.  A writable open therefore treats a tip newer than
+        the master as a rolled-back database image, and a same-
+        generation tip must match the master exactly.  Read-only opens
+        (replicas serving verified shipped images) only load: the
+        applier mirrors the primary's log and cross-checks it itself,
+        and a replica image staged without a log is still trustworthy
+        through the sidecar checks.
+        """
+        if not self.secure:
+            return
+        if not TransparencyLog.exists(self.untrusted):
+            if read_only:
+                return
+            # Upgrade path: a database formatted before head logging.
+            self.transparency = TransparencyLog.create(
+                self.untrusted, self.secret_store, self._db_uuid, self.hash_size
+            )
+            self._append_head(master)
+            return
+        log = TransparencyLog.load(
+            self.untrusted,
+            self.secret_store,
+            self._db_uuid,
+            self.hash_size,
+            writable=not read_only,
+        )
+        self.transparency = log
+        tip = log.tip()
+        if read_only:
+            return
+        if tip is not None and tip.generation > master.generation:
+            # Two ways the log can lead the master: the image was rolled
+            # back (tampering), or the newest master copy was lost and
+            # the dual-master fallback engaged.  The counter check above
+            # already ruled out lost commits, so if this exact master is
+            # on the signed history the fallback is benign — drop the
+            # orphaned newer heads and re-sign from here.
+            anchor = log.entry_for_generation(master.generation)
+            expected_root = (
+                master.root.hash_value
+                if master.root is not None
+                else bytes(self.hash_size)
+            )
+            if (
+                anchor is None
+                or anchor.seqno != master.commit_seqno
+                or anchor.depth != master.depth
+                or anchor.root_digest != expected_root
+                or anchor.empty_root != (master.root is None)
+            ):
+                raise TamperDetectedError(
+                    f"head log tip is generation {tip.generation} but the "
+                    f"master record is generation {master.generation}: the "
+                    "database image was rolled back"
+                )
+            log.truncate_to(anchor.index)
+            return
+        if tip is not None and tip.generation == master.generation:
+            expected_root = (
+                master.root.hash_value
+                if master.root is not None
+                else bytes(self.hash_size)
+            )
+            if (
+                tip.seqno != master.commit_seqno
+                or tip.depth != master.depth
+                or tip.root_digest != expected_root
+                or tip.empty_root != (master.root is None)
+            ):
+                raise TamperDetectedError(
+                    f"head log tip for generation {tip.generation} does "
+                    "not match the master record it claims to sign"
+                )
+            return
+        # The log lags (crash between master write and head append, or
+        # a torn head append): catch up from the authenticated master.
+        self._append_head(master)
+
+    def _append_head(self, master: MasterRecord) -> None:
+        self.transparency.append(
+            generation=master.generation,
+            seqno=master.commit_seqno,
+            counter=master.expected_counter,
+            depth=master.depth,
+            root_digest=(
+                master.root.hash_value if master.root is not None else None
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Recovery
@@ -1002,6 +1105,24 @@ class ChunkStore:
                 )
         return self.cipher.decrypt(data)
 
+    def read_payload_raw(self, locator: Locator) -> bytes:
+        """Digest-verified *ciphertext* bytes a locator points at.
+
+        The proof service's read: lock-free by the same argument as
+        :meth:`read_segment_bytes` — proofs are only built against
+        pinned checkpointed state, whose locators reference sealed
+        bytes that concurrent commits never rewrite in place.
+        """
+        data = self.untrusted.read(
+            segment_file_name(locator.segment), locator.offset, locator.length
+        )
+        if self.secure and self._digest_payload(data) != locator.hash_value:
+            raise TamperDetectedError(
+                f"chunk payload at segment {locator.segment} offset "
+                f"{locator.offset} failed hash validation"
+            )
+        return data
+
     # ------------------------------------------------------------------
     # Scrubbing (Merkle-tree verification with damage localization)
     # ------------------------------------------------------------------
@@ -1117,6 +1238,12 @@ class ChunkStore:
                 segments=self.segments.snapshot_infos(),
             )
             self.master_io.write(master, sync=self.config.fsync)
+            # The head goes to the log only after the master is on the
+            # media: a crash between the two leaves the log *lagging*,
+            # which the next open heals by catching up from the master —
+            # a log ahead of the master can then only mean rollback.
+            if self.transparency is not None:
+                self._append_head(master)
             self.segments.end_checkpoint()
             self._residual_bytes = 0
             self._checkpoints_total += 1

@@ -52,6 +52,10 @@ __all__ = [
     "CommitInDoubtError",
     "ReplicationError",
     "ReadOnlyReplicaError",
+    "ProofError",
+    "InvalidProofError",
+    "RollbackDetectedError",
+    "ForkDetectedError",
 ]
 
 
@@ -305,3 +309,38 @@ class ReadOnlyReplicaError(ReplicationError):
 
     Permanent by design: the client must talk to the primary (or wait for
     a ``promote``), so it is *not* marshalled as transient."""
+
+
+# ---------------------------------------------------------------------------
+# Client-verifiable proofs (repro.proofs)
+# ---------------------------------------------------------------------------
+
+class ProofError(SecurityError):
+    """Base class for proof / transparency-log verification failures.
+
+    A :class:`SecurityError` subclass deliberately — a proof that does
+    not verify means the server (or the path to it) cannot be trusted,
+    the same severity class as on-media tamper detection."""
+
+
+class InvalidProofError(ProofError):
+    """A Merkle inclusion or non-membership proof failed verification.
+
+    The proof's node chain does not hash up to the signed commit head:
+    a digest mismatch, a node identity mismatch, a wrong walk shape, or
+    a payload that does not match its leaf locator."""
+
+
+class RollbackDetectedError(ProofError):
+    """The server presented an older commit head than one already verified.
+
+    The client-side analogue of :class:`ReplayDetectedError`: monotonic
+    head pinning refuses any head whose index regresses below the pin."""
+
+
+class ForkDetectedError(ProofError):
+    """Two different signed heads claim the same head-log index.
+
+    Equivocation: the signer produced divergent histories (or an attacker
+    holds the device secret).  Caught by head gossip between clients,
+    auditors, and replicas."""

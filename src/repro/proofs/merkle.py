@@ -1,0 +1,213 @@
+"""Merkle inclusion and non-membership proofs over the location map.
+
+The location map *is* the Merkle tree (its locators carry the digest of
+the bytes they point at), so a proof is simply the path of map-node
+payloads from the root to the leaf covering a chunk id, plus — for an
+inclusion proof — the chunk payload itself.  All payloads travel as the
+*ciphertext* bytes stored in the log: locator digests are computed over
+ciphertext, so the path hashes up to the root digest a signed commit
+head names without the server revealing anything a holder of the device
+secret could not already read.  This matches TDB's trust model — the
+verifying client shares the device secret (it is the device), while the
+storage and the network in between remain untrusted.
+
+A *non-membership* proof for chunk id ``c`` is the same walk, stopped at
+the first node whose slot for ``c`` is empty: the verifier recomputes
+the slot from ``c`` and the node's position and sees the authenticated
+absence (Bauer-style keyed hash tree "no such entry" replies).  Ids
+beyond the tree's capacity are absent with an empty path, and an empty
+root proves everything absent.
+
+Verification needs only derived keys and the store's configuration
+(fanout, cipher, hash) — both sides of the trust boundary already hold
+those; neither the proof nor the server is trusted for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.chunkstore.format import Locator
+from repro.chunkstore.locmap import MapNode
+from repro.errors import ChunkStoreError, InvalidProofError, TDBError
+
+from repro.proofs.headlog import SignedHead
+
+__all__ = ["ChunkProof", "build_proof", "verify_proof"]
+
+
+@dataclass(frozen=True)
+class ChunkProof:
+    """A Merkle path for one chunk id against one commit head.
+
+    ``nodes`` holds the ciphertext map-node payloads root-first;
+    ``payload`` the ciphertext chunk payload (inclusion only).  A
+    non-membership proof ends at the node whose slot is empty (or is
+    entirely empty for out-of-capacity ids and empty trees).
+    """
+
+    chunk_id: int
+    depth: int
+    present: bool
+    nodes: List[bytes]
+    payload: Optional[bytes]
+
+
+def _slot_at(chunk_id: int, level: int, fanout: int) -> int:
+    return (chunk_id // (fanout ** level)) % fanout
+
+
+def build_proof(
+    chunk_id: int,
+    depth: int,
+    fanout: int,
+    hash_size: int,
+    root_locator: Optional[Locator],
+    read_ciphertext: Callable[[Locator], bytes],
+    decrypt: Callable[[bytes], bytes],
+) -> ChunkProof:
+    """Walk the tree named by ``root_locator`` and collect the path.
+
+    ``read_ciphertext`` must return the digest-verified ciphertext a
+    locator points at (the store's raw-payload read); ``decrypt`` is the
+    store's payload cipher.  The walk mirrors ``LocationMap.lookup``.
+    """
+    if chunk_id < 0:
+        raise ChunkStoreError("chunk ids are non-negative")
+    if root_locator is None or chunk_id >= fanout ** depth:
+        return ChunkProof(chunk_id, depth, False, [], None)
+    nodes: List[bytes] = []
+    locator = root_locator
+    level = depth - 1
+    index = 0
+    while True:
+        ciphertext = read_ciphertext(locator)
+        nodes.append(ciphertext)
+        node = MapNode.deserialize(decrypt(ciphertext), hash_size)
+        if (node.level, node.index) != (level, index):
+            raise ChunkStoreError(
+                f"map node identity mismatch: stored ({node.level},"
+                f" {node.index}), expected ({level}, {index})"
+            )
+        if level == 0:
+            break
+        slot = _slot_at(chunk_id, level, fanout)
+        child = node.children.get(slot)
+        if child is None:
+            return ChunkProof(chunk_id, depth, False, nodes, None)
+        locator = child
+        index = index * fanout + slot
+        level -= 1
+    leaf_locator = node.children.get(chunk_id % fanout)
+    if leaf_locator is None:
+        return ChunkProof(chunk_id, depth, False, nodes, None)
+    return ChunkProof(chunk_id, depth, True, nodes, read_ciphertext(leaf_locator))
+
+
+def verify_proof(
+    proof: ChunkProof,
+    head: SignedHead,
+    fanout: int,
+    hash_size: int,
+    digest: Callable[[bytes], bytes],
+    decrypt: Callable[[bytes], bytes],
+) -> Optional[bytes]:
+    """Verify ``proof`` against an already-authenticated ``head``.
+
+    Returns the *plaintext* chunk payload for an inclusion proof, or
+    ``None`` for a verified non-membership proof.  Every deviation —
+    digest mismatch, wrong node identity, wrong path shape, extra or
+    missing nodes, a present flag the path does not support — raises
+    :class:`InvalidProofError`.  Nothing in ``proof`` is trusted; the
+    fanout, hash, and cipher come from the verifier's own configuration
+    and the depth and root digest from the signed head.
+    """
+    depth = head.depth
+    if proof.depth != depth:
+        raise InvalidProofError(
+            f"proof claims depth {proof.depth}, signed head says {depth}"
+        )
+    if proof.chunk_id < 0:
+        raise InvalidProofError("proof covers a negative chunk id")
+
+    def absent(consumed: int) -> None:
+        if proof.present:
+            raise InvalidProofError(
+                "proof claims presence but its path proves absence"
+            )
+        if proof.payload is not None:
+            raise InvalidProofError("non-membership proof carries a payload")
+        if len(proof.nodes) != consumed:
+            raise InvalidProofError(
+                f"non-membership proof has {len(proof.nodes)} nodes, "
+                f"path needs {consumed}"
+            )
+
+    if head.empty_root:
+        absent(0)
+        return None
+    if proof.chunk_id >= fanout ** depth:
+        absent(0)
+        return None
+    if not proof.nodes:
+        raise InvalidProofError("proof path is empty but the tree is not")
+    if digest(proof.nodes[0]) != head.root_digest:
+        raise InvalidProofError(
+            "proof root does not hash to the signed head's root digest"
+        )
+    level = depth - 1
+    index = 0
+    position = 0
+    while True:
+        try:
+            node = MapNode.deserialize(decrypt(proof.nodes[position]), hash_size)
+        except TDBError as exc:
+            raise InvalidProofError(f"undecodable proof node: {exc}") from exc
+        if (node.level, node.index) != (level, index):
+            raise InvalidProofError(
+                f"proof node claims identity ({node.level}, {node.index}), "
+                f"path expects ({level}, {index})"
+            )
+        if level == 0:
+            break
+        slot = _slot_at(proof.chunk_id, level, fanout)
+        child = node.children.get(slot)
+        if child is None:
+            absent(position + 1)
+            return None
+        position += 1
+        if position >= len(proof.nodes):
+            raise InvalidProofError("proof path ends before the leaf")
+        ciphertext = proof.nodes[position]
+        if len(ciphertext) != child.length or digest(ciphertext) != child.hash_value:
+            raise InvalidProofError(
+                f"proof node at level {level - 1} does not match its "
+                "parent's locator digest"
+            )
+        index = index * fanout + slot
+        level -= 1
+    leaf_locator = node.children.get(proof.chunk_id % fanout)
+    if leaf_locator is None:
+        absent(position + 1)
+        return None
+    if not proof.present:
+        raise InvalidProofError(
+            "proof claims absence but the leaf maps the chunk id"
+        )
+    if len(proof.nodes) != position + 1:
+        raise InvalidProofError("inclusion proof carries extra nodes")
+    if proof.payload is None:
+        raise InvalidProofError("inclusion proof is missing its payload")
+    if (
+        len(proof.payload) != leaf_locator.length
+        or digest(proof.payload) != leaf_locator.hash_value
+    ):
+        raise InvalidProofError(
+            f"payload for chunk {proof.chunk_id} does not match the "
+            "authenticated leaf digest"
+        )
+    try:
+        return decrypt(proof.payload)
+    except TDBError as exc:
+        raise InvalidProofError(f"undecryptable proof payload: {exc}") from exc

@@ -45,9 +45,11 @@ from repro.config import (
     CollectionStoreConfig,
     ObjectStoreConfig,
 )
+from repro.crypto import create_hash_engine
 from repro.crypto.pool import DigestPool
 from repro.db import Database
 from repro.errors import (
+    ForkDetectedError,
     ReplayDetectedError,
     ReplicationError,
     TamperDetectedError,
@@ -70,6 +72,7 @@ from repro.replication.state import (
     save_state,
 )
 from repro.replication.shipper import MAX_SHIP_BYTES
+from repro.proofs.headlog import HeadVerifier, TransparencyLog
 
 __all__ = [
     "ReplicaApplier",
@@ -311,6 +314,8 @@ class ReplicaApplier:
         self._reconnects = 0
         self._consecutive_failures = 0
         self._last_backoff = 0.0
+        self._heads_mirrored = 0
+        self._head_forks = 0
 
     # ------------------------------------------------------------------
     # Transport
@@ -354,12 +359,18 @@ class ReplicaApplier:
                 return False
             self._verify_monotonic(state, manifest)
             candidate, reused = self._fetch_candidate(manifest)
-            self._verify_candidate(manifest, candidate)
+            verified_root = self._verify_candidate(manifest, candidate)
+            head_plan = self._verify_heads(manifest, verified_root)
+        except ForkDetectedError:
+            with self._lock:
+                self._head_forks += 1
+                self._tamper_rejected += 1
+            raise
         except TamperDetectedError:
             with self._lock:
                 self._tamper_rejected += 1
             raise
-        self._install(manifest, candidate)
+        self._install(manifest, candidate, head_plan)
         with self._lock:
             self._shipments_applied += 1
             self._segments_reused += reused
@@ -521,11 +532,120 @@ class ReplicaApplier:
                 raise TamperDetectedError(
                     f"shipped image failed its deep scrub: {report.summary()}"
                 )
+            root = store.location_map.root_locator
+            return root.hash_value if root is not None else None
         finally:
             store.close()
 
+    def _load_local_headlog(self, db_uuid: bytes, hash_size: int):
+        """The replica's mirrored head log, or ``None`` if unusable.
+
+        A damaged or foreign-identity local mirror (seed adoption, local
+        bit rot) is treated like a missing one — the primary's chain is
+        then re-verified all the way from genesis, so nothing is healed
+        without re-proving it.
+        """
+        if not TransparencyLog.exists(self.untrusted):
+            return None
+        try:
+            return TransparencyLog.load(
+                self.untrusted,
+                self.secret_store,
+                db_uuid,
+                hash_size,
+                writable=False,
+            )
+        except TamperDetectedError:
+            return None
+
+    def _verify_heads(self, manifest: Dict[str, Any], verified_root):
+        """Cross-check the primary's transparency log against the shipment.
+
+        Fetches the signed head chain, verifies it extends the replica's
+        mirror (equivocation at any mirrored index is a fork), and
+        requires the entry for the shipped generation to sign exactly
+        the root digest the deep scrub just verified.  Returns the plan
+        ``(recreate, entries)`` for :meth:`_install` to mirror.
+        """
+        if not self.chunk_config.security.enabled:
+            return None
+        uuid = bytes.fromhex(manifest["db_uuid"])
+        hash_size = create_hash_engine(
+            self.chunk_config.security.hash_name
+        ).digest_size
+        reply = self._call("log.head")
+        if base64.b64decode(reply["uuid"]) != uuid:
+            raise TamperDetectedError(
+                "primary's transparency log names a different database "
+                "identity than the shipment manifest"
+            )
+        length = int(reply["length"])
+        local = self._load_local_headlog(uuid, hash_size)
+        local_len = len(local) if local is not None else 0
+        if local_len > length:
+            raise TamperDetectedError(
+                f"primary's head log has {length} entries but the replica "
+                f"mirrored {local_len}: the primary's log was truncated"
+            )
+        if length == 0:
+            raise TamperDetectedError(
+                "primary serves an empty transparency log for a secure store"
+            )
+        verifier = HeadVerifier(self.secret_store, uuid, hash_size)
+        start = local_len - 1 if local_len else 0
+        reply = self._call(
+            "log.consistency", from_index=start, to_index=length - 1
+        )
+        entries = [base64.b64decode(entry) for entry in reply["entries"]]
+        if local_len:
+            tip = local.tip()
+            if not entries or entries[0] != tip.raw:
+                raise ForkDetectedError(
+                    f"primary signed a different head at index {tip.index} "
+                    "than the one this replica mirrored: equivocation"
+                )
+            chain = verifier.verify_chain(entries[1:], after=tip)
+        else:
+            chain = verifier.verify_chain(entries, after=None)
+        # The shipped generation's head must sign the scrubbed root.
+        target = None
+        known = (local.heads() if local_len else []) + chain
+        for head in known:
+            if head.generation == manifest["generation"]:
+                target = head
+                break
+        if target is None:
+            raise TamperDetectedError(
+                f"primary's head log has no entry for the shipped "
+                f"generation {manifest['generation']}"
+            )
+        expected_root = (
+            verified_root if verified_root is not None else bytes(hash_size)
+        )
+        if (
+            target.seqno != manifest["commit_seqno"]
+            or target.counter != manifest["expected_counter"]
+            or target.root_digest != expected_root
+            or target.empty_root != (verified_root is None)
+        ):
+            raise TamperDetectedError(
+                "signed head for the shipped generation does not match "
+                "the verified image (root/seqno/counter mismatch)"
+            )
+        # Mirror only up to the installed generation: entries signed for
+        # later commits belong to an image this replica does not hold yet.
+        fresh = [
+            head.raw for head in chain if head.generation <= manifest["generation"]
+        ]
+        if local is None or fresh:
+            return (local is None, fresh)
+        return None
+
     def _install(
-        self, manifest: Dict[str, Any], candidate: MemoryUntrustedStore
+        self,
+        manifest: Dict[str, Any],
+        candidate: MemoryUntrustedStore,
+        head_plan=None,
     ) -> None:
         keep = set(candidate.list_files())
         new_state = ReplicaState(
@@ -555,6 +675,31 @@ class ReplicaApplier:
                 stale = name.startswith("seg-") or name in MASTER_FILES
                 if stale and name not in keep:
                     self.untrusted.delete(name)
+            # Mirror the primary's head log *after* the image files: a
+            # crash in between leaves the mirror lagging the image,
+            # which the next sync appends through — never leading it.
+            if head_plan is not None:
+                recreate, fresh = head_plan
+                uuid = bytes.fromhex(manifest["db_uuid"])
+                hash_size = create_hash_engine(
+                    self.chunk_config.security.hash_name
+                ).digest_size
+                if recreate:
+                    log = TransparencyLog.create(
+                        self.untrusted, self.secret_store, uuid, hash_size
+                    )
+                else:
+                    log = TransparencyLog.load(
+                        self.untrusted,
+                        self.secret_store,
+                        uuid,
+                        hash_size,
+                        writable=True,
+                    )
+                for raw in fresh:
+                    log.append_entry(raw)
+                with self._lock:
+                    self._heads_mirrored += len(fresh)
             save_state(self.directory, new_state, self.secret_store)
             old = self.db
             self.db = open_replica_database(
@@ -704,4 +849,6 @@ class ReplicaApplier:
                 "reconnects": self._reconnects,
                 "consecutive_failures": self._consecutive_failures,
                 "last_backoff": self._last_backoff,
+                "heads_mirrored": self._heads_mirrored,
+                "head_forks": self._head_forks,
             }

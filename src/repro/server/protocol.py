@@ -36,6 +36,10 @@ verb                parameters                                    txn mode
 ``repl.subscribe``  ``last_generation``/``last_seqno`` (optional) admin, none
 ``repl.segments``   ``segment``, ``offset``, ``length``           admin, none
 ``repl.master``     —                                             admin, none
+``proof.read``      ``chunk_id``                                  admin, none
+``proof.absent``    ``chunk_id``                                  admin, none
+``log.head``        —                                             admin, none
+``log.consistency`` ``from_index``, ``to_index``                  admin, none
 ==================  ============================================  ===========
 
 Exactly-once commits: ``begin`` returns a ``session`` resume token and
@@ -60,6 +64,13 @@ segment bytes (base64, clipped to the manifest's recorded size) and
 ``repl.master`` the sealed master-record blob captured at subscribe
 time.  Re-subscribing acknowledges the previous shipment and releases
 its pins.
+
+The ``proof.*`` / ``log.*`` verbs expose client-verifiable proofs
+(:mod:`repro.proofs`): Merkle inclusion / non-membership proofs for a
+chunk id against a signed commit head, the newest signed head, and
+hash-chained head-log ranges (consistency proofs).  They are read-only,
+served by primaries and replicas alike, and everything they return is
+authenticated end to end — the server is untrusted.
 
 The payload model is JSON values: the server stores them in
 :class:`~repro.server.server.RemoteRecord` persistent objects, so a
@@ -114,6 +125,10 @@ VERBS = (
     "repl.subscribe",
     "repl.segments",
     "repl.master",
+    "proof.read",
+    "proof.absent",
+    "log.head",
+    "log.consistency",
 )
 
 

@@ -681,6 +681,63 @@ class Session:
             "data": base64.b64encode(payload["blob"]).decode("ascii"),
         }
 
+    # -- proofs / transparency log ----------------------------------------
+
+    def _proof_response(self, head, proof) -> Dict[str, Any]:
+        return {
+            "uuid": base64.b64encode(
+                self.server.db.chunk_store.db_uuid
+            ).decode("ascii"),
+            "head": base64.b64encode(head.raw).decode("ascii"),
+            "chunk_id": proof.chunk_id,
+            "depth": proof.depth,
+            "present": proof.present,
+            "nodes": [
+                base64.b64encode(node).decode("ascii") for node in proof.nodes
+            ],
+            "payload": (
+                base64.b64encode(proof.payload).decode("ascii")
+                if proof.payload is not None
+                else None
+            ),
+        }
+
+    def _op_proof_read(self, request) -> Dict[str, Any]:
+        service = self.server.proof_service()
+        head, proof = service.prove(int(self._param(request, "chunk_id")))
+        return self._proof_response(head, proof)
+
+    def _op_proof_absent(self, request) -> Dict[str, Any]:
+        # Same walk as proof.read; kept as its own verb so audits can
+        # ask "prove you do NOT have this" without ambiguity.
+        return self._op_proof_read(request)
+
+    def _op_log_head(self, request) -> Dict[str, Any]:
+        service = self.server.proof_service()
+        head, length = service.head()
+        return {
+            "uuid": base64.b64encode(
+                self.server.db.chunk_store.db_uuid
+            ).decode("ascii"),
+            "head": base64.b64encode(head.raw).decode("ascii"),
+            "length": length,
+        }
+
+    def _op_log_consistency(self, request) -> Dict[str, Any]:
+        service = self.server.proof_service()
+        entries = service.consistency(
+            int(self._param(request, "from_index")),
+            int(self._param(request, "to_index")),
+        )
+        return {
+            "uuid": base64.b64encode(
+                self.server.db.chunk_store.db_uuid
+            ).decode("ascii"),
+            "entries": [
+                base64.b64encode(entry).decode("ascii") for entry in entries
+            ],
+        }
+
     # -- admin -------------------------------------------------------------
 
     def _op_stats(self, request) -> Dict[str, Any]:
@@ -729,6 +786,10 @@ class TdbServer:
 
             self.shipper = ReplicationShipper(db.chunk_store)
         self.register_data_model()
+        # Built lazily on the first proof/log verb (insecure stores have
+        # none to serve) and rebuilt when a replica applier swaps db.
+        self._proof_service = None
+        self._proof_lock = threading.Lock()
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._sessions: Dict[int, Session] = {}
@@ -818,6 +879,10 @@ class TdbServer:
             self._discard_parked(entry, expired=False)
         if self.shipper is not None:
             self.shipper.close()
+        with self._proof_lock:
+            if self._proof_service is not None:
+                self._proof_service.close()
+                self._proof_service = None
         if self.coordinator is not None:
             self.db.disable_group_commit()
         self._started = False
@@ -979,6 +1044,26 @@ class TdbServer:
         if self.db.object_store is not None:
             self.db.object_store.registry.register(RemoteRecord)
 
+    def proof_service(self):
+        """The (lazily built) proof service for the *current* database.
+
+        A replica applier swaps ``self.db`` wholesale when it installs a
+        shipped image; a service anchored to the old store would serve
+        proofs for a closed tree, so the accessor rebuilds whenever the
+        store identity changed.
+        """
+        from repro.proofs.service import ProofService
+
+        with self._proof_lock:
+            service = self._proof_service
+            if service is not None and service.store is not self.db.chunk_store:
+                service.close()
+                service = None
+            if service is None:
+                service = ProofService(self.db.chunk_store)
+                self._proof_service = service
+            return service
+
     def stats_payload(self) -> Dict[str, Any]:
         """The admin ``stats`` verb: one JSON-able view of the stack."""
         chunk = dataclasses.asdict(self.db.stats())
@@ -1007,4 +1092,20 @@ class TdbServer:
         if self.replication_stats is not None:
             replication["applier"] = self.replication_stats()
         payload["replication"] = replication
+        head: Optional[Dict[str, Any]] = None
+        store = self.db.chunk_store
+        log = getattr(store, "transparency", None)
+        if log is not None:
+            tip = log.tip()
+            head = {
+                "log_length": len(log),
+                "scheme": log.scheme,
+                "generation": tip.generation if tip else None,
+                "seqno": tip.seqno if tip else None,
+                "root": tip.root_digest.hex() if tip else None,
+            }
+            with self._proof_lock:
+                if self._proof_service is not None:
+                    head["proofs"] = self._proof_service.stats_snapshot()
+        payload["head"] = head
         return payload

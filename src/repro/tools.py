@@ -30,6 +30,16 @@ Subcommands over a file-backed database directory (the layout
   chain first.
 * ``promote`` — bind a replica image to a fresh local one-way counter
   and open it writable (the primary is gone; this node takes over).
+* ``stats`` — open read-only and print store statistics plus the
+  current signed commit head (generation, seqno, root digest, head-log
+  length) from the transparency log.
+* ``heads`` — print the full signed head log (:mod:`repro.proofs`):
+  one line per head, oldest first; loading already verifies every
+  signature and chain link.
+* ``audit`` — verify the local head log end to end (signatures, hash
+  chain, tip-vs-master binding) and, with ``--primary``, fetch the
+  remote server's chain through a verifying client and cross-check it
+  for forks and rollbacks.  Exits non-zero if anything fails.
 
 Usage::
 
@@ -42,10 +52,14 @@ Usage::
     python -m repro.tools replicate /path/to/replicadir --primary H:P \\
         [--once] [--serve-port P] [--poll SECONDS] [--seed NAME ...]
     python -m repro.tools promote /path/to/replicadir
+    python -m repro.tools stats   /path/to/dbdir
+    python -m repro.tools heads   /path/to/dbdir
+    python -m repro.tools audit   /path/to/dbdir [--primary H:P]
 
-``inspect``, ``verify``, ``scrub --salvage``, ``salvage-export`` and
-``replicate`` are read-only on their database; ``repair`` rewrites the
-untrusted store and ``promote`` rewrites the replica's control files.
+``inspect``, ``verify``, ``scrub --salvage``, ``salvage-export``,
+``replicate``, ``stats``, ``heads`` and ``audit`` are read-only on
+their database; ``repair`` rewrites the untrusted store and
+``promote`` rewrites the replica's control files.
 """
 
 from __future__ import annotations
@@ -78,6 +92,9 @@ __all__ = [
     "serve_database",
     "replicate_database",
     "promote_database",
+    "stats_database",
+    "heads_database",
+    "audit_database",
 ]
 
 
@@ -110,6 +127,10 @@ def inspect_database(directory: str, config: Optional[ChunkStoreConfig]) -> int:
     print(f"  commit seqno    : {stats.commit_seqno}")
     print(f"  counter value   : {stats.counter_value}")
     print(f"  checkpoints     : {stats.checkpoints_total}")
+    log = getattr(chunk_store, "transparency", None)
+    if log is not None and log.tip() is not None:
+        print(f"  signed head     : {log.tip().describe()} "
+              f"({len(log)} in log, scheme {log.scheme})")
     if stats.possible_lost_commit:
         print("  NOTE: last session may have lost its final in-flight commit")
 
@@ -496,6 +517,171 @@ def promote_database(
     return 0
 
 
+def _open_store_readonly(directory: str, config: Optional[ChunkStoreConfig]):
+    """Open just the chunk store of a database directory, read-only.
+
+    Unlike :func:`open_readonly_stack` this passes ``read_only=True``,
+    so the open performs no media writes at all — in particular it does
+    not create or catch up the head log, which keeps ``stats``,
+    ``heads`` and ``audit`` safe to run against a primary's live
+    directory.
+    """
+    untrusted, secret, counter, _ = _platform_parts(directory)
+    store = ChunkStore.open(untrusted, secret, counter, config, read_only=True)
+    return store, secret
+
+
+def stats_database(directory: str, config: Optional[ChunkStoreConfig]) -> int:
+    """Print store statistics and the current signed commit head."""
+    store, _ = _open_store_readonly(directory, config)
+    stats = store.stats()
+    print(f"database: {directory}")
+    print(f"  security        : {'on' if store.secure else 'off'}")
+    print(f"  generation      : {store.generation}")
+    print(f"  commit seqno    : {stats.commit_seqno}")
+    print(f"  counter value   : {stats.counter_value}")
+    print(f"  chunks          : {len(store.chunk_ids())}")
+    print(f"  live bytes      : {stats.live_bytes}")
+    print(f"  on-disk bytes   : {stats.db_file_bytes}")
+    print(f"  segments        : {stats.segment_count} ({stats.free_slots} free)")
+    print(f"  checkpoints     : {stats.checkpoints_total}")
+    log = getattr(store, "transparency", None)
+    if log is None or log.tip() is None:
+        print("  signed head     : none "
+              "(insecure profile or pre-upgrade image)")
+    else:
+        tip = log.tip()
+        print(f"  head log length : {len(log)} (scheme {log.scheme})")
+        print(f"  head generation : {tip.generation}")
+        print(f"  head seqno      : {tip.seqno}")
+        print(f"  head root       : {tip.root_digest.hex() or '-'}")
+    store.close()
+    return 0
+
+
+def heads_database(directory: str, config: Optional[ChunkStoreConfig]) -> int:
+    """List every signed head in the transparency log, oldest first."""
+    store, _ = _open_store_readonly(directory, config)
+    try:
+        log = getattr(store, "transparency", None)
+        if log is None:
+            print("no head log (insecure profile or pre-upgrade image)")
+            return 1
+        print(f"head log: {len(log)} signed head(s), scheme {log.scheme}")
+        for head in log.heads():
+            print(f"  {head.describe()}")
+        return 0
+    finally:
+        store.close()
+
+
+def audit_database(
+    directory: str,
+    primary: Optional[str] = None,
+    config: Optional[ChunkStoreConfig] = None,
+) -> int:
+    """Audit the head log locally and, optionally, against a primary.
+
+    The read-only open already verifies every signature and chain link
+    in the local log (loading raises on anything that fails); the audit
+    then binds the tip to the master record, and with ``--primary``
+    fetches the remote chain through a :class:`VerifyingClient` and
+    cross-checks the two histories for forks and rollbacks.
+    """
+    failures = 0
+    try:
+        store, secret = _open_store_readonly(directory, config)
+    except TDBError as exc:
+        print(f"FAIL open: {type(exc).__name__}: {exc}")
+        return 1
+    try:
+        log = getattr(store, "transparency", None)
+        if log is None:
+            print("no head log to audit (insecure profile or "
+                  "pre-upgrade image)")
+            return 1
+        print(f"head log: {len(log)} signed head(s) verified "
+              f"(scheme {log.scheme})")
+        tip = log.tip()
+        if tip is None:
+            print("FAIL binding: head log has no entries but the store "
+                  f"is at generation {store.generation}")
+            failures += 1
+        elif tip.generation > store.generation:
+            print(f"FAIL binding: head log tip is generation "
+                  f"{tip.generation} but the master record is generation "
+                  f"{store.generation}: the image was rolled back")
+            failures += 1
+        elif tip.generation == store.generation:
+            root = store.location_map.root_locator
+            expected = (
+                root.hash_value if root is not None
+                else bytes(len(tip.root_digest))
+            )
+            if (tip.seqno != store.commit_seqno
+                    or tip.root_digest != expected
+                    or tip.empty_root != (root is None)):
+                print("FAIL binding: the tip head does not match the "
+                      "master record it claims to sign")
+                failures += 1
+            else:
+                print(f"tip binding: OK ({tip.describe()})")
+        elif tip.generation == store.generation - 1:
+            print(f"tip binding: log lags the master by one checkpoint "
+                  f"(crash window; a writable open will catch it up)")
+        else:
+            print(f"FAIL binding: head log tip is generation "
+                  f"{tip.generation}, master is {store.generation}: "
+                  "the log was truncated")
+            failures += 1
+
+        if primary:
+            host, _, port_text = primary.rpartition(":")
+            if not host or not port_text.isdigit():
+                print(f"--primary must be host:port, got {primary!r}",
+                      file=sys.stderr)
+                return 2
+            from repro.proofs.client import VerifyingClient
+
+            client = VerifyingClient(
+                host, int(port_text), secret, config=config
+            )
+            try:
+                remote = client.fetch_log()
+                if client.db_uuid != store.db_uuid:
+                    print("FAIL remote: the primary serves a different "
+                          "database identity")
+                    failures += 1
+                else:
+                    print(f"remote log: {len(remote)} signed head(s) "
+                          "verified")
+                    fork = VerifyingClient.compare_logs(log.heads(), remote)
+                    if fork is not None:
+                        print(f"FAIL remote: histories diverge at head "
+                              f"#{fork}: the signer equivocated (fork)")
+                        failures += 1
+                    elif len(remote) < len(log):
+                        print(f"FAIL remote: primary's log has "
+                              f"{len(remote)} head(s), local mirror has "
+                              f"{len(log)}: the primary rolled back")
+                        failures += 1
+                    else:
+                        print("cross-check: OK (local log is a prefix of "
+                              "the primary's)")
+            except TDBError as exc:
+                print(f"FAIL remote: {type(exc).__name__}: {exc}")
+                failures += 1
+            finally:
+                client.close()
+    finally:
+        store.close()
+    if failures:
+        print(f"AUDIT FAILED: {failures} problem(s)")
+        return 1
+    print("AUDIT OK")
+    return 0
+
+
 def _config_from_args(args) -> Optional[ChunkStoreConfig]:
     if (
         args.segment_kb is None
@@ -540,9 +726,16 @@ def main(argv=None) -> int:
         "serve",
         "replicate",
         "promote",
+        "stats",
+        "heads",
+        "audit",
     ):
         cmd = sub.add_parser(name)
         cmd.add_argument("directory")
+        if name == "audit":
+            cmd.add_argument("--primary", default=None,
+                             help="also cross-check the head log against "
+                                  "this primary server (host:port)")
         if name == "scrub":
             cmd.add_argument("--salvage", action="store_true", default=False,
                              help="open read-only; works on damaged stores")
@@ -642,6 +835,12 @@ def main(argv=None) -> int:
             )
         if args.command == "promote":
             return promote_database(args.directory, config)
+        if args.command == "stats":
+            return stats_database(args.directory, config)
+        if args.command == "heads":
+            return heads_database(args.directory, config)
+        if args.command == "audit":
+            return audit_database(args.directory, args.primary, config)
         return verify_database(args.directory, config)
     except TDBError as exc:
         print(f"{type(exc).__name__}: {exc}", file=sys.stderr)
