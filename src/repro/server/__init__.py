@@ -12,13 +12,20 @@ service:
 * :mod:`repro.server.backpressure` — bounded sessions, bounded commit
   queue, idle/request timeouts that abort and release locks,
 * :mod:`repro.server.client` — context-managed remote transactions
-  with bounded reconnect/retry on transient errors.
+  with bounded reconnect/retry on transient errors,
+* :mod:`repro.server.sharded` / :mod:`repro.server.shardworker` /
+  :mod:`repro.server.sharding` — the multi-process sharded service: an
+  asyncio front door routing the same wire protocol over N shard worker
+  processes, with ordered cross-shard two-phase commit
+  (:mod:`repro.server.coordinator`).
 """
 
 from repro.server.backpressure import AdmissionControl, BackpressureConfig
 from repro.server.client import RemoteTransaction, TdbClient
 from repro.server.groupcommit import GroupCommitCoordinator, GroupCommitStats
 from repro.server.server import RemoteRecord, TdbServer, field_indexer
+from repro.server.sharded import ShardedTdbServer
+from repro.server.sharding import ShardLayout
 
 __all__ = [
     "AdmissionControl",
@@ -27,6 +34,8 @@ __all__ = [
     "GroupCommitStats",
     "RemoteRecord",
     "RemoteTransaction",
+    "ShardLayout",
+    "ShardedTdbServer",
     "TdbClient",
     "TdbServer",
     "field_indexer",

@@ -120,6 +120,7 @@ class TdbClient:
         self._ever_connected = False
         self._session_token: Optional[str] = None
         self._session_epoch: Optional[str] = None
+        self._server_info: Optional[Dict[str, Any]] = None
         self._op_counter = 0
         #: Client-side resilience counters (mirrors the server's view).
         self.counters: Dict[str, int] = {
@@ -491,6 +492,27 @@ class TdbClient:
     def stats(self) -> Dict[str, Any]:
         """The server's composite stats payload (admin verb)."""
         return self.call("stats")
+
+    def hello(self) -> Dict[str, Any]:
+        """Negotiate protocol version and capabilities (cached).
+
+        Version-1 servers predate the ``hello`` verb and answer it with
+        a :class:`~repro.errors.ProtocolError`; that is mapped to a
+        synthetic ``{"protocol": 1}`` payload so new clients work
+        against old servers without special-casing.
+        """
+        if self._server_info is None:
+            try:
+                self._server_info = self.call("hello")
+            except ProtocolError:
+                self._server_info = {
+                    "protocol": 1,
+                    "server": "tdb",
+                    "sharded": False,
+                    "shards": 1,
+                    "features": [],
+                }
+        return self._server_info
 
 
 class RemoteTransaction:

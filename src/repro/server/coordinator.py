@@ -1,0 +1,313 @@
+"""Ordered cross-shard commit: the 2PC coordinator and its decision log.
+
+The sharded front door drives cross-shard commits deterministically:
+participants are prepared in ascending shard-id order (so two
+cross-shard commits contending for the same ledger slot lock can never
+deadlock),
+then a single decision record is fsynced to ``coord/decisions.log``
+**before** any participant learns the verdict.  The decision record is
+the commit point — once it is durable, the outcome is *committed* no
+matter which workers crash, because every participant holds a durable
+redo record from its prepare and the supervisor re-drives the decision
+at respawn.  An unlogged token is presumed aborted.
+
+The client's idempotent commit token (PR 7) doubles as the global 2PC
+transaction id, so retries, ``commit.result`` queries, and recovery all
+speak about the same identifier — exactly-once across worker restarts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ServerError, TDBError
+
+__all__ = [
+    "DecisionLog",
+    "CrossShardCoordinator",
+    "CommitStage",
+    "ensure_single_writer",
+    "release_single_writer",
+]
+
+
+class CommitStage:
+    """Stage names passed to the coordinator's observation hook (tests
+    kill workers at these boundaries to sweep the crash matrix)."""
+
+    BEFORE_PREPARE = "before_prepare"
+    AFTER_PREPARE = "after_prepare"
+    BEFORE_DECISION = "before_decision"
+    AFTER_DECISION = "after_decision"
+    BEFORE_DECIDE = "before_decide"
+    AFTER_DECIDE = "after_decide"
+
+
+class DecisionLog:
+    """Append-only fsynced JSONL log of commit decisions.
+
+    Only *commit* decisions are logged (presumed abort).  ``done``
+    markers are an optimization — recovery is idempotent through the
+    per-shard ledgers, so a re-driven decision for an already-applied
+    token is discarded by the worker.
+
+    Growth is bounded: an acknowledged token is dropped from the live
+    decision map immediately, and every ``compact_every`` done-marks the
+    log file is rewritten with only the still-pending decisions (crash
+    mid-compaction is safe — the rewrite lands via ``os.replace``).
+    Recently acknowledged tokens stay answerable through ``committed``
+    until the next compaction, mirroring the finite dedup window of the
+    front door's commit-token cache.
+    """
+
+    def __init__(self, path: str, compact_every: int = 512) -> None:
+        self.path = path
+        self.compact_every = max(1, int(compact_every))
+        self._lock = threading.Lock()
+        self._decisions: Dict[str, List[int]] = {}
+        self._done: set = set()
+        self._done_since_compact = 0
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        self._load()
+        self._fh = open(path, "ab")
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "rb") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line.decode("utf-8"))
+                    except ValueError:
+                        continue  # torn tail of a crashed append
+                    token = entry.get("token")
+                    if not isinstance(token, str):
+                        continue
+                    if entry.get("done"):
+                        self._decisions.pop(token, None)
+                        self._done.add(token)
+                    elif isinstance(entry.get("shards"), list):
+                        self._decisions[token] = [
+                            int(s) for s in entry["shards"]
+                        ]
+        except FileNotFoundError:
+            pass
+
+    def record_commit(self, token: str, shards: List[int]) -> None:
+        """Durably log the commit decision — the 2PC commit point."""
+        entry = json.dumps(
+            {"token": token, "verdict": "commit", "shards": shards},
+            separators=(",", ":"),
+        ).encode("utf-8") + b"\n"
+        with self._lock:
+            self._fh.write(entry)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._decisions[token] = list(shards)
+
+    def mark_done(self, token: str) -> None:
+        """Record that every participant acknowledged the decision."""
+        entry = json.dumps(
+            {"token": token, "done": True}, separators=(",", ":")
+        ).encode("utf-8") + b"\n"
+        with self._lock:
+            self._fh.write(entry)
+            self._fh.flush()
+            self._decisions.pop(token, None)
+            self._done.add(token)
+            self._done_since_compact += 1
+            if self._done_since_compact >= self.compact_every:
+                self._compact_locked()
+
+    def _compact_locked(self) -> None:
+        """Rewrite the log with only the still-pending decisions."""
+        tmp_path = self.path + ".compact"
+        with open(tmp_path, "wb") as fh:
+            for token, shards in self._decisions.items():
+                fh.write(
+                    json.dumps(
+                        {"token": token, "verdict": "commit", "shards": shards},
+                        separators=(",", ":"),
+                    ).encode("utf-8")
+                    + b"\n"
+                )
+            fh.flush()
+            os.fsync(fh.fileno())
+        try:
+            self._fh.close()
+        except OSError:
+            pass
+        os.replace(tmp_path, self.path)
+        self._fh = open(self.path, "ab")
+        self._done.clear()
+        self._done_since_compact = 0
+
+    def committed(self, token: str) -> bool:
+        with self._lock:
+            return token in self._decisions or token in self._done
+
+    def pending_for_shard(self, shard: int) -> List[str]:
+        """Committed-but-unacknowledged tokens involving ``shard``."""
+        with self._lock:
+            return [
+                token
+                for token, shards in self._decisions.items()
+                if token not in self._done and shard in shards
+            ]
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+
+
+class CrossShardCoordinator:
+    """Drives one ordered-commit round over the shard links.
+
+    ``call`` is an async callable ``(shard, op, **params)`` provided by
+    the front door; ``on_stage`` (optional) observes each boundary for
+    the crash-sweep tests.
+    """
+
+    def __init__(
+        self,
+        log: DecisionLog,
+        call,
+        restart_worker,
+        on_stage: Optional[Callable[[str, str, Optional[int]], None]] = None,
+    ) -> None:
+        self.log = log
+        self._call = call
+        self._restart_worker = restart_worker
+        self.on_stage = on_stage
+
+    def _stage(self, stage: str, token: str, shard: Optional[int]) -> None:
+        if self.on_stage is not None:
+            self.on_stage(stage, token, shard)
+
+    async def commit(
+        self, sid: int, token: str, shards: List[int]
+    ) -> Dict[str, Any]:
+        """Prepare in shard order, log the decision, decide everywhere.
+
+        Raises on abort; the caller owns the commit-token cache entry.
+        """
+        order = sorted(shards)
+        prepared: List[int] = []
+        try:
+            for shard in order:
+                self._stage(CommitStage.BEFORE_PREPARE, token, shard)
+                await self._call(shard, "s.prepare", sid=sid, token=token)
+                prepared.append(shard)
+                self._stage(CommitStage.AFTER_PREPARE, token, shard)
+        except Exception:
+            await self._abort_round(sid, token, order, prepared)
+            raise
+        self._stage(CommitStage.BEFORE_DECISION, token, None)
+        try:
+            self.log.record_commit(token, order)
+        except Exception as exc:
+            # No durable decision record means presumed abort; release
+            # the prepared participants instead of wedging their locks.
+            await self._abort_round(sid, token, order, order)
+            raise ServerError(
+                f"cannot write the commit decision: {exc}"
+            ) from exc
+        self._stage(CommitStage.AFTER_DECISION, token, None)
+        lagging = False
+        for shard in order:
+            self._stage(CommitStage.BEFORE_DECIDE, token, shard)
+            try:
+                await self._call(
+                    shard, "s.decide", sid=sid, token=token, verdict="commit"
+                )
+            except TDBError:
+                # The decision is durable; a participant that cannot
+                # apply it live is restarted and re-driven from its redo
+                # record — the outcome stays committed.
+                lagging = True
+                await self._restart_worker(shard)
+            self._stage(CommitStage.AFTER_DECIDE, token, shard)
+        if not lagging:
+            self.log.mark_done(token)
+        return {"durable": True, "shards": order}
+
+    async def _abort_round(
+        self, sid: int, token: str, order: List[int], prepared: List[int]
+    ) -> None:
+        """Presumed abort: no decision record is written.  Prepared
+        participants are told to abort; unreachable ones resolve the
+        same way at respawn (their token is not in the log)."""
+        for shard in order:
+            try:
+                if shard in prepared:
+                    await self._call(
+                        shard, "s.decide", sid=sid, token=token, verdict="abort"
+                    )
+                else:
+                    await self._call(shard, "s.abort", sid=sid)
+            except TDBError:
+                pass
+
+
+#: Coordinator directories this process is currently serving.  The pid
+#: file below only guards against *other* processes; two servers inside
+#: one process would pass the pid-liveness test, so they are tracked
+#: here.
+_held_coord_dirs: set = set()
+
+
+def ensure_single_writer(path: str) -> None:
+    """Guard against two front doors on one layout.
+
+    Called by ``ShardedTdbServer.start()``; released by ``stop()``.
+    Best-effort across processes (pid liveness), exact within one
+    process.  A stale pid file left by a crashed front door is
+    reclaimed, because recovery is driven from the durable decision log
+    and redo records, never from the dead server's memory.
+    """
+    pid_path = os.path.join(path, "frontdoor.pid")
+    if pid_path in _held_coord_dirs:
+        raise ServerError(
+            f"shard layout already served by this process ({pid_path})"
+        )
+    try:
+        with open(pid_path, "r", encoding="utf-8") as fh:
+            pid = int(fh.read().strip() or 0)
+        if pid and pid != os.getpid():
+            try:
+                os.kill(pid, 0)
+            except (OSError, ProcessLookupError):
+                pid = 0
+            if pid:
+                raise ServerError(
+                    f"shard layout already served by pid {pid} ({pid_path})"
+                )
+    except FileNotFoundError:
+        pass
+    except ValueError:
+        pass
+    os.makedirs(path, exist_ok=True)
+    with open(pid_path, "w", encoding="utf-8") as fh:
+        fh.write(str(os.getpid()))
+    _held_coord_dirs.add(pid_path)
+
+
+def release_single_writer(path: str) -> None:
+    """Drop the guard taken by :func:`ensure_single_writer` (no-op if
+    this server never acquired it)."""
+    pid_path = os.path.join(path, "frontdoor.pid")
+    if pid_path not in _held_coord_dirs:
+        return
+    _held_coord_dirs.discard(pid_path)
+    try:
+        os.unlink(pid_path)
+    except OSError:
+        pass

@@ -17,6 +17,7 @@ Verbs
 ==================  ============================================  ===========
 verb                parameters                                    txn mode
 ==================  ============================================  ===========
+``hello``           —                                             admin, any
 ``begin``           ``mode`` ("object" | "collection")            none open
 ``commit``          ``durable`` (default true), ``token``         any
 ``commit.result``   ``token``                                     admin, any
@@ -90,6 +91,7 @@ from repro.errors import ProtocolError, ServerBusyError, TransientStoreError
 
 __all__ = [
     "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
     "encode_frame",
     "read_frame",
     "write_frame",
@@ -105,7 +107,13 @@ _LENGTH = struct.Struct(">I")
 #: a protocol violation, not an allocation request.
 MAX_FRAME_BYTES = 16 * 1024 * 1024
 
+#: Wire protocol version announced by the ``hello`` verb.  Version 1
+#: servers predate ``hello`` and answer it with a ProtocolError; clients
+#: treat that as ``{"protocol": 1}`` so both directions interoperate.
+PROTOCOL_VERSION = 2
+
 VERBS = (
+    "hello",
     "begin",
     "commit",
     "commit.result",

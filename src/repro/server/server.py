@@ -41,105 +41,39 @@ from __future__ import annotations
 
 import base64
 import dataclasses
-import json
 import secrets
 import socket
 import threading
 import time
 from typing import Any, Dict, List, Optional
 
-from repro.collectionstore import Indexer
 from repro.errors import (
     ProtocolError,
     ReadOnlyReplicaError,
     ReplicationError,
-    SchemaError,
     ServerBusyError,
     SessionStateError,
     TDBError,
     TransientStoreError,
 )
-from repro.objectstore import BufferReader, BufferWriter, Persistent
 from repro.server.backpressure import AdmissionControl, BackpressureConfig
 from repro.server.commitcache import CommitResultCache
 from repro.server.groupcommit import GroupCommitCoordinator
 from repro.server import protocol
+from repro.server.verbs import (
+    DATA_VERBS,
+    MUTATING_DATA_VERBS,
+    RemoteRecord,
+    VerbExecutor,
+    field_indexer,
+)
 
 __all__ = ["RemoteRecord", "TdbServer", "field_indexer"]
-
-
-class RemoteRecord(Persistent):
-    """A JSON value as a persistent object (the service's data model)."""
-
-    class_id = "server.record"
-
-    def __init__(self, value: Any = None) -> None:
-        self.value = value
-
-    def pickle(self) -> bytes:
-        body = json.dumps(self.value, separators=(",", ":")).encode("utf-8")
-        return BufferWriter().write_bytes(body).getvalue()
-
-    @classmethod
-    def unpickle(cls, data: bytes) -> "RemoteRecord":
-        reader = BufferReader(data)
-        value = json.loads(reader.read_bytes().decode("utf-8"))
-        reader.expect_end()
-        return cls(value)
-
-    def cache_charge(self) -> int:
-        return 96 + 8 * len(json.dumps(self.value, separators=(",", ":")))
-
-
-class _FieldKey:
-    """Pure extractor pulling one field out of a RemoteRecord value."""
-
-    __slots__ = ("field",)
-
-    def __init__(self, field: str) -> None:
-        self.field = field
-
-    def __call__(self, record: RemoteRecord) -> Any:
-        value = record.value
-        if not isinstance(value, dict) or self.field not in value:
-            raise SchemaError(
-                f"record value must be an object with field {self.field!r}"
-            )
-        return value[self.field]
-
-
-def _index_name(collection: str, field: str) -> str:
-    return f"field:{collection}:{field}"
-
-
-def field_indexer(
-    collection: str, field: str, kind: str = "btree", unique: bool = False
-) -> Indexer:
-    """Indexer over ``RemoteRecord`` keyed by one field of the value."""
-    if ":" in field:
-        raise SchemaError("field names must not contain ':'")
-    return Indexer(
-        name=_index_name(collection, field),
-        schema_class=RemoteRecord,
-        extractor=_FieldKey(field),
-        unique=unique,
-        kind=kind,
-    )
-
 
 #: Verbs refused outright on a read-only replica server.  ``begin`` /
 #: ``commit`` / ``abort`` stay allowed: a read-only transaction's commit
 #: carries no writes, so it never reaches the chunk store's commit path.
-_MUTATING_VERBS = frozenset(
-    {
-        "obj.put",
-        "obj.remove",
-        "name.bind",
-        "col.create",
-        "col.insert",
-        "col.remove",
-    }
-)
+_MUTATING_VERBS = MUTATING_DATA_VERBS
 
 
 class _SessionTimeout(Exception):
@@ -314,14 +248,18 @@ class Session:
         op = request.get("op")
         if not isinstance(op, str):
             raise ProtocolError("request needs a string 'op' field")
-        handler = getattr(self, "_op_" + op.replace(".", "_"), None)
-        if handler is None or op not in protocol.VERBS:
-            raise ProtocolError(f"unknown verb {op!r}")
         if self.server.read_only and op in _MUTATING_VERBS:
             raise ReadOnlyReplicaError(
                 f"verb {op!r} refused: this server is a read-only replica; "
                 "write to the primary or promote this node"
             )
+        if op in DATA_VERBS:
+            return self.server.executor.execute(
+                self.server.db, request, self.txn, self.mode
+            )
+        handler = getattr(self, "_op_" + op.replace(".", "_"), None)
+        if handler is None or op not in protocol.VERBS:
+            raise ProtocolError(f"unknown verb {op!r}")
         return handler(request)
 
     @staticmethod
@@ -489,157 +427,8 @@ class Session:
             self._release_gate()
         return {}
 
-    # -- object verbs ------------------------------------------------------
-
-    def _op_obj_put(self, request) -> Dict[str, Any]:
-        txn = self._require_txn("object")
-        value = self._param(request, "value")
-        oid = self._param(request, "oid", required=False)
-        if oid is None:
-            oid = txn.insert(RemoteRecord(value))
-        else:
-            ref = txn.open_writable(int(oid), RemoteRecord)
-            ref.deref().value = value
-        return {"oid": oid}
-
-    def _op_obj_get(self, request) -> Dict[str, Any]:
-        txn = self._require_txn("object")
-        oid = int(self._param(request, "oid"))
-        ref = txn.open_readonly(oid, RemoteRecord)
-        return {"oid": oid, "value": ref.deref().value}
-
-    def _op_obj_remove(self, request) -> Dict[str, Any]:
-        txn = self._require_txn("object")
-        oid = int(self._param(request, "oid"))
-        txn.remove(oid)
-        return {"oid": oid}
-
-    def _op_name_bind(self, request) -> Dict[str, Any]:
-        txn = self._require_txn("object")
-        name = str(self._param(request, "name"))
-        oid = int(self._param(request, "oid"))
-        txn.bind_name(name, oid)
-        return {"name": name, "oid": oid}
-
-    def _op_name_lookup(self, request) -> Dict[str, Any]:
-        txn = self._require_txn("object")
-        name = str(self._param(request, "name"))
-        return {"name": name, "oid": txn.lookup_name(name)}
-
-    # -- collection verbs --------------------------------------------------
-
-    def _collection_handle(self, name: str, writable: bool):
-        ct = self._require_txn("collection")
-        handle = (
-            ct.write_collection(name) if writable else ct.read_collection(name)
-        )
-        # Re-register field indexers for descriptors created in earlier
-        # server lifetimes: the descriptor name encodes the field, so
-        # the extractor can always be reconstructed.
-        store = self.server.db.collection_store
-        for descriptor in handle.collection.indexes:
-            parts = descriptor.name.split(":", 2)
-            if len(parts) == 3 and parts[0] == "field":
-                store.register_indexer(
-                    field_indexer(
-                        parts[1], parts[2],
-                        kind=descriptor.kind, unique=descriptor.unique,
-                    )
-                )
-        return handle
-
-    def _indexer_for(self, handle, field: Optional[str]) -> Indexer:
-        store = self.server.db.collection_store
-        if field is not None:
-            name = _index_name(handle.name, field)
-            if handle.collection.descriptor(name) is None:
-                raise SchemaError(
-                    f"collection {handle.name!r} has no index on field "
-                    f"{field!r}"
-                )
-            return store.indexer(name)
-        if not handle.collection.indexes:
-            raise SchemaError(f"collection {handle.name!r} has no indexes")
-        return store.indexer(handle.collection.indexes[0].name)
-
-    def _op_col_create(self, request) -> Dict[str, Any]:
-        ct = self._require_txn("collection")
-        name = str(self._param(request, "name"))
-        field = str(self._param(request, "field"))
-        kind = str(self._param(request, "kind", required=False, default="btree"))
-        unique = bool(self._param(request, "unique", required=False, default=False))
-        indexer = field_indexer(name, field, kind=kind, unique=unique)
-        ct.create_collection(name, indexer)
-        return {"name": name, "index": indexer.name}
-
-    def _op_col_insert(self, request) -> Dict[str, Any]:
-        handle = self._collection_handle(
-            str(self._param(request, "name")), writable=True
-        )
-        value = self._param(request, "value")
-        oid = handle.insert(RemoteRecord(value))
-        return {"oid": oid, "count": handle.count}
-
-    def _op_col_get(self, request) -> Dict[str, Any]:
-        handle = self._collection_handle(
-            str(self._param(request, "name")), writable=False
-        )
-        key = self._param(request, "key")
-        field = self._param(request, "field", required=False)
-        indexer = self._indexer_for(handle, field)
-        iterator = handle.query_match(indexer, key)
-        values = self._drain(iterator, self.server.max_results)
-        return {"values": values}
-
-    def _op_col_remove(self, request) -> Dict[str, Any]:
-        handle = self._collection_handle(
-            str(self._param(request, "name")), writable=True
-        )
-        key = self._param(request, "key")
-        field = self._param(request, "field", required=False)
-        indexer = self._indexer_for(handle, field)
-        iterator = handle.query_match(indexer, key)
-        removed = 0
-        try:
-            while not iterator.end():
-                iterator.delete()
-                removed += 1
-                iterator.next()
-        finally:
-            iterator.close()
-        return {"removed": removed, "count": handle.count}
-
-    def _op_col_iterate(self, request) -> Dict[str, Any]:
-        handle = self._collection_handle(
-            str(self._param(request, "name")), writable=False
-        )
-        field = self._param(request, "field", required=False)
-        lo = self._param(request, "lo", required=False)
-        hi = self._param(request, "hi", required=False)
-        limit = int(
-            self._param(
-                request, "limit", required=False, default=self.server.max_results
-            )
-        )
-        limit = min(limit, self.server.max_results)
-        indexer = self._indexer_for(handle, field)
-        if lo is not None or hi is not None:
-            iterator = handle.query_range(indexer, lo, hi)
-        else:
-            iterator = handle.query(indexer)
-        values = self._drain(iterator, limit)
-        return {"values": values, "count": handle.count}
-
-    @staticmethod
-    def _drain(iterator, limit: int) -> List[Any]:
-        values = []
-        try:
-            while not iterator.end() and len(values) < limit:
-                values.append(iterator.read().deref().value)
-                iterator.next()
-        finally:
-            iterator.close()
-        return values
+    # -- data verbs (obj.* / name.* / col.*) are routed to the shared
+    # -- VerbExecutor by _dispatch; see repro.server.verbs.
 
     # -- replication -------------------------------------------------------
 
@@ -740,6 +529,9 @@ class Session:
 
     # -- admin -------------------------------------------------------------
 
+    def _op_hello(self, request) -> Dict[str, Any]:
+        return self.server.hello_payload()
+
     def _op_stats(self, request) -> Dict[str, Any]:
         return self.server.stats_payload()
 
@@ -770,6 +562,7 @@ class TdbServer:
         self.txn_gate = txn_gate
         self.replication_stats = replication_stats
         self.admission = AdmissionControl(self.backpressure.max_sessions)
+        self.executor = VerbExecutor(max_results=max_results)
         if read_only:
             # A replica commits nothing, so there is nothing to batch —
             # and its store would refuse the coordinator's commits anyway.
@@ -1063,6 +856,21 @@ class TdbServer:
                 service = ProofService(self.db.chunk_store)
                 self._proof_service = service
             return service
+
+    def hello_payload(self) -> Dict[str, Any]:
+        """The ``hello`` verb: protocol version + capability negotiation."""
+        features = ["resume", "commit-tokens", "proofs"]
+        if self.shipper is not None:
+            features.append("replication")
+        return {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "server": "tdb",
+            "mode": "replica" if self.read_only else "primary",
+            "sharded": False,
+            "shards": 1,
+            "epoch": self.epoch,
+            "features": features,
+        }
 
     def stats_payload(self) -> Dict[str, Any]:
         """The admin ``stats`` verb: one JSON-able view of the stack."""

@@ -1,0 +1,1151 @@
+"""The sharded TDB service: an asyncio front door over worker processes.
+
+``ShardedTdbServer`` speaks the *same* length-prefixed JSON protocol as
+the threaded :class:`~repro.server.server.TdbServer` — sharding is
+invisible to clients — but escapes the GIL by partitioning the store
+into N :mod:`repro.server.shardworker` processes (layout and routing in
+:mod:`repro.server.sharding`).  One asyncio event loop (running in a
+background thread so ``start()``/``stop()`` match the threaded server's
+API) owns:
+
+* the **client listener** — per-connection coroutines that read frames,
+  route data verbs, and keep the threaded server's resilience contract:
+  one-slot response replay, parked sessions with resume tokens, and the
+  server-wide commit-token cache;
+* the **worker supervisor** — spawns workers via ``subprocess``, each
+  of which connects back to a private loopback listener and
+  authenticates with the boot nonce; a worker crash fails in-flight
+  calls with :class:`~repro.errors.TransientStoreError`, poisons the
+  sessions that touched it, respawns the process, and re-drives any
+  prepared-but-undecided commits from the decision log before the
+  shard serves traffic again;
+* the **cross-shard coordinator** — single-shard transactions commit
+  directly on their owning worker (pipelined over one duplex
+  connection per shard); transactions that touched several shards go
+  through the ordered 2PC round in
+  :mod:`repro.server.coordinator`, keyed by the client's idempotent
+  commit token so retries stay exactly-once across worker restarts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import secrets
+import struct
+import subprocess
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional, Set
+
+from repro.errors import (
+    CommitInDoubtError,
+    ProtocolError,
+    ServerBusyError,
+    ServerError,
+    SessionStateError,
+    TDBError,
+    TransientStoreError,
+)
+from repro.server import protocol
+from repro.server.backpressure import AdmissionControl, BackpressureConfig
+from repro.server.commitcache import CommitResultCache
+from repro.server.coordinator import (
+    CrossShardCoordinator,
+    DecisionLog,
+    ensure_single_writer,
+    release_single_writer,
+)
+from repro.server.sharding import (
+    BOOTSTRAP_ENV,
+    ShardLayout,
+    ShardRouter,
+    config_to_dict,
+)
+from repro.server.verbs import DATA_VERBS
+
+__all__ = ["ShardedTdbServer"]
+
+_LENGTH = struct.Struct(">I")
+
+#: Required transaction mode per data-verb prefix.
+_VERB_MODE = {"obj": "object", "name": "object", "col": "collection"}
+
+#: Verbs the sharded frontend does not serve (replication and proofs
+#: are per-store features; shard them in a later iteration).
+_UNSUPPORTED = (
+    "repl.subscribe", "repl.segments", "repl.master",
+    "proof.read", "proof.absent", "log.head", "log.consistency",
+)
+
+
+async def _read_wire_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
+    """One frame off an asyncio stream; ``None`` on clean EOF."""
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed inside frame header") from exc
+    (length,) = _LENGTH.unpack(header)
+    if length > protocol.MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame "
+            f"(limit {protocol.MAX_FRAME_BYTES})"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed inside frame body") from exc
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("frame body must be a JSON object")
+    return message
+
+
+class ShardLink:
+    """One pipelined duplex connection to a shard worker."""
+
+    def __init__(
+        self,
+        server: "ShardedTdbServer",
+        shard: int,
+        proc: subprocess.Popen,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        generation: int,
+    ) -> None:
+        self.server = server
+        self.shard = shard
+        self.proc = proc
+        self.reader = reader
+        self.writer = writer
+        self.generation = generation
+        self.alive = True
+        self.superseded = False
+        self._next_id = 1
+        self._futures: Dict[int, asyncio.Future] = {}
+        self.pump_task: Optional[asyncio.Task] = None
+
+    def start_pump(self) -> None:
+        self.pump_task = asyncio.get_running_loop().create_task(self._pump())
+
+    async def call(self, op: str, **params: Any) -> Dict[str, Any]:
+        """Send one op, await its correlated response (requests pipeline)."""
+        if not self.alive:
+            raise TransientStoreError(
+                f"shard {self.shard} worker is restarting; retry"
+            )
+        rid = self._next_id
+        self._next_id += 1
+        fut = asyncio.get_running_loop().create_future()
+        self._futures[rid] = fut
+        frame = {"id": rid, "op": op}
+        frame.update(params)
+        try:
+            self.writer.write(protocol.encode_frame(frame))
+            await self.writer.drain()
+        except (OSError, ConnectionError) as exc:
+            self._futures.pop(rid, None)
+            raise TransientStoreError(
+                f"shard {self.shard} worker connection lost: {exc}"
+            ) from exc
+        response = await fut
+        if response.get("ok"):
+            return response.get("result") or {}
+        raise protocol.exception_from_payload(response)
+
+    async def _pump(self) -> None:
+        try:
+            while True:
+                message = await _read_wire_frame(self.reader)
+                if message is None:
+                    break
+                fut = self._futures.pop(message.get("id"), None)
+                if fut is not None and not fut.done():
+                    fut.set_result(message)
+        except (ProtocolError, OSError, ConnectionError):
+            pass
+        finally:
+            self.alive = False
+            for fut in self._futures.values():
+                if not fut.done():
+                    fut.set_exception(
+                        TransientStoreError(
+                            f"shard {self.shard} worker died mid-call"
+                        )
+                    )
+            self._futures.clear()
+            try:
+                self.writer.close()
+            except Exception:
+                pass
+            await self.server._worker_died(self)
+
+
+class FrontSession:
+    """Per-client-connection state at the front door.
+
+    The transaction itself lives on the workers; the front door tracks
+    which shards it touched (`begun`), the mode, and the resilience
+    state (resume token, one-slot replay cache)."""
+
+    __slots__ = (
+        "id", "resume_token", "mode", "begun", "insert_counter",
+        "poisoned", "last_request", "last_response", "requests_served",
+        "deadline",
+    )
+
+    def __init__(self, session_id: int, shards: int) -> None:
+        self.id = session_id
+        self.resume_token = secrets.token_hex(16)
+        self.mode: Optional[str] = None
+        self.begun: Set[int] = set()
+        self.insert_counter = session_id % max(1, shards)
+        self.poisoned = False
+        self.last_request: Optional[Dict[str, Any]] = None
+        self.last_response: Optional[Dict[str, Any]] = None
+        self.requests_served = 0
+        self.deadline = 0.0  # parked-until, set when parked
+
+    def next_insert_shard(self, shards: int) -> int:
+        shard = self.insert_counter % shards
+        self.insert_counter += 1
+        return shard
+
+    def clear_txn(self) -> None:
+        self.mode = None
+        self.begun = set()
+        self.poisoned = False
+
+
+class ShardedTdbServer:
+    """Asyncio front door over N shard worker processes."""
+
+    def __init__(
+        self,
+        root: str,
+        shards: Optional[int] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backpressure: Optional[BackpressureConfig] = None,
+        max_batch: int = 32,
+        max_delay: float = 0.005,
+        max_results: int = 1000,
+        quorum_seal: bool = True,
+        chunk_config=None,
+        worker_spawn_timeout: float = 30.0,
+    ) -> None:
+        self.root = os.path.abspath(root)
+        self._requested_shards = shards
+        self.host = host
+        self.port = port
+        self.backpressure = backpressure or BackpressureConfig()
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self.max_results = max_results
+        self.quorum_seal = quorum_seal
+        self.chunk_config = chunk_config
+        self.worker_spawn_timeout = worker_spawn_timeout
+        self.admission = AdmissionControl(self.backpressure.max_sessions)
+        self.commit_results = CommitResultCache()
+        self.epoch = secrets.token_hex(8)
+        self.layout: Optional[ShardLayout] = None
+        self.router: Optional[ShardRouter] = None
+        self.decision_log: Optional[DecisionLog] = None
+        self.coordinator: Optional[CrossShardCoordinator] = None
+        #: Observation hook for the crash-sweep tests: called as
+        #: ``hook(stage, token, shard)`` at every 2PC boundary.
+        self.on_stage = None
+        self._nonce = secrets.token_hex(16)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        self._client_server = None
+        self._worker_server = None
+        self._links: Dict[int, ShardLink] = {}
+        self._link_generation = 0
+        self._pending_handshakes: Dict[int, asyncio.Future] = {}
+        self._sessions: Dict[int, FrontSession] = {}
+        self._next_session_id = 1
+        self._parked: Dict[str, FrontSession] = {}
+        self._reaper_task: Optional[asyncio.Task] = None
+        self._started = False
+        self._stopping = False
+        self._counters: Dict[str, int] = {
+            "single_shard_commits": 0,
+            "cross_shard_commits": 0,
+            "empty_commits": 0,
+            "worker_restarts": 0,
+            "sessions_parked": 0,
+            "sessions_resumed": 0,
+            "resume_failures": 0,
+            "grace_expired": 0,
+            "request_replays": 0,
+            "commit_replays": 0,
+            "commit_settlements": 0,
+            "timeout_aborts": 0,
+            "poisoned_sessions": 0,
+            "recovered_decisions": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ShardedTdbServer":
+        if self._started:
+            return self
+        if self._requested_shards is not None:
+            self.layout = ShardLayout.open_or_create(
+                self.root, self._requested_shards
+            )
+        else:
+            self.layout = ShardLayout.open(self.root)
+        self.router = ShardRouter(self.layout)
+        # One front door per layout: concurrent servers would interleave
+        # decision-log appends and 2PC rounds.
+        ensure_single_writer(self.layout.coord_dir)
+        self.decision_log = DecisionLog(
+            os.path.join(self.layout.coord_dir, "decisions.log")
+        )
+        self.coordinator = CrossShardCoordinator(
+            self.decision_log,
+            call=self._coordinator_call,
+            restart_worker=self._coordinator_restart,
+            on_stage=self._stage_hook,
+        )
+        self._loop = asyncio.new_event_loop()
+        self._loop_thread = threading.Thread(
+            target=self._loop.run_forever, name="tdb-sharded-loop", daemon=True
+        )
+        self._loop_thread.start()
+        boot = asyncio.run_coroutine_threadsafe(self._boot(), self._loop)
+        try:
+            boot.result(timeout=self.worker_spawn_timeout * (self.layout.shards + 1))
+        except BaseException:
+            self.stop()
+            raise
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        if self._stopping:
+            return
+        self._stopping = True
+        if self._loop is not None:
+            try:
+                asyncio.run_coroutine_threadsafe(
+                    self._shutdown(), self._loop
+                ).result(timeout=15.0)
+            except Exception:
+                pass
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            if self._loop_thread is not None:
+                self._loop_thread.join(timeout=5.0)
+            if not self._loop.is_running():
+                self._loop.close()
+        if self.decision_log is not None:
+            self.decision_log.close()
+        if self.layout is not None:
+            release_single_writer(self.layout.coord_dir)
+        self._started = False
+
+    def __enter__(self) -> "ShardedTdbServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def address(self):
+        return (self.host, self.port)
+
+    def _stage_hook(self, stage: str, token: str, shard: Optional[int]) -> None:
+        hook = self.on_stage
+        if hook is not None:
+            hook(stage, token, shard)
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    # ------------------------------------------------------------------
+    # Boot: worker listener, workers, client listener
+    # ------------------------------------------------------------------
+
+    async def _boot(self) -> None:
+        self._worker_server = await asyncio.start_server(
+            self._on_worker_connect, "127.0.0.1", 0
+        )
+        self._worker_port = self._worker_server.sockets[0].getsockname()[1]
+        for shard in range(self.layout.shards):
+            await self._spawn_worker(shard)
+        self._client_server = await asyncio.start_server(
+            self._on_client_connect, self.host, self.port
+        )
+        sockname = self._client_server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        if self.backpressure.effective_resume_grace > 0:
+            self._reaper_task = asyncio.get_running_loop().create_task(
+                self._reaper_loop()
+            )
+
+    def _worker_env(self, shard: int) -> Dict[str, str]:
+        import repro
+
+        pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = pkg_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        env[BOOTSTRAP_ENV] = json.dumps(
+            {
+                "shard": shard,
+                "shards": self.layout.shards,
+                "directory": self.layout.shard_dir(shard),
+                "nonce": self._nonce,
+                "connect": ["127.0.0.1", self._worker_port],
+                "config": config_to_dict(self.chunk_config),
+                "group_commit": {
+                    "max_batch": self.max_batch,
+                    "max_delay": self.max_delay,
+                    "max_pending": self.backpressure.max_pending_commits,
+                    "quorum_seal": self.quorum_seal,
+                },
+                "max_results": self.max_results,
+            }
+        )
+        return env
+
+    async def _spawn_worker(self, shard: int) -> ShardLink:
+        loop = asyncio.get_running_loop()
+        fut = loop.create_future()
+        self._pending_handshakes[shard] = fut
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.server.shardworker",
+             "--shard", str(shard)],
+            env=self._worker_env(shard),
+            stdin=subprocess.DEVNULL,
+        )
+        try:
+            hello, reader, writer = await asyncio.wait_for(
+                fut, timeout=self.worker_spawn_timeout
+            )
+        except asyncio.TimeoutError:
+            self._pending_handshakes.pop(shard, None)
+            proc.kill()
+            raise ServerError(
+                f"shard {shard} worker did not connect back within "
+                f"{self.worker_spawn_timeout}s"
+            ) from None
+        self._link_generation += 1
+        link = ShardLink(self, shard, proc, reader, writer,
+                         self._link_generation)
+        link.start_pump()
+        await self._redrive_decisions(link, hello.get("prepared") or [])
+        self._links[shard] = link
+        return link
+
+    async def _on_worker_connect(self, reader, writer) -> None:
+        try:
+            hello = await asyncio.wait_for(_read_wire_frame(reader), timeout=10.0)
+        except (asyncio.TimeoutError, ProtocolError):
+            writer.close()
+            return
+        if (
+            hello is None
+            or hello.get("op") != "w.hello"
+            or hello.get("nonce") != self._nonce
+        ):
+            writer.close()
+            return
+        shard = hello.get("shard")
+        fut = self._pending_handshakes.pop(shard, None)
+        if fut is None or fut.done():
+            writer.close()
+            return
+        writer.write(protocol.encode_frame({"ok": True}))
+        await writer.drain()
+        fut.set_result((hello, reader, writer))
+
+    async def _redrive_decisions(self, link: ShardLink, prepared: List[str]) -> None:
+        """Resolve a (re)started worker's in-doubt tokens before traffic.
+
+        Every redo record the worker reported is decided from the log
+        (presumed abort when unlogged); logged-but-unacknowledged tokens
+        the worker did *not* report were already applied (the redo file
+        is unlinked after apply), so re-deciding them is a harmless
+        no-op the worker discards.
+        """
+        tokens = dict.fromkeys(prepared)
+        for token in self.decision_log.pending_for_shard(link.shard):
+            tokens.setdefault(token)
+        for token in tokens:
+            verdict = (
+                "commit" if self.decision_log.committed(token) else "abort"
+            )
+            await link.call("s.decide", token=token, verdict=verdict)
+            self._count("recovered_decisions")
+
+    async def _worker_died(self, link: ShardLink) -> None:
+        """Pump exit handler: poison touched sessions, respawn."""
+        if link.superseded or self._links.get(link.shard) is not link:
+            return
+        self._links.pop(link.shard, None)
+        link.superseded = True
+        try:
+            link.proc.kill()
+        except OSError:
+            pass
+        if self._stopping:
+            return
+        self._count("worker_restarts")
+        # Sessions that touched the dead shard lost their transaction:
+        # poison them (their next verb fails transient) and release the
+        # locks they still hold on the surviving shards.
+        for session in list(self._sessions.values()) + list(self._parked.values()):
+            if link.shard in session.begun:
+                others = [s for s in session.begun if s != link.shard]
+                session.begun = set()
+                session.poisoned = True
+                self._count("poisoned_sessions")
+                for shard in others:
+                    other = self._links.get(shard)
+                    if other is not None and other.alive:
+                        try:
+                            await other.call("s.abort", sid=session.id)
+                        except TDBError:
+                            pass
+        for attempt in range(3):
+            try:
+                await self._spawn_worker(link.shard)
+                return
+            except (ServerError, OSError):
+                await asyncio.sleep(0.2 * (attempt + 1))
+        # Left unspawned: routing to this shard raises transient errors
+        # until a later restart attempt succeeds via kill_worker/stop.
+
+    async def _link_for(self, shard: int) -> ShardLink:
+        link = self._links.get(shard)
+        if link is not None and link.alive:
+            return link
+        # A respawn may be in flight; wait briefly for it.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            await asyncio.sleep(0.05)
+            link = self._links.get(shard)
+            if link is not None and link.alive:
+                return link
+        raise TransientStoreError(
+            f"shard {shard} worker is unavailable; retry"
+        )
+
+    async def _coordinator_call(self, shard: int, op: str, **params):
+        link = await self._link_for(shard)
+        return await link.call(op, **params)
+
+    async def _coordinator_restart(self, shard: int) -> None:
+        link = self._links.get(shard)
+        if link is not None and link.alive:
+            try:
+                link.proc.kill()
+            except OSError:
+                pass
+
+    def kill_worker(self, shard: int) -> None:
+        """Test hook: SIGKILL a shard worker process (supervisor respawns)."""
+        link = self._links.get(shard)
+        if link is not None:
+            try:
+                link.proc.kill()
+            except OSError:
+                pass
+
+    def worker_pid(self, shard: int) -> Optional[int]:
+        link = self._links.get(shard)
+        return link.proc.pid if link is not None else None
+
+    def inject_worker_fault(self, shard: int, mode: str) -> None:
+        """Test hook: arm a crash fault (e.g. ``exit_after_commit``) on
+        ``shard``'s worker."""
+        link = self._links.get(shard)
+        if link is None or self._loop is None:
+            raise ServerError(f"no live worker for shard {shard}")
+        asyncio.run_coroutine_threadsafe(
+            link.call("w.fault", mode=mode), self._loop
+        ).result(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # Client connections
+    # ------------------------------------------------------------------
+
+    async def _on_client_connect(self, reader, writer) -> None:
+        if not self.admission.try_admit():
+            try:
+                writer.write(protocol.encode_frame(protocol.error_payload(
+                    None,
+                    ServerBusyError(
+                        f"server full ({self.admission.max_sessions} sessions)"
+                    ),
+                )))
+                await writer.drain()
+            except (OSError, ConnectionError):
+                pass
+            writer.close()
+            return
+        session = FrontSession(self._next_session_id, self.layout.shards)
+        self._next_session_id += 1
+        self._sessions[session.id] = session
+        config = self.backpressure
+        parked = False
+        try:
+            while not self._stopping:
+                try:
+                    request = await self._read_request(reader, config)
+                except asyncio.TimeoutError:
+                    if session.mode is not None:
+                        self.admission.record_timeout_abort()
+                        self._count("timeout_aborts")
+                    await self._abort_worker_txns(session)
+                    break
+                except (ProtocolError, OSError, ConnectionError):
+                    parked = self._try_park(session)
+                    break
+                if request is None:
+                    break  # clean EOF
+                response, session = await self._serve_one(session, request)
+                try:
+                    writer.write(protocol.encode_frame(response))
+                    await writer.drain()
+                except (OSError, ConnectionError):
+                    parked = self._try_park(session)
+                    break
+        finally:
+            if not parked:
+                await self._abort_worker_txns(session)
+                self._sessions.pop(session.id, None)
+            try:
+                writer.close()
+            except Exception:
+                pass
+            self.admission.release()
+
+    async def _read_request(self, reader, config) -> Optional[Dict[str, Any]]:
+        try:
+            header = await asyncio.wait_for(
+                reader.readexactly(_LENGTH.size), timeout=config.idle_timeout
+            )
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None
+            raise ProtocolError("connection closed inside frame header") from exc
+        (length,) = _LENGTH.unpack(header)
+        if length > protocol.MAX_FRAME_BYTES:
+            raise ProtocolError(f"oversized frame announced ({length} bytes)")
+        try:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=config.request_timeout
+            )
+        except asyncio.IncompleteReadError as exc:
+            raise ProtocolError("connection closed inside frame body") from exc
+        try:
+            message = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
+        if not isinstance(message, dict):
+            raise ProtocolError("frame body must be a JSON object")
+        return message
+
+    async def _serve_one(self, session: FrontSession, request: Dict[str, Any]):
+        request_id = request.get("id")
+        if (
+            request_id is not None
+            and session.last_response is not None
+            and request == session.last_request
+        ):
+            self._count("request_replays")
+            return session.last_response, session
+        try:
+            result, session = await self._dispatch(session, request)
+            response = {"id": request_id, "ok": True, "result": result}
+        except TDBError as exc:
+            response = protocol.error_payload(request_id, exc)
+        except Exception as exc:  # noqa: BLE001 — connection must survive
+            # A non-TDB fault (disk-full in the decision log, a bug) must
+            # not kill the connection coroutine mid-commit: prepared
+            # participants would hold their ledger locks forever.  The
+            # commit path has already aborted/resolved what it could;
+            # report the fault and keep serving.
+            response = protocol.error_payload(
+                request_id, ServerError(f"internal server fault: {exc}")
+            )
+        session.requests_served += 1
+        if request.get("op") != "session.resume":
+            session.last_request = dict(request)
+            session.last_response = response
+        return response, session
+
+    async def _dispatch(self, session: FrontSession, request: Dict[str, Any]):
+        op = request.get("op")
+        if not isinstance(op, str):
+            raise ProtocolError("request needs a string 'op' field")
+        if op in DATA_VERBS:
+            return await self._data_verb(session, request), session
+        if op == "hello":
+            return self.hello_payload(), session
+        if op == "begin":
+            return self._op_begin(session, request), session
+        if op == "commit":
+            return await self._op_commit(session, request), session
+        if op == "abort":
+            return await self._op_abort(session), session
+        if op == "commit.result":
+            return await self._op_commit_result(request), session
+        if op == "session.resume":
+            return self._op_session_resume(session, request)
+        if op == "stats":
+            return await self.stats_payload(), session
+        if op in _UNSUPPORTED:
+            raise ServerError(
+                f"verb {op!r} is not available on a sharded server; "
+                "run the threaded server for replication/proof serving"
+            )
+        if op in protocol.VERBS:
+            raise ServerError(f"verb {op!r} not implemented by this frontend")
+        raise ProtocolError(f"unknown verb {op!r}")
+
+    # -- transaction lifecycle ------------------------------------------
+
+    def _op_begin(self, session: FrontSession, request) -> Dict[str, Any]:
+        mode = request.get("mode", "object")
+        if mode not in ("object", "collection"):
+            raise ProtocolError(f"unknown transaction mode {mode!r}")
+        if session.mode is not None:
+            raise SessionStateError(
+                "a transaction is already open in this session"
+            )
+        session.mode = mode
+        session.begun = set()
+        session.poisoned = False
+        return {
+            "mode": mode,
+            "session": session.resume_token,
+            "epoch": self.epoch,
+        }
+
+    async def _op_abort(self, session: FrontSession) -> Dict[str, Any]:
+        if session.mode is None:
+            raise SessionStateError("no open transaction to abort")
+        await self._abort_worker_txns(session)
+        session.clear_txn()
+        return {}
+
+    async def _abort_worker_txns(self, session: FrontSession) -> None:
+        begun, session.begun = session.begun, set()
+        session.mode = None
+        for shard in sorted(begun):
+            link = self._links.get(shard)
+            if link is None or not link.alive:
+                continue
+            try:
+                await link.call("s.abort", sid=session.id)
+            except TDBError:
+                pass
+
+    async def _op_commit(self, session: FrontSession, request) -> Dict[str, Any]:
+        token = request.get("token")
+        if token is not None and not isinstance(token, str):
+            raise ProtocolError("commit token must be a string")
+        durable = bool(request.get("durable", True))
+        cache = self.commit_results
+        if token is not None:
+            prior = cache.begin(token)
+            if prior is not None:
+                return self._replay_commit_outcome(prior)
+        if session.mode is None:
+            if token is not None:
+                cache.cancel(token)
+            raise SessionStateError("no open transaction to commit")
+        if session.poisoned:
+            if token is not None:
+                cache.cancel(token)
+            session.clear_txn()
+            raise TransientStoreError(
+                "a shard worker restarted under this transaction; retry"
+            )
+        participants = sorted(session.begun)
+        session.clear_txn()
+        try:
+            if not participants:
+                self._count("empty_commits")
+                result = {"durable": durable}
+            elif len(participants) == 1:
+                result = await self._single_shard_commit(
+                    session, participants[0], durable, token
+                )
+            else:
+                result = await self._cross_shard_commit(
+                    session, participants, token
+                )
+        except TDBError as exc:
+            if token is not None and not isinstance(exc, CommitInDoubtError):
+                cache.resolve(
+                    token,
+                    {
+                        "status": "failed",
+                        "error": type(exc).__name__,
+                        "message": str(exc),
+                        "transient": protocol.error_payload(None, exc)["transient"],
+                    },
+                )
+            raise
+        except Exception as exc:
+            # Never leave the token pending forever on an unexpected
+            # fault; the commit did not happen (the coordinator aborts
+            # prepared participants before re-raising).
+            if token is not None:
+                cache.resolve(
+                    token,
+                    {
+                        "status": "failed",
+                        "error": "ServerError",
+                        "message": f"internal server fault: {exc}",
+                        "transient": False,
+                    },
+                )
+            raise
+        if token is not None:
+            cache.resolve(
+                token, {"status": "committed", "durable": result["durable"]}
+            )
+        return result
+
+    async def _single_shard_commit(
+        self, session: FrontSession, shard: int, durable: bool,
+        token: Optional[str],
+    ) -> Dict[str, Any]:
+        link = self._links.get(shard)
+        if link is None or not link.alive:
+            # Nothing was sent: the commit definitely did not happen.
+            if token is not None:
+                self.commit_results.cancel(token)
+            raise TransientStoreError(
+                f"shard {shard} worker is unavailable; retry the transaction"
+            )
+        try:
+            result = await link.call(
+                "s.commit", sid=session.id, durable=durable, token=token
+            )
+        except TransientStoreError as exc:
+            # The call was in flight when the worker died: the outcome
+            # is momentarily unknown (its group commit may or may not
+            # have reached the log).  The token rode the write set into
+            # the worker's durable ledger, so the respawned worker's
+            # recovered state answers the truth — ask it.
+            if token is not None:
+                verdict = await self._query_token_on_worker(shard, token)
+                if verdict is True:
+                    self._count("single_shard_commits")
+                    self._count("commit_settlements")
+                    self.commit_results.resolve(
+                        token,
+                        {
+                            "status": "committed",
+                            "durable": True,
+                            "settled": True,
+                        },
+                    )
+                    return {"durable": True, "settled": True}
+                if verdict is False:
+                    self._count("commit_settlements")
+                    retry = TransientStoreError(
+                        f"shard {shard} worker died before the commit "
+                        "became durable; retry the transaction"
+                    )
+                    self.commit_results.resolve(
+                        token,
+                        {
+                            "status": "failed",
+                            "error": "TransientStoreError",
+                            "message": str(retry),
+                            "transient": True,
+                        },
+                    )
+                    raise retry from exc
+            # No token, or the respawned worker stayed unreachable:
+            # report honestly in-doubt.  The cache entry remembers the
+            # owning shard so a later ``commit.result`` can still settle
+            # against the worker's ledger once it is back.
+            doubt = CommitInDoubtError(
+                f"shard {shard} worker died with the commit in flight: {exc}"
+            )
+            if token is not None:
+                self.commit_results.resolve(
+                    token,
+                    {
+                        "status": "failed",
+                        "error": "CommitInDoubtError",
+                        "message": str(doubt),
+                        "transient": False,
+                        "shard": shard,
+                    },
+                )
+            raise doubt from exc
+        self._count("single_shard_commits")
+        return {"durable": result.get("durable", durable)}
+
+    async def _query_token_on_worker(
+        self, shard: int, token: str, deadline_s: float = 15.0
+    ) -> Optional[bool]:
+        """Ask ``shard``'s (respawned) worker whether ``token`` is in its
+        durable commit ledger.  ``None`` if the worker stayed down."""
+        deadline = time.monotonic() + deadline_s
+        while time.monotonic() < deadline:
+            try:
+                link = await self._link_for(shard)
+                state = await link.call("w.token.query", token=token)
+                return bool(state.get("in_ledger"))
+            except TDBError:
+                await asyncio.sleep(0.1)
+        return None
+
+    async def _cross_shard_commit(
+        self, session: FrontSession, participants: List[int],
+        token: Optional[str],
+    ) -> Dict[str, Any]:
+        # 2PC needs a durable transaction id even if the client sent no
+        # token; the generated one never collides with client tokens
+        # (clients cannot query it, but recovery still converges).
+        txn_token = token if token is not None else "auto:" + secrets.token_hex(12)
+        result = await self.coordinator.commit(
+            session.id, txn_token, participants
+        )
+        self._count("cross_shard_commits")
+        return {"durable": True, "shards": result["shards"]}
+
+    def _replay_commit_outcome(self, prior: Dict[str, Any]) -> Dict[str, Any]:
+        status = prior.get("status")
+        if status == "pending":
+            raise TransientStoreError(
+                "a commit with this token is already in flight; "
+                "query commit.result for the outcome"
+            )
+        self._count("commit_replays")
+        if status == "failed":
+            raise protocol.exception_from_payload(
+                {
+                    "error": prior.get("error", "ServerError"),
+                    "message": prior.get("message", "commit failed"),
+                    "transient": bool(prior.get("transient")),
+                }
+            )
+        return {"durable": prior.get("durable", True), "replayed": True}
+
+    async def _op_commit_result(self, request) -> Dict[str, Any]:
+        token = request.get("token")
+        if not isinstance(token, str):
+            raise ProtocolError("commit token must be a string")
+        payload = self.commit_results.lookup(token)
+        if payload["status"] == "unknown" and self.decision_log.committed(token):
+            # The front door restarted after logging the decision: the
+            # log is the durable source of truth for cross-shard commits.
+            payload = {"token": token, "status": "committed", "durable": True}
+        elif (
+            payload.get("error") == "CommitInDoubtError"
+            and isinstance(payload.get("shard"), int)
+        ):
+            # The owning worker was unreachable when the commit went
+            # in-doubt; its durable ledger may be answerable by now.
+            verdict = await self._query_token_on_worker(
+                payload["shard"], token, deadline_s=3.0
+            )
+            if verdict is True:
+                self._count("commit_settlements")
+                self.commit_results.resolve(
+                    token,
+                    {"status": "committed", "durable": True, "settled": True},
+                )
+                payload = self.commit_results.lookup(token)
+            elif verdict is False:
+                self._count("commit_settlements")
+                self.commit_results.resolve(
+                    token,
+                    {
+                        "status": "failed",
+                        "error": "TransientStoreError",
+                        "message": (
+                            f"shard {payload['shard']} worker died before "
+                            "the commit became durable; retry the transaction"
+                        ),
+                        "transient": True,
+                    },
+                )
+                payload = self.commit_results.lookup(token)
+        payload["epoch"] = self.epoch
+        return payload
+
+    # -- session parking / resume ---------------------------------------
+
+    def _try_park(self, session: FrontSession) -> bool:
+        grace = self.backpressure.effective_resume_grace
+        if grace <= 0 or self._stopping:
+            return False
+        if session.mode is None and session.last_response is None:
+            return False
+        if len(self._parked) >= self.backpressure.max_sessions:
+            return False
+        session.deadline = time.monotonic() + grace
+        self._parked[session.resume_token] = session
+        self._sessions.pop(session.id, None)
+        self._count("sessions_parked")
+        return True
+
+    def _op_session_resume(self, session: FrontSession, request):
+        token = request.get("session")
+        if not isinstance(token, str):
+            raise ProtocolError("session token must be a string")
+        if session.mode is not None or session.begun:
+            raise SessionStateError(
+                "cannot resume into a session with an open transaction"
+            )
+        parked = self._parked.pop(token, None)
+        if parked is None:
+            self._count("resume_failures")
+            raise SessionStateError(
+                "unknown, expired, or already-resumed session token"
+            )
+        self._count("sessions_resumed")
+        # The parked object *is* the session (worker transactions are
+        # keyed by its id); the fresh connection adopts it wholesale.
+        self._sessions.pop(session.id, None)
+        self._sessions[parked.id] = parked
+        result = {
+            "resumed": True,
+            "txn_open": parked.mode is not None,
+            "mode": parked.mode,
+            "epoch": self.epoch,
+        }
+        return result, parked
+
+    async def _reaper_loop(self) -> None:
+        grace = self.backpressure.effective_resume_grace
+        interval = max(0.02, min(grace / 4.0, 0.25))
+        while not self._stopping:
+            await asyncio.sleep(interval)
+            now = time.monotonic()
+            expired = [
+                token for token, entry in self._parked.items()
+                if entry.deadline <= now
+            ]
+            for token in expired:
+                entry = self._parked.pop(token, None)
+                if entry is None:
+                    continue
+                self._count("grace_expired")
+                await self._abort_worker_txns(entry)
+
+    # -- data verbs ------------------------------------------------------
+
+    async def _data_verb(self, session: FrontSession, request) -> Dict[str, Any]:
+        op = request["op"]
+        needed = _VERB_MODE[op.split(".", 1)[0]]
+        if session.mode is None:
+            raise SessionStateError(
+                f"no open transaction; send begin(mode={needed!r}) first"
+            )
+        if session.mode != needed:
+            raise SessionStateError(
+                f"verb needs a {needed} transaction, session has {session.mode}"
+            )
+        if session.poisoned:
+            raise TransientStoreError(
+                "a shard worker restarted under this transaction; "
+                "abort and retry"
+            )
+        shard, wreq = self.router.route(
+            request, session.next_insert_shard(self.layout.shards)
+        )
+        link = await self._link_for(shard)
+        if shard not in session.begun:
+            await link.call("s.begin", sid=session.id, mode=session.mode)
+            session.begun.add(shard)
+        wreq.pop("id", None)
+        result = await link.call("s.exec", sid=session.id, req=wreq)
+        return self.router.translate_response(op, request, shard, result)
+
+    # -- admin -----------------------------------------------------------
+
+    def hello_payload(self) -> Dict[str, Any]:
+        return {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "server": "tdb",
+            "mode": "primary",
+            "sharded": True,
+            "shards": self.layout.shards,
+            "epoch": self.epoch,
+            "features": [
+                "resume", "commit-tokens", "sharding", "cross-shard-commit",
+            ],
+        }
+
+    async def stats_payload(self) -> Dict[str, Any]:
+        per_shard: Dict[str, Any] = {}
+        for shard in range(self.layout.shards):
+            link = self._links.get(shard)
+            if link is None or not link.alive:
+                per_shard[str(shard)] = None
+                continue
+            try:
+                per_shard[str(shard)] = await link.call("w.stats")
+            except TDBError:
+                per_shard[str(shard)] = None
+        resilience = dict(self._counters)
+        resilience["parked_sessions"] = len(self._parked)
+        resilience["resume_grace"] = self.backpressure.effective_resume_grace
+        resilience["epoch"] = self.epoch
+        resilience["commit_tokens"] = self.commit_results.stats_snapshot()
+        return {
+            "sharded": True,
+            "shards": self.layout.shards,
+            "per_shard": per_shard,
+            "sessions": self.admission.as_dict(),
+            "resilience": resilience,
+            "read_only": False,
+        }
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    async def _shutdown(self) -> None:
+        if self._client_server is not None:
+            self._client_server.close()
+        if self._worker_server is not None:
+            self._worker_server.close()
+        if self._reaper_task is not None:
+            self._reaper_task.cancel()
+        for session in list(self._parked.values()):
+            await self._abort_worker_txns(session)
+        self._parked.clear()
+        for link in list(self._links.values()):
+            link.superseded = True
+            try:
+                await asyncio.wait_for(link.call("w.shutdown"), timeout=2.0)
+            except (TDBError, asyncio.TimeoutError):
+                pass
+            if link.pump_task is not None:
+                link.pump_task.cancel()
+            try:
+                link.writer.close()
+            except Exception:
+                pass
+        for link in list(self._links.values()):
+            try:
+                link.proc.wait(timeout=3.0)
+            except subprocess.TimeoutExpired:
+                link.proc.kill()
+        self._links.clear()

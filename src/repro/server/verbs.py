@@ -1,0 +1,332 @@
+"""The remote data model and the data-verb executor.
+
+Both server frontends — the threaded :mod:`repro.server.server` and the
+sharded :mod:`repro.server.sharded` worker processes — speak the same
+JSON data model: values live in :class:`RemoteRecord` persistent
+objects, collections are indexed by record fields, and the ``obj.*`` /
+``name.*`` / ``col.*`` verbs map onto ``Database.transaction()`` /
+``ctransaction()``.  This module holds that shared core so a shard
+worker executes *exactly* the code path the threaded server does; the
+frontends differ only in transaction lifecycle and routing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.collectionstore import Indexer
+from repro.errors import ProtocolError, SchemaError, SessionStateError
+from repro.objectstore import BufferReader, BufferWriter, Persistent
+
+__all__ = [
+    "RemoteRecord",
+    "VerbExecutor",
+    "field_indexer",
+    "DATA_VERBS",
+    "MUTATING_DATA_VERBS",
+]
+
+
+class RemoteRecord(Persistent):
+    """A JSON value as a persistent object (the service's data model)."""
+
+    class_id = "server.record"
+
+    def __init__(self, value: Any = None) -> None:
+        self.value = value
+
+    def pickle(self) -> bytes:
+        body = json.dumps(self.value, separators=(",", ":")).encode("utf-8")
+        return BufferWriter().write_bytes(body).getvalue()
+
+    @classmethod
+    def unpickle(cls, data: bytes) -> "RemoteRecord":
+        reader = BufferReader(data)
+        value = json.loads(reader.read_bytes().decode("utf-8"))
+        reader.expect_end()
+        return cls(value)
+
+    def cache_charge(self) -> int:
+        return 96 + 8 * len(json.dumps(self.value, separators=(",", ":")))
+
+
+class _FieldKey:
+    """Pure extractor pulling one field out of a RemoteRecord value."""
+
+    __slots__ = ("field",)
+
+    def __init__(self, field: str) -> None:
+        self.field = field
+
+    def __call__(self, record: RemoteRecord) -> Any:
+        value = record.value
+        if not isinstance(value, dict) or self.field not in value:
+            raise SchemaError(
+                f"record value must be an object with field {self.field!r}"
+            )
+        return value[self.field]
+
+
+def _index_name(collection: str, field: str) -> str:
+    return f"field:{collection}:{field}"
+
+
+def field_indexer(
+    collection: str, field: str, kind: str = "btree", unique: bool = False
+) -> Indexer:
+    """Indexer over ``RemoteRecord`` keyed by one field of the value."""
+    if ":" in field:
+        raise SchemaError("field names must not contain ':'")
+    return Indexer(
+        name=_index_name(collection, field),
+        schema_class=RemoteRecord,
+        extractor=_FieldKey(field),
+        unique=unique,
+        kind=kind,
+    )
+
+
+#: Every data verb the executor handles.  Frontends use this set to
+#: route: anything here needs an open transaction (and, in the sharded
+#: server, a shard decision).
+DATA_VERBS = frozenset(
+    {
+        "obj.put",
+        "obj.get",
+        "obj.remove",
+        "name.bind",
+        "name.lookup",
+        "col.create",
+        "col.insert",
+        "col.get",
+        "col.remove",
+        "col.iterate",
+    }
+)
+
+#: Data verbs refused on a read-only replica.
+MUTATING_DATA_VERBS = frozenset(
+    {
+        "obj.put",
+        "obj.remove",
+        "name.bind",
+        "col.create",
+        "col.insert",
+        "col.remove",
+    }
+)
+
+
+def param(request: Dict[str, Any], name: str, required: bool = True, default=None):
+    """Pull one named parameter out of a request frame."""
+    if name not in request:
+        if required:
+            raise ProtocolError(f"missing parameter {name!r}")
+        return default
+    return request[name]
+
+
+class VerbExecutor:
+    """Executes data verbs against an open transaction.
+
+    Stateless apart from the result cap: the database and transaction
+    are passed per call, so one executor serves every session of a
+    frontend (and survives a replica applier swapping the database).
+    """
+
+    def __init__(self, max_results: int = 1000) -> None:
+        self.max_results = max_results
+
+    def execute(
+        self, db, request: Dict[str, Any], txn, mode: Optional[str]
+    ) -> Dict[str, Any]:
+        op = request.get("op")
+        handler = self._HANDLERS.get(op)
+        if handler is None:
+            raise ProtocolError(f"unknown data verb {op!r}")
+        return handler(self, db, request, txn, mode)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _require_txn(txn, mode: Optional[str], needed: str):
+        if txn is None:
+            raise SessionStateError(
+                f"no open transaction; send begin(mode={needed!r}) first"
+            )
+        if mode != needed:
+            raise SessionStateError(
+                f"verb needs a {needed} transaction, session has {mode}"
+            )
+        return txn
+
+    def _collection_handle(self, db, txn, mode, name: str, writable: bool):
+        ct = self._require_txn(txn, mode, "collection")
+        handle = (
+            ct.write_collection(name) if writable else ct.read_collection(name)
+        )
+        # Re-register field indexers for descriptors created in earlier
+        # server lifetimes: the descriptor name encodes the field, so
+        # the extractor can always be reconstructed.
+        store = db.collection_store
+        for descriptor in handle.collection.indexes:
+            parts = descriptor.name.split(":", 2)
+            if len(parts) == 3 and parts[0] == "field":
+                store.register_indexer(
+                    field_indexer(
+                        parts[1], parts[2],
+                        kind=descriptor.kind, unique=descriptor.unique,
+                    )
+                )
+        return handle
+
+    @staticmethod
+    def _indexer_for(db, handle, field: Optional[str]) -> Indexer:
+        store = db.collection_store
+        if field is not None:
+            name = _index_name(handle.name, field)
+            if handle.collection.descriptor(name) is None:
+                raise SchemaError(
+                    f"collection {handle.name!r} has no index on field "
+                    f"{field!r}"
+                )
+            return store.indexer(name)
+        if not handle.collection.indexes:
+            raise SchemaError(f"collection {handle.name!r} has no indexes")
+        return store.indexer(handle.collection.indexes[0].name)
+
+    @staticmethod
+    def _drain(iterator, limit: int) -> List[Any]:
+        values = []
+        try:
+            while not iterator.end() and len(values) < limit:
+                values.append(iterator.read().deref().value)
+                iterator.next()
+        finally:
+            iterator.close()
+        return values
+
+    # ------------------------------------------------------------------
+    # Object verbs
+    # ------------------------------------------------------------------
+
+    def _op_obj_put(self, db, request, txn, mode) -> Dict[str, Any]:
+        txn = self._require_txn(txn, mode, "object")
+        value = param(request, "value")
+        oid = param(request, "oid", required=False)
+        if oid is None:
+            oid = txn.insert(RemoteRecord(value))
+        else:
+            ref = txn.open_writable(int(oid), RemoteRecord)
+            ref.deref().value = value
+        return {"oid": oid}
+
+    def _op_obj_get(self, db, request, txn, mode) -> Dict[str, Any]:
+        txn = self._require_txn(txn, mode, "object")
+        oid = int(param(request, "oid"))
+        ref = txn.open_readonly(oid, RemoteRecord)
+        return {"oid": oid, "value": ref.deref().value}
+
+    def _op_obj_remove(self, db, request, txn, mode) -> Dict[str, Any]:
+        txn = self._require_txn(txn, mode, "object")
+        oid = int(param(request, "oid"))
+        txn.remove(oid)
+        return {"oid": oid}
+
+    def _op_name_bind(self, db, request, txn, mode) -> Dict[str, Any]:
+        txn = self._require_txn(txn, mode, "object")
+        name = str(param(request, "name"))
+        oid = int(param(request, "oid"))
+        txn.bind_name(name, oid)
+        return {"name": name, "oid": oid}
+
+    def _op_name_lookup(self, db, request, txn, mode) -> Dict[str, Any]:
+        txn = self._require_txn(txn, mode, "object")
+        name = str(param(request, "name"))
+        return {"name": name, "oid": txn.lookup_name(name)}
+
+    # ------------------------------------------------------------------
+    # Collection verbs
+    # ------------------------------------------------------------------
+
+    def _op_col_create(self, db, request, txn, mode) -> Dict[str, Any]:
+        ct = self._require_txn(txn, mode, "collection")
+        name = str(param(request, "name"))
+        field = str(param(request, "field"))
+        kind = str(param(request, "kind", required=False, default="btree"))
+        unique = bool(param(request, "unique", required=False, default=False))
+        indexer = field_indexer(name, field, kind=kind, unique=unique)
+        ct.create_collection(name, indexer)
+        return {"name": name, "index": indexer.name}
+
+    def _op_col_insert(self, db, request, txn, mode) -> Dict[str, Any]:
+        handle = self._collection_handle(
+            db, txn, mode, str(param(request, "name")), writable=True
+        )
+        value = param(request, "value")
+        oid = handle.insert(RemoteRecord(value))
+        return {"oid": oid, "count": handle.count}
+
+    def _op_col_get(self, db, request, txn, mode) -> Dict[str, Any]:
+        handle = self._collection_handle(
+            db, txn, mode, str(param(request, "name")), writable=False
+        )
+        key = param(request, "key")
+        field = param(request, "field", required=False)
+        indexer = self._indexer_for(db, handle, field)
+        iterator = handle.query_match(indexer, key)
+        values = self._drain(iterator, self.max_results)
+        return {"values": values}
+
+    def _op_col_remove(self, db, request, txn, mode) -> Dict[str, Any]:
+        handle = self._collection_handle(
+            db, txn, mode, str(param(request, "name")), writable=True
+        )
+        key = param(request, "key")
+        field = param(request, "field", required=False)
+        indexer = self._indexer_for(db, handle, field)
+        iterator = handle.query_match(indexer, key)
+        removed = 0
+        try:
+            while not iterator.end():
+                iterator.delete()
+                removed += 1
+                iterator.next()
+        finally:
+            iterator.close()
+        return {"removed": removed, "count": handle.count}
+
+    def _op_col_iterate(self, db, request, txn, mode) -> Dict[str, Any]:
+        handle = self._collection_handle(
+            db, txn, mode, str(param(request, "name")), writable=False
+        )
+        field = param(request, "field", required=False)
+        lo = param(request, "lo", required=False)
+        hi = param(request, "hi", required=False)
+        limit = int(
+            param(request, "limit", required=False, default=self.max_results)
+        )
+        limit = min(limit, self.max_results)
+        indexer = self._indexer_for(db, handle, field)
+        if lo is not None or hi is not None:
+            iterator = handle.query_range(indexer, lo, hi)
+        else:
+            iterator = handle.query(indexer)
+        values = self._drain(iterator, limit)
+        return {"values": values, "count": handle.count}
+
+    _HANDLERS = {
+        "obj.put": _op_obj_put,
+        "obj.get": _op_obj_get,
+        "obj.remove": _op_obj_remove,
+        "name.bind": _op_name_bind,
+        "name.lookup": _op_name_lookup,
+        "col.create": _op_col_create,
+        "col.insert": _op_col_insert,
+        "col.get": _op_col_get,
+        "col.remove": _op_col_remove,
+        "col.iterate": _op_col_iterate,
+    }

@@ -24,6 +24,9 @@ Subcommands over a file-backed database directory (the layout
   protocol (:mod:`repro.server`) until interrupted; group-commit and
   backpressure tuning via ``--max-batch`` / ``--max-delay`` /
   ``--max-pending`` / ``--no-quorum-seal`` / ``--max-results``.
+  ``--shards N`` serves a *sharded* layout instead: N worker processes
+  behind one asyncio front door (:mod:`repro.server.sharded`), created
+  on first use and reopened with the recorded shard count after that.
 * ``replicate`` — run a read replica of a serving primary: sync once
   (``--once``), keep following, and optionally serve read-only clients
   (``--serve-port``); ``--seed`` bootstraps the image from the backup
@@ -49,6 +52,7 @@ Usage::
     python -m repro.tools repair  /path/to/dbdir
     python -m repro.tools salvage-export /path/to/dbdir /path/to/outdir
     python -m repro.tools serve   /path/to/dbdir [--host H] [--port P]
+    python -m repro.tools serve   /path/to/sharddir --shards 4
     python -m repro.tools replicate /path/to/replicadir --primary H:P \\
         [--once] [--serve-port P] [--poll SECONDS] [--seed NAME ...]
     python -m repro.tools promote /path/to/replicadir
@@ -90,6 +94,7 @@ __all__ = [
     "open_readonly_stack",
     "verify_database",
     "serve_database",
+    "serve_sharded_database",
     "replicate_database",
     "promote_database",
     "stats_database",
@@ -392,6 +397,72 @@ def serve_database(
     finally:
         server.stop()
         db.close()
+    return 0
+
+
+def serve_sharded_database(
+    directory: str,
+    host: str,
+    port: int,
+    shards: int,
+    config: Optional[ChunkStoreConfig] = None,
+    max_sessions: int = 64,
+    idle_timeout: float = 30.0,
+    resume_grace: float = 2.0,
+    max_batch: int = 32,
+    max_delay: float = 0.005,
+    max_pending: int = 256,
+    quorum_seal: bool = True,
+    max_results: int = 1000,
+    ready_callback=None,
+    stop_event=None,
+) -> int:
+    """Serve a sharded layout: N worker processes, one asyncio front door.
+
+    ``directory`` must be either empty (the layout is created with
+    ``shards`` partitions) or an existing shard layout created with the
+    same count — the partition function is a function of N, so the count
+    is pinned in ``sharding.json``.
+    """
+    import threading
+
+    from repro.server.backpressure import BackpressureConfig
+    from repro.server.sharded import ShardedTdbServer
+
+    backpressure = BackpressureConfig(
+        max_sessions=max_sessions,
+        idle_timeout=idle_timeout,
+        resume_grace=resume_grace,
+        max_pending_commits=max_pending,
+    )
+    server = ShardedTdbServer(
+        directory,
+        shards=shards,
+        host=host,
+        port=port,
+        backpressure=backpressure,
+        max_batch=max_batch,
+        max_delay=max_delay,
+        max_results=max_results,
+        quorum_seal=quorum_seal,
+        chunk_config=config,
+    )
+    server.start()
+    bound_host, bound_port = server.address
+    print(
+        f"serving {directory} on {bound_host}:{bound_port} "
+        f"({server.layout.shards} shard workers)"
+    )
+    if ready_callback is not None:
+        ready_callback(bound_host, bound_port)
+    if stop_event is None:
+        stop_event = threading.Event()
+    try:
+        stop_event.wait()
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")
+    finally:
+        server.stop()
     return 0
 
 
@@ -762,6 +833,11 @@ def main(argv=None) -> int:
                              help="acknowledge batches before the seal sync")
             cmd.add_argument("--max-results", type=int, default=1000,
                              help="cap on rows returned per query verb")
+            cmd.add_argument("--shards", type=int, default=None,
+                             help="serve a sharded layout with this many "
+                                  "worker processes (creates the layout on "
+                                  "an empty directory; must match the "
+                                  "recorded count afterwards)")
         if name == "replicate":
             cmd.add_argument("--primary", required=True,
                              help="primary server as host:port")
@@ -807,6 +883,22 @@ def main(argv=None) -> int:
         if args.command == "salvage-export":
             return salvage_export(args.directory, args.out_dir, config)
         if args.command == "serve":
+            if args.shards is not None:
+                return serve_sharded_database(
+                    args.directory,
+                    args.host,
+                    args.port,
+                    args.shards,
+                    config,
+                    max_sessions=args.max_sessions,
+                    idle_timeout=args.idle_timeout,
+                    resume_grace=args.resume_grace,
+                    max_batch=args.max_batch,
+                    max_delay=args.max_delay,
+                    max_pending=args.max_pending,
+                    quorum_seal=args.quorum_seal,
+                    max_results=args.max_results,
+                )
             return serve_database(
                 args.directory,
                 args.host,

@@ -1,0 +1,203 @@
+"""Chaos sweep against the *sharded* server: exactly-once over a lossy
+wire and a multi-process commit protocol at the same time.
+
+The :class:`~repro.testing.netfaults.ChaosProxy` sits between the
+client and the asyncio front door, injecting one scheduled fault per
+case on exact protocol frames.  The invariant is the same as the
+threaded sweep (``tests/test_chaos_proxy.py``): committed state or a
+clean abort, never a double commit, never a hang — but here the commit
+behind the faulted frame may be a cross-shard two-phase commit, so the
+sweep also exercises the decision log and per-shard redo records under
+client-connection loss.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+
+import pytest
+
+from repro.errors import TDBError
+from repro.server import BackpressureConfig, ShardedTdbServer, TdbClient
+from repro.testing import ChaosProxy, NetFaultSchedule
+
+# The scripted cross-shard transaction is always: begin (frame 1), two
+# obj.put frames (2, 3 — round-robin places them on both shards), two
+# name.bind frames (4, 5), and commit (frame 6) — on the first proxied
+# connection.
+VERB_FRAMES = {
+    "begin": 1,
+    "obj.put": 2,
+    "obj.put2": 3,
+    "name.bind": 4,
+    "name.bind2": 5,
+    "commit": 6,
+}
+
+FAULTS = ["drop_before", "drop_after", "truncate", "delay", "duplicate"]
+
+
+def schedule_fault(schedule, fault: str, connection: int, frame: int):
+    if fault == "drop_before":
+        return schedule.drop_before(connection, frame)
+    if fault == "drop_after":
+        return schedule.drop_after(connection, frame)
+    if fault == "truncate":
+        return schedule.truncate(connection, frame, keep=6)
+    if fault == "delay":
+        return schedule.delay(connection, frame, 0.2)
+    if fault == "duplicate":
+        return schedule.duplicate(connection, frame)
+    raise AssertionError(f"unknown fault {fault!r}")
+
+
+@contextlib.contextmanager
+def sharded_chaos_rig(tmp_path, schedule=None, *, resume_grace: float = 1.5):
+    """A two-shard server with a fault-injecting proxy in front of it."""
+    server = ShardedTdbServer(
+        str(tmp_path / "db"),
+        shards=2,
+        backpressure=BackpressureConfig(
+            idle_timeout=30.0, request_timeout=10.0, resume_grace=resume_grace
+        ),
+    ).start()
+    proxy = ChaosProxy(*server.address, schedule=schedule).start()
+    try:
+        yield server, proxy
+    finally:
+        proxy.stop()
+        server.stop()
+
+
+def proxied_client(proxy, **kwargs) -> TdbClient:
+    kwargs.setdefault("timeout", 5.0)
+    kwargs.setdefault("retry_delay", 0.02)
+    kwargs.setdefault("resolve_timeout", 4.0)
+    return TdbClient(*proxy.address, **kwargs)
+
+
+def count_markers(server, marker: str) -> int:
+    """Marker multiplicity over a clean connection — the double-commit
+    detector.  Retries during the parked-session grace window."""
+    deadline = time.monotonic() + 8.0
+    while True:
+        try:
+            with TdbClient(*server.address) as direct:
+                with direct.transaction() as txn:
+                    count = 0
+                    for name in (f"{marker}:0", f"{marker}:1"):
+                        oid = txn.lookup(name)
+                        if oid is not None and txn.get(oid)["marker"] == marker:
+                            count += 1
+                    return count
+        except TDBError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.1)
+
+
+def cross_shard_work(marker):
+    """A transaction that writes one object per shard and names both."""
+
+    def work(txn):
+        oids = [txn.put({"marker": marker, "n": i}) for i in range(2)]
+        assert {oid % 2 for oid in oids} == {0, 1}, "not cross-shard"
+        for i, oid in enumerate(oids):
+            txn.bind(f"{marker}:{i}", oid)
+        return oids
+
+    return work
+
+
+class TestShardedVerbFaultSweep:
+    """Every frame of the scripted cross-shard transaction under every
+    fault: the retried client must converge to exactly one commit."""
+
+    @pytest.mark.parametrize("verb", sorted(VERB_FRAMES))
+    @pytest.mark.parametrize("fault", FAULTS)
+    def test_exactly_once_under_fault(self, tmp_path, verb, fault):
+        marker = f"sweep-{verb}-{fault}"
+        schedule = schedule_fault(
+            NetFaultSchedule(), fault, 1, VERB_FRAMES[verb]
+        )
+        with sharded_chaos_rig(tmp_path, schedule) as (server, proxy):
+            started = time.monotonic()
+            try:
+                with proxied_client(proxy) as client:
+                    client.run_transaction(
+                        cross_shard_work(marker), attempts=6
+                    )
+                outcome = "committed"
+            except TDBError as exc:
+                outcome = exc
+            elapsed = time.monotonic() - started
+            assert schedule.fired(), "the scheduled fault never fired"
+            assert elapsed < 25.0, f"{verb}×{fault} took {elapsed:.1f}s (hang?)"
+            count = count_markers(server, marker)
+            assert count in (0, 2), (
+                f"{verb}×{fault}: partial commit — {count}/2 markers present"
+            )
+            # With resume + commit tokens every single-fault case must
+            # actually converge to one full commit; the name.bind pair
+            # is all-or-nothing across both shards.
+            assert outcome == "committed", f"{verb}×{fault}: {outcome!r}"
+            assert count == 2, (
+                f"{verb}×{fault}: reported committed but markers are gone"
+            )
+
+
+class TestClientDropInsideTwoPhaseCommit:
+    """The issue's named case: the *client* connection drops while the
+    cross-shard commit is between prepare and decision server-side.
+
+    The front door keeps driving the 2PC round to completion (the
+    client's death must not leave shards prepared-forever), and the
+    reconnecting client learns the outcome through its commit token."""
+
+    def test_drop_between_prepare_and_decision_converges(self, tmp_path):
+        marker = "prep-decision-drop"
+        schedule = NetFaultSchedule().drop_after(1, VERB_FRAMES["commit"] - 1)
+        with sharded_chaos_rig(tmp_path) as (server, proxy):
+            dropped = {"done": False}
+            proxy_conns = []
+
+            def stage_hook(stage, token, shard):
+                # Between the last prepare and the decision record: cut
+                # every proxied client connection.
+                if stage == "before_decision" and not dropped["done"]:
+                    dropped["done"] = True
+                    for conn in list(proxy_conns):
+                        try:
+                            conn.shutdown(2)
+                        except OSError:
+                            pass
+
+            server.on_stage = stage_hook
+            with proxied_client(proxy, resume_sessions=False) as client:
+                # Track the client's raw socket so the hook can cut it.
+                client.connect()
+                proxy_conns.append(client._sock)
+                client.run_transaction(cross_shard_work(marker), attempts=6)
+            assert dropped["done"], "the 2PC round never reached a decision"
+            server.on_stage = None
+            assert count_markers(server, marker) == 2
+            # The commit decision reached the log (a fully acknowledged
+            # decision moves from the live map to the done window).
+            log = server.decision_log
+            decided = set(getattr(log, "_decisions", {}))
+            decided |= set(getattr(log, "_done", set()))
+            assert len(decided) >= 1
+
+    def test_severed_commit_ack_resolves_exactly_once(self, tmp_path):
+        """Connection dies after the cross-shard commit frame is sent:
+        the token must settle to committed, effects visible once."""
+        marker = "severed-xshard"
+        schedule = NetFaultSchedule().drop_after(1, VERB_FRAMES["commit"])
+        with sharded_chaos_rig(tmp_path, schedule) as (server, proxy):
+            with proxied_client(proxy, resume_sessions=False) as client:
+                with client.transaction() as txn:
+                    cross_shard_work(marker)(txn)
+                assert client.counters["indoubt_queries"] >= 1
+                assert client.counters["indoubt_committed"] == 1
+            assert count_markers(server, marker) == 2
