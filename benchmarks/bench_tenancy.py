@@ -1,0 +1,228 @@
+"""Multi-tenant hub behavior under churn and skew.
+
+Two workloads against a threaded hub (``TdbServer`` + ``TenancyHub``),
+writing ``BENCH_tenancy.json`` next to the repository root as a
+non-gating CI artifact:
+
+* **tenant churn** — many more tenants than the registry's ``max_open``
+  budget, visited round-robin (authenticate, one committed transaction,
+  disconnect).  Every visit beyond the resident set forces an LRU
+  eviction and a cold re-open, so the artifact tracks visits/s together
+  with the registry's ``opened_total`` / ``evicted_total`` — the price
+  of a cold tenant in the steady state.
+
+* **hot-tenant skew** — a handful of resident tenants, one of them
+  taking ~90% of the traffic from concurrent long-lived sessions.  The
+  artifact records per-tenant committed-transaction throughput and the
+  hot/cold latency split; the judged invariant is that the cold tenants
+  keep making progress while the hot tenant soaks the hub (per-tenant
+  quota state must not become a global convoy).
+
+Run directly (``python benchmarks/bench_tenancy.py``) or via pytest
+(``pytest benchmarks/bench_tenancy.py -q``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+
+from repro.server import TdbClient, TdbServer
+from repro.tenancy import TenancyHub
+
+OUTPUT = os.path.join(
+    os.path.dirname(os.path.dirname(__file__)), "BENCH_tenancy.json"
+)
+
+CHURN_TENANTS = 12
+CHURN_MAX_OPEN = 4
+SKEW_TENANTS = 4
+SKEW_HOT_SHARE = 0.9
+SKEW_WORKERS = 8
+
+
+def _percentile(samples, fraction):
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(len(ordered) * fraction))
+    return round(ordered[index] * 1000.0, 3)  # ms
+
+
+def run_tenant_churn(duration_s: float = 2.0):
+    """Round-robin visits across far more tenants than stay resident."""
+    with tempfile.TemporaryDirectory(prefix="tdb-churn-") as root:
+        hub = TenancyHub(root, max_open=CHURN_MAX_OPEN)
+        secrets = {}
+        for i in range(CHURN_TENANTS):
+            name = f"tenant-{i:02d}"
+            secrets[name] = hub.create_tenant(name)["secret"]
+        server = TdbServer(None, tenancy=hub).start()
+        try:
+            host, port = server.address
+            names = sorted(secrets)
+            visits = 0
+            latencies = []
+            started = time.perf_counter()
+            while time.perf_counter() - started < duration_s:
+                name = names[visits % len(names)]
+                t0 = time.perf_counter()
+                client = TdbClient(host, port)
+                try:
+                    client.authenticate(name, "admin", secrets[name])
+                    client.call("begin", mode="object")
+                    client.call("obj.put", value={"visit": visits})
+                    client.call("commit")
+                finally:
+                    client.close()
+                latencies.append(time.perf_counter() - t0)
+                visits += 1
+            elapsed = time.perf_counter() - started
+            stats = hub.stats()
+            return {
+                "tenants": CHURN_TENANTS,
+                "max_open": CHURN_MAX_OPEN,
+                "visits": visits,
+                "visits_per_s": round(visits / elapsed, 1),
+                "opened_total": stats["opened_total"],
+                "evicted_total": stats["evicted_total"],
+                "visit_ms_p50": _percentile(latencies, 0.50),
+                "visit_ms_p95": _percentile(latencies, 0.95),
+            }
+        finally:
+            server.stop()
+            hub.close()
+
+
+def run_hot_tenant_skew(duration_s: float = 2.0):
+    """Concurrent sessions with ~90% of traffic on one hot tenant."""
+    with tempfile.TemporaryDirectory(prefix="tdb-skew-") as root:
+        hub = TenancyHub(root, max_open=SKEW_TENANTS + 1)
+        secrets = {}
+        for i in range(SKEW_TENANTS):
+            name = f"tenant-{i:02d}"
+            secrets[name] = hub.create_tenant(name)["secret"]
+        names = sorted(secrets)
+        hot = names[0]
+        server = TdbServer(None, tenancy=hub).start()
+        try:
+            host, port = server.address
+            hot_workers = max(1, round(SKEW_WORKERS * SKEW_HOT_SHARE))
+            counts = {name: 0 for name in names}
+            latencies = {name: [] for name in names}
+            errors = [0]
+            lock = threading.Lock()
+            stop = threading.Event()
+
+            def worker(index):
+                # Hot workers hammer the one hot tenant; each cold
+                # worker rotates across every cold tenant so all of
+                # them see traffic regardless of the worker split.
+                if index < hot_workers:
+                    rotation = [hot]
+                else:
+                    rotation = names[1:]
+                clients = {}
+                try:
+                    for name in rotation:
+                        clients[name] = TdbClient(host, port)
+                        clients[name].authenticate(
+                            name, "admin", secrets[name]
+                        )
+                    n = 0
+                    while not stop.is_set():
+                        name = rotation[n % len(rotation)]
+                        client = clients[name]
+                        t0 = time.perf_counter()
+                        client.call("begin", mode="object")
+                        client.call("obj.put", value={"n": n, "t": name})
+                        client.call("commit")
+                        dt = time.perf_counter() - t0
+                        n += 1
+                        with lock:
+                            counts[name] += 1
+                            latencies[name].append(dt)
+                except Exception:
+                    with lock:
+                        errors[0] += 1
+                finally:
+                    for client in clients.values():
+                        client.close()
+
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(SKEW_WORKERS)
+            ]
+            started = time.perf_counter()
+            for t in threads:
+                t.start()
+            time.sleep(duration_s)
+            stop.set()
+            for t in threads:
+                t.join(timeout=30)
+            elapsed = time.perf_counter() - started
+            hot_lat = latencies[hot]
+            cold_lat = [
+                sample
+                for name in names[1:]
+                for sample in latencies[name]
+            ]
+            return {
+                "tenants": SKEW_TENANTS,
+                "workers": SKEW_WORKERS,
+                "hot_tenant": hot,
+                "hot_share_target": SKEW_HOT_SHARE,
+                "errors": errors[0],
+                "total_txns": sum(counts.values()),
+                "txns_per_s": round(sum(counts.values()) / elapsed, 1),
+                "per_tenant_txns": counts,
+                "hot_ms_p50": _percentile(hot_lat, 0.50),
+                "hot_ms_p95": _percentile(hot_lat, 0.95),
+                "cold_ms_p50": _percentile(cold_lat, 0.50),
+                "cold_ms_p95": _percentile(cold_lat, 0.95),
+                "cold_txns_min": min(counts[name] for name in names[1:]),
+            }
+        finally:
+            server.stop()
+            hub.close()
+
+
+def run_points(duration_s: float = 2.0):
+    return {
+        "tenant_churn": run_tenant_churn(duration_s),
+        "hot_tenant_skew": run_hot_tenant_skew(duration_s),
+    }
+
+
+def write_report(results, path: str = OUTPUT) -> None:
+    with open(path, "w") as handle:
+        json.dump({"tenancy": results}, handle, indent=2)
+        handle.write("\n")
+
+
+def test_tenancy_bench_smoke():
+    """Smoke gate: churn actually evicts; skew starves nobody."""
+    results = run_points(duration_s=0.8)
+    churn = results["tenant_churn"]
+    assert churn["visits"] >= CHURN_TENANTS, churn
+    # More tenants than the budget, visited round-robin: the registry
+    # must have cycled (every lap past the first forces evictions).
+    assert churn["evicted_total"] > 0, churn
+    assert churn["opened_total"] > CHURN_MAX_OPEN, churn
+    skew = results["hot_tenant_skew"]
+    assert skew["errors"] == 0, skew
+    assert skew["per_tenant_txns"][skew["hot_tenant"]] > 0, skew
+    # Every cold tenant kept committing under the hot tenant's load.
+    assert skew["cold_txns_min"] > 0, skew
+    write_report(results)
+
+
+if __name__ == "__main__":
+    report = run_points()
+    write_report(report)
+    json.dump({"tenancy": report}, sys.stdout, indent=2)
+    print()

@@ -50,6 +50,12 @@ __all__ = [
     "ServerBusyError",
     "SessionStateError",
     "CommitInDoubtError",
+    "FeatureUnavailableError",
+    "TenancyError",
+    "AuthRequiredError",
+    "AuthFailedError",
+    "PermissionDeniedError",
+    "QuotaExceededError",
     "ReplicationError",
     "ReadOnlyReplicaError",
     "ProofError",
@@ -294,6 +300,59 @@ class CommitInDoubtError(ServerError):
     transient: retrying the transaction could double-apply it, so the
     application must reconcile against database state before retrying.
     """
+
+
+class FeatureUnavailableError(ServerError):
+    """The verb exists in the protocol but this frontend cannot serve it.
+
+    Structured refusal for capability gaps — e.g. ``repl.*`` / ``proof.*``
+    / ``log.*`` on a sharded layout, whose stores are per-shard so there
+    is no single replication stream or transparency head to serve.  Not
+    transient: retrying the same verb against the same server cannot
+    succeed; clients should consult the ``hello`` feature list (absent
+    verbs are advertised there) and route to a frontend that has the
+    feature.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Multi-tenant hub (repro.tenancy)
+# ---------------------------------------------------------------------------
+
+class TenancyError(ServerError):
+    """Base class for multi-tenant hub errors (registry, identity, policy)."""
+
+
+class AuthRequiredError(TenancyError):
+    """A verb needing a ``(tenant, principal)`` identity arrived on a
+    session that has not completed the ``auth`` challenge–response."""
+
+
+class AuthFailedError(TenancyError):
+    """The ``auth`` challenge–response failed.
+
+    Deliberately one class and one shape of message for every failure
+    mode — unknown tenant, unknown principal, wrong key, replayed or
+    missing challenge — so the wire leaks nothing about *which* part was
+    wrong (a DRM hub must not be a tenant-name oracle)."""
+
+
+class PermissionDeniedError(TenancyError):
+    """The session's principal holds no grant covering the verb's scope.
+
+    Policy is deny-by-default: absence of a matching ``read`` / ``write``
+    / ``admin`` grant (exact collection scope, the ``objects`` scope, or
+    the ``*`` wildcard) refuses the verb.  Not transient — retrying
+    cannot succeed until an admin grants the right."""
+
+
+class QuotaExceededError(ServerBusyError):
+    """A per-tenant quota refused the operation (sessions, pending
+    commits, stored bytes, or the txn/s token bucket).
+
+    A :class:`ServerBusyError` subclass so it is marshalled transient:
+    well-behaved clients back off and retry, and one tenant saturating
+    its budget degrades only that tenant."""
 
 
 # ---------------------------------------------------------------------------

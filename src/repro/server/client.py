@@ -43,6 +43,8 @@ one open transaction, enforced on both ends.
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import secrets
 import socket
 import time
@@ -50,6 +52,7 @@ import zlib
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import (
+    AuthRequiredError,
     CommitInDoubtError,
     LockTimeoutError,
     ProtocolError,
@@ -131,7 +134,13 @@ class TdbClient:
             "indoubt_committed": 0,
             "indoubt_failed": 0,
             "stale_responses_skipped": 0,
+            "reauths": 0,
         }
+        #: Multi-tenant hub credentials, remembered by authenticate();
+        #: used to transparently re-authenticate after a reconnect whose
+        #: session resume did not carry the identity over.
+        self._credentials: Optional[tuple] = None
+        self._reauthing = False
 
     # ------------------------------------------------------------------
     # Connection management
@@ -188,6 +197,37 @@ class TdbClient:
         self.close()
 
     # ------------------------------------------------------------------
+    # Multi-tenant authentication
+    # ------------------------------------------------------------------
+
+    def authenticate(
+        self, tenant: str, principal: str, secret: str
+    ) -> Dict[str, Any]:
+        """Bind this session to ``(tenant, principal)`` on a hub.
+
+        Runs the two-phase challenge–response: fetch a single-use
+        challenge, answer with ``HMAC-SHA256(secret, challenge)``.
+        ``secret`` is the hex string ``tenant create`` / ``tenant
+        grant`` printed.  Credentials are remembered so a reconnect that
+        could not resume its session re-authenticates transparently.
+        """
+        secret_bytes = bytes.fromhex(secret)
+        self._credentials = (tenant, principal, secret_bytes)
+        return self._authenticate_now()
+
+    def _authenticate_now(self) -> Dict[str, Any]:
+        tenant, principal, secret_bytes = self._credentials
+        challenge = self._call_once(
+            "auth", tenant=tenant, principal=principal
+        )["challenge"]
+        proof = hmac.new(
+            secret_bytes, bytes.fromhex(challenge), hashlib.sha256
+        ).hexdigest()
+        return self._call_once(
+            "auth", tenant=tenant, principal=principal, proof=proof
+        )
+
+    # ------------------------------------------------------------------
     # The RPC core
     # ------------------------------------------------------------------
 
@@ -204,7 +244,26 @@ class TdbClient:
         connection is dropped and an open transaction not covered by a
         resume is gone — retrying is then only safe from a transaction
         boundary, which is what :meth:`run_transaction` implements.
+
+        On a multi-tenant hub, a session that lost its identity (the
+        resume grace window expired) answers with ``AuthRequiredError``;
+        when :meth:`authenticate` stored credentials the client re-runs
+        the challenge-response once and retries the request.
         """
+        try:
+            return self._call_once(op, **params)
+        except AuthRequiredError:
+            if self._credentials is None or self._reauthing or op == "auth":
+                raise
+            self._reauthing = True
+            try:
+                self._authenticate_now()
+            finally:
+                self._reauthing = False
+            self.counters["reauths"] += 1
+            return self._call_once(op, **params)
+
+    def _call_once(self, op: str, **params: Any) -> Dict[str, Any]:
         request = {"id": self._next_id, "op": op}
         request.update(params)
         self._next_id += 1

@@ -18,6 +18,7 @@ Verbs
 verb                parameters                                    txn mode
 ==================  ============================================  ===========
 ``hello``           —                                             admin, any
+``auth``            ``tenant``, ``principal``, ``proof`` (opt.)   none open
 ``begin``           ``mode`` ("object" | "collection")            none open
 ``commit``          ``durable`` (default true), ``token``         any
 ``commit.result``   ``token``                                     admin, any
@@ -34,6 +35,9 @@ verb                parameters                                    txn mode
 ``col.remove``      ``name``, ``key``, ``field`` (optional)       collection
 ``col.iterate``     ``name``, ``field``/``lo``/``hi``/``limit``   collection
 ``stats``           —                                             admin, any
+``tenant.grant``    ``principal``, ``scope``, ``right``           admin, none
+``tenant.revoke``   ``principal``, ``scope``, ``right``           admin, none
+``tenant.meter``    —                                             admin, none
 ``repl.subscribe``  ``last_generation``/``last_seqno`` (optional) admin, none
 ``repl.segments``   ``segment``, ``offset``, ``length``           admin, none
 ``repl.master``     —                                             admin, none
@@ -72,6 +76,14 @@ chunk id against a signed commit head, the newest signed head, and
 hash-chained head-log ranges (consistency proofs).  They are read-only,
 served by primaries and replicas alike, and everything they return is
 authenticated end to end — the server is untrusted.
+
+On a multi-tenant hub (:mod:`repro.tenancy`) the ``auth`` verb binds
+the session to a ``(tenant, principal)`` identity: the first call
+(without ``proof``) returns a single-use ``challenge`` nonce, the
+second carries ``proof`` = HMAC-SHA256(principal secret, challenge
+bytes) as hex.  ``tenant.grant`` / ``tenant.revoke`` mutate DDH-style
+policy records (admin right required) and ``tenant.meter`` reports the
+tenant's quota usage and audit-trail length.
 
 The payload model is JSON values: the server stores them in
 :class:`~repro.server.server.RemoteRecord` persistent objects, so a
@@ -114,6 +126,7 @@ PROTOCOL_VERSION = 2
 
 VERBS = (
     "hello",
+    "auth",
     "begin",
     "commit",
     "commit.result",
@@ -130,6 +143,9 @@ VERBS = (
     "col.remove",
     "col.iterate",
     "stats",
+    "tenant.grant",
+    "tenant.revoke",
+    "tenant.meter",
     "repl.subscribe",
     "repl.segments",
     "repl.master",

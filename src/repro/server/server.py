@@ -48,6 +48,10 @@ import time
 from typing import Any, Dict, List, Optional
 
 from repro.errors import (
+    AuthFailedError,
+    AuthRequiredError,
+    ConfigError,
+    FeatureUnavailableError,
     ProtocolError,
     ReadOnlyReplicaError,
     ReplicationError,
@@ -67,6 +71,7 @@ from repro.server.verbs import (
     VerbExecutor,
     field_indexer,
 )
+from repro.tenancy import value_bytes as _tenant_value_bytes
 
 __all__ = ["RemoteRecord", "TdbServer", "field_indexer"]
 
@@ -74,6 +79,24 @@ __all__ = ["RemoteRecord", "TdbServer", "field_indexer"]
 #: ``commit`` / ``abort`` stay allowed: a read-only transaction's commit
 #: carries no writes, so it never reaches the chunk store's commit path.
 _MUTATING_VERBS = MUTATING_DATA_VERBS
+
+#: Verbs a multi-tenant hub answers before ``auth`` binds an identity.
+#: Everything else on a hub requires an authenticated session.
+_PREAUTH_VERBS = ("hello", "auth", "stats", "commit.result", "session.resume")
+
+#: Verbs that are inherently per-database and therefore absent on a
+#: multi-tenant hub: there is no single replication stream or
+#: transparency head to serve across tenants (per-tenant heads are a
+#: roadmap item).  Advertised as ``absent_verbs`` in ``hello``.
+_PER_STORE_VERBS = (
+    "repl.subscribe",
+    "repl.segments",
+    "repl.master",
+    "proof.read",
+    "proof.absent",
+    "log.head",
+    "log.consistency",
+)
 
 
 class _SessionTimeout(Exception):
@@ -92,6 +115,9 @@ class _ParkedSession:
         "last_response",
         "requests_served",
         "deadline",
+        "identity",
+        "tenant_db",
+        "txn_bytes",
     )
 
     def __init__(
@@ -104,6 +130,9 @@ class _ParkedSession:
         last_response: Optional[Dict[str, Any]],
         requests_served: int,
         deadline: float,
+        identity=None,
+        tenant_db=None,
+        txn_bytes: int = 0,
     ) -> None:
         self.token = token
         self.txn = txn
@@ -113,6 +142,9 @@ class _ParkedSession:
         self.last_response = last_response
         self.requests_served = requests_served
         self.deadline = deadline
+        self.identity = identity
+        self.tenant_db = tenant_db
+        self.txn_bytes = txn_bytes
 
 
 class Session:
@@ -134,6 +166,13 @@ class Session:
         self._gate_held = False
         self.requests_served = 0
         self._stop = False
+        #: Tenancy: the bound (tenant, principal), the tenant's database,
+        #: the pending auth challenge, and the accounting bytes of the
+        #: open transaction's mutating verbs.
+        self.identity = None
+        self.tenant_db = None
+        self._pending_auth: Optional[Dict[str, Any]] = None
+        self.txn_bytes = 0
         #: Token a disconnected client presents to ``session.resume``.
         self.resume_token = secrets.token_hex(16)
         # One-slot response cache: a re-delivered request (chaos
@@ -253,6 +292,28 @@ class Session:
                 f"verb {op!r} refused: this server is a read-only replica; "
                 "write to the primary or promote this node"
             )
+        tenancy = self.server.tenancy
+        if tenancy is not None:
+            if self.identity is None and op not in _PREAUTH_VERBS:
+                raise AuthRequiredError(
+                    "this server is a multi-tenant hub; bind an identity "
+                    "with the auth challenge-response first"
+                )
+            if op in _PER_STORE_VERBS:
+                raise FeatureUnavailableError(
+                    f"verb {op!r} is unavailable on a multi-tenant hub: it "
+                    "is per-database (no single replication stream or "
+                    "transparency head spans tenants; per-tenant heads are "
+                    "a roadmap item)"
+                )
+            if op in DATA_VERBS:
+                tenancy.check(self.identity, op, request)
+                result = self.server.executor.execute(
+                    self.tenant_db, request, self.txn, self.mode
+                )
+                if op in MUTATING_DATA_VERBS:
+                    self.txn_bytes += _tenant_value_bytes(request)
+                return result
         if op in DATA_VERBS:
             return self.server.executor.execute(
                 self.server.db, request, self.txn, self.mode
@@ -291,18 +352,27 @@ class Session:
             raise SessionStateError(
                 "a transaction is already open in this session"
             )
+        if self.server.tenancy is not None:
+            # Tenancy: charge the tenant's txn/s token bucket first; a
+            # refused begin opens nothing.
+            self.server.tenancy.on_begin(self.identity)
         if self.server.txn_gate is not None:
             # Replica mode: the transaction pins the current image so the
             # applier cannot swap it mid-transaction.
             self.server.txn_gate.acquire_shared()
             self._gate_held = True
         try:
-            db = self.server.db
+            db = (
+                self.tenant_db
+                if self.server.tenancy is not None
+                else self.server.db
+            )
             self.txn = db.transaction() if mode == "object" else db.ctransaction()
         except BaseException:
             self._release_gate()
             raise
         self.mode = mode
+        self.txn_bytes = 0
         return {
             "mode": mode,
             "session": self.resume_token,
@@ -324,8 +394,21 @@ class Session:
                 cache.cancel(token)
             raise SessionStateError("no open transaction to commit")
         txn, self.txn, self.mode = self.txn, None, None
+        tenancy = self.server.tenancy
+        txn_bytes, self.txn_bytes = self.txn_bytes, 0
+        quota_held = False
+        committed = False
         try:
+            if tenancy is not None:
+                # Tenancy: the pending-commit and stored-bytes budgets
+                # gate the commit; a QuotaExceededError lands in the
+                # except branch below, which aborts the transaction
+                # (releasing its locks) and resolves the token as a
+                # transient failure.
+                tenancy.on_commit_start(self.identity, txn_bytes)
+                quota_held = True
             txn.commit(durable=durable)
+            committed = True
         except TDBError as exc:
             # The commit failed (queue full, store fault, deferred index
             # violation...).  Release the locks so the failed session
@@ -353,6 +436,8 @@ class Session:
             raise
         finally:
             self._release_gate()
+            if quota_held:
+                tenancy.on_commit_end(self.identity, txn_bytes, committed)
         if token is not None:
             cache.resolve(token, {"status": "committed", "durable": durable})
         return {"durable": durable}
@@ -410,6 +495,15 @@ class Session:
         self.last_request = parked.last_request
         self.last_response = parked.last_response
         self.requests_served = parked.requests_served
+        if self.server.tenancy is not None:
+            # Adopt the parked identity (and its lease) wholesale; the
+            # resume token is the bearer credential.  An identity this
+            # session authenticated before resuming is released first.
+            if self.identity is not None:
+                self.server.tenancy.release(self.identity)
+            self.identity = parked.identity
+            self.tenant_db = parked.tenant_db
+            self.txn_bytes = parked.txn_bytes
         return {
             "resumed": True,
             "txn_open": self.txn is not None,
@@ -421,6 +515,7 @@ class Session:
         if self.txn is None:
             raise SessionStateError("no open transaction to abort")
         txn, self.txn, self.mode = self.txn, None, None
+        self.txn_bytes = 0
         try:
             txn.abort()
         finally:
@@ -429,6 +524,69 @@ class Session:
 
     # -- data verbs (obj.* / name.* / col.*) are routed to the shared
     # -- VerbExecutor by _dispatch; see repro.server.verbs.
+
+    # -- tenancy -----------------------------------------------------------
+
+    def _require_hub(self):
+        hub = self.server.tenancy
+        if hub is None:
+            raise FeatureUnavailableError(
+                "this server is not a multi-tenant hub; it serves one "
+                "anonymous database (start it with a TenancyHub / "
+                "serve --tenants for per-principal auth)"
+            )
+        return hub
+
+    def _op_auth(self, request) -> Dict[str, Any]:
+        hub = self._require_hub()
+        if self.txn is not None:
+            raise SessionStateError(
+                "authenticate before opening a transaction"
+            )
+        tenant = str(self._param(request, "tenant"))
+        principal = str(self._param(request, "principal"))
+        proof = self._param(request, "proof", required=False)
+        if proof is None:
+            self._pending_auth = hub.begin_auth(tenant, principal)
+            return {"challenge": self._pending_auth["challenge"]}
+        # The pending challenge is consumed by the attempt, success or
+        # not: replaying an observed proof finds no challenge and fails.
+        pending, self._pending_auth = self._pending_auth, None
+        if (
+            pending is None
+            or pending["tenant"] != tenant
+            or pending["principal"] != principal
+        ):
+            raise AuthFailedError("authentication failed")
+        identity = hub.finish_auth(pending, proof)
+        if self.identity is not None:
+            hub.release(self.identity)
+        self.identity = identity
+        self.tenant_db = hub.session_db(identity)
+        return {
+            "authenticated": True,
+            "tenant": identity.tenant,
+            "principal": identity.principal,
+        }
+
+    def _op_tenant_grant(self, request) -> Dict[str, Any]:
+        return self._require_hub().grant(
+            self.identity,
+            str(self._param(request, "principal")),
+            str(self._param(request, "scope")),
+            str(self._param(request, "right")),
+        )
+
+    def _op_tenant_revoke(self, request) -> Dict[str, Any]:
+        return self._require_hub().revoke(
+            self.identity,
+            str(self._param(request, "principal")),
+            str(self._param(request, "scope")),
+            str(self._param(request, "right")),
+        )
+
+    def _op_tenant_meter(self, request) -> Dict[str, Any]:
+        return self._require_hub().meter(self.identity.tenant)
 
     # -- replication -------------------------------------------------------
 
@@ -552,8 +710,23 @@ class TdbServer:
         read_only: bool = False,
         txn_gate=None,
         replication_stats=None,
+        tenancy=None,
     ) -> None:
+        if tenancy is not None:
+            if db is not None:
+                raise ConfigError(
+                    "pass either a database or a TenancyHub, not both: a "
+                    "multi-tenant hub serves the registry's databases"
+                )
+            if read_only:
+                raise ConfigError(
+                    "a multi-tenant hub cannot run read-only: audit and "
+                    "metering write through the tenants' own databases"
+                )
+        elif db is None:
+            raise ConfigError("a server needs a database (or a TenancyHub)")
         self.db = db
+        self.tenancy = tenancy
         self.host = host
         self.port = port
         self.backpressure = backpressure or BackpressureConfig()
@@ -563,9 +736,11 @@ class TdbServer:
         self.replication_stats = replication_stats
         self.admission = AdmissionControl(self.backpressure.max_sessions)
         self.executor = VerbExecutor(max_results=max_results)
-        if read_only:
+        if read_only or tenancy is not None:
             # A replica commits nothing, so there is nothing to batch —
             # and its store would refuse the coordinator's commits anyway.
+            # A tenancy hub has no single database to batch or ship:
+            # commits go through each tenant's own stack.
             self.coordinator: Optional[GroupCommitCoordinator] = None
             self.shipper = None
         else:
@@ -732,6 +907,13 @@ class TdbServer:
     def _session_finished(self, session: Session) -> None:
         with self._sessions_lock:
             self._sessions.pop(session.session_id, None)
+        if self.tenancy is not None and session.identity is not None:
+            # A parked session transferred its identity to the parked
+            # entry (session.identity is None then); only a session that
+            # truly ends releases the tenant lease and quota slot.
+            self.tenancy.release(session.identity)
+            session.identity = None
+            session.tenant_db = None
         if self.shipper is not None:
             self.shipper.release(session.session_id)
         self.admission.release()
@@ -748,7 +930,8 @@ class TdbServer:
         key = name[4:] if name.startswith("srv_") else name
         with self._resilience_lock:
             self._resilience[key] = self._resilience.get(key, 0) + amount
-        self.db.perf_stats().incr(name, amount)
+        if self.db is not None:
+            self.db.perf_stats().incr(name, amount)
 
     def _try_park(self, session: Session) -> bool:
         """Preserve a dropped session's state for the grace window.
@@ -773,16 +956,23 @@ class TdbServer:
             last_response=session.last_response,
             requests_served=session.requests_served,
             deadline=time.monotonic() + grace,
+            identity=session.identity,
+            tenant_db=session.tenant_db,
+            txn_bytes=session.txn_bytes,
         )
         with self._parked_lock:
             if self._stopping or len(self._parked) >= self.backpressure.max_sessions:
                 return False
             self._parked[session.resume_token] = entry
         # Ownership moved to the parked entry: the session's normal
-        # cleanup must not abort the transaction or release the gate.
+        # cleanup must not abort the transaction or release the gate —
+        # and in tenancy mode the identity's lease rides along too.
         session.txn = None
         session.mode = None
         session._gate_held = False
+        session.identity = None
+        session.tenant_db = None
+        session.txn_bytes = 0
         self._count("srv_sessions_parked")
         self._reaper_wake.set()
         return True
@@ -804,6 +994,9 @@ class TdbServer:
                 pass
         if entry.gate_held and self.txn_gate is not None:
             self.txn_gate.release_shared()
+        if self.tenancy is not None and entry.identity is not None:
+            self.tenancy.release(entry.identity)
+            entry.identity = None
         if expired:
             self._count("srv_grace_expired")
 
@@ -834,7 +1027,7 @@ class TdbServer:
         Called at construction and again by the replica applier after it
         swaps ``self.db`` for a freshly installed image.
         """
-        if self.db.object_store is not None:
+        if self.db is not None and self.db.object_store is not None:
             self.db.object_store.registry.register(RemoteRecord)
 
     def proof_service(self):
@@ -858,10 +1051,20 @@ class TdbServer:
             return service
 
     def hello_payload(self) -> Dict[str, Any]:
-        """The ``hello`` verb: protocol version + capability negotiation."""
-        features = ["resume", "commit-tokens", "proofs"]
-        if self.shipper is not None:
-            features.append("replication")
+        """The ``hello`` verb: protocol version + capability negotiation.
+
+        ``absent_verbs`` names protocol verbs this frontend cannot serve
+        (they fail with ``FeatureUnavailableError``) so a new client can
+        route around a capability gap before tripping over it.
+        """
+        if self.tenancy is not None:
+            features = ["resume", "commit-tokens", "tenancy"]
+            absent = list(_PER_STORE_VERBS)
+        else:
+            features = ["resume", "commit-tokens", "proofs"]
+            if self.shipper is not None:
+                features.append("replication")
+            absent = []
         return {
             "protocol": protocol.PROTOCOL_VERSION,
             "server": "tdb",
@@ -870,22 +1073,33 @@ class TdbServer:
             "shards": 1,
             "epoch": self.epoch,
             "features": features,
+            "absent_verbs": absent,
         }
 
     def stats_payload(self) -> Dict[str, Any]:
         """The admin ``stats`` verb: one JSON-able view of the stack."""
-        chunk = dataclasses.asdict(self.db.stats())
-        payload = {
-            "chunk_store": chunk,
-            "io": self.db.io_stats().as_dict(),
-            "group_commit": (
-                self.coordinator.stats_snapshot().as_dict()
-                if self.coordinator is not None
-                else None
-            ),
-            "sessions": self.admission.as_dict(),
-            "read_only": self.read_only,
-        }
+        if self.tenancy is not None:
+            payload: Dict[str, Any] = {
+                "chunk_store": None,
+                "io": None,
+                "group_commit": None,
+                "sessions": self.admission.as_dict(),
+                "read_only": self.read_only,
+                "tenancy": self.tenancy.stats(),
+            }
+        else:
+            chunk = dataclasses.asdict(self.db.stats())
+            payload = {
+                "chunk_store": chunk,
+                "io": self.db.io_stats().as_dict(),
+                "group_commit": (
+                    self.coordinator.stats_snapshot().as_dict()
+                    if self.coordinator is not None
+                    else None
+                ),
+                "sessions": self.admission.as_dict(),
+                "read_only": self.read_only,
+            }
         with self._resilience_lock:
             resilience: Dict[str, Any] = dict(self._resilience)
         with self._parked_lock:
@@ -894,6 +1108,10 @@ class TdbServer:
         resilience["epoch"] = self.epoch
         resilience["commit_tokens"] = self.commit_results.stats_snapshot()
         payload["resilience"] = resilience
+        if self.tenancy is not None:
+            payload["replication"] = None
+            payload["head"] = None
+            return payload
         replication: Dict[str, Any] = {"role": "replica" if self.read_only else "primary"}
         if self.shipper is not None:
             replication["shipper"] = self.shipper.stats_snapshot()

@@ -41,7 +41,11 @@ import time
 from typing import Any, Dict, List, Optional, Set
 
 from repro.errors import (
+    AuthFailedError,
+    AuthRequiredError,
     CommitInDoubtError,
+    FeatureUnavailableError,
+    ObjectNotFoundError,
     ProtocolError,
     ServerBusyError,
     ServerError,
@@ -64,7 +68,8 @@ from repro.server.sharding import (
     ShardRouter,
     config_to_dict,
 )
-from repro.server.verbs import DATA_VERBS
+from repro.server.verbs import DATA_VERBS, MUTATING_DATA_VERBS
+from repro.tenancy import value_bytes as _tenant_value_bytes
 
 __all__ = ["ShardedTdbServer"]
 
@@ -74,11 +79,37 @@ _LENGTH = struct.Struct(">I")
 _VERB_MODE = {"obj": "object", "name": "object", "col": "collection"}
 
 #: Verbs the sharded frontend does not serve (replication and proofs
-#: are per-store features; shard them in a later iteration).
+#: are per-store features; shard them in a later iteration).  They are
+#: advertised in ``hello.absent_verbs`` and refused with
+#: :class:`~repro.errors.FeatureUnavailableError`.
 _UNSUPPORTED = (
     "repl.subscribe", "repl.segments", "repl.master",
     "proof.read", "proof.absent", "log.head", "log.consistency",
 )
+
+#: Verbs a hub session may send before binding an identity.
+_PREAUTH_VERBS = ("hello", "auth", "stats", "commit.result", "session.resume")
+
+#: Key under which the owning tenant is recorded inside every object
+#: value a hub session stores on the shared shards.  The front door
+#: wraps on ``obj.put`` and unwraps (with an ownership check) on
+#: ``obj.get``, so raw virtual oids never cross tenants.
+_TENANT_WRAP_KEY = "__tdbt"
+
+
+def _tenant_prefix(tenant: str, name: str) -> str:
+    """Shard-visible name for a tenant's name/collection.
+
+    ``!`` never appears in a valid tenant name and keeps ``:`` free for
+    the executor's ``field:{collection}:{field}`` descriptor syntax.
+    """
+    return f"t!{tenant}!{name}"
+
+
+def _param(request: Dict[str, Any], field: str):
+    if field not in request or request[field] is None:
+        raise ProtocolError(f"missing parameter {field!r}")
+    return request[field]
 
 
 async def _read_wire_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
@@ -198,7 +229,7 @@ class FrontSession:
     __slots__ = (
         "id", "resume_token", "mode", "begun", "insert_counter",
         "poisoned", "last_request", "last_response", "requests_served",
-        "deadline",
+        "deadline", "identity", "pending_auth", "txn_bytes",
     )
 
     def __init__(self, session_id: int, shards: int) -> None:
@@ -212,6 +243,9 @@ class FrontSession:
         self.last_response: Optional[Dict[str, Any]] = None
         self.requests_served = 0
         self.deadline = 0.0  # parked-until, set when parked
+        self.identity = None  # tenancy.Identity once authenticated
+        self.pending_auth: Optional[Dict[str, Any]] = None
+        self.txn_bytes = 0  # accounted value bytes in the open txn
 
     def next_insert_shard(self, shards: int) -> int:
         shard = self.insert_counter % shards
@@ -240,8 +274,16 @@ class ShardedTdbServer:
         quorum_seal: bool = True,
         chunk_config=None,
         worker_spawn_timeout: float = 30.0,
+        tenancy=None,
     ) -> None:
         self.root = os.path.abspath(root)
+        #: Optional :class:`repro.tenancy.TenancyHub`.  When set, every
+        #: session must bind a ``(tenant, principal)`` identity via the
+        #: auth challenge-response before touching data; names and
+        #: collections are namespaced per tenant on the shared shards,
+        #: and quotas/audit run against the hub's control plane.  The
+        #: hub's lifecycle belongs to the caller (close it after stop()).
+        self.tenancy = tenancy
         self._requested_shards = shards
         self.host = host
         self.port = port
@@ -628,11 +670,18 @@ class ShardedTdbServer:
             if not parked:
                 await self._abort_worker_txns(session)
                 self._sessions.pop(session.id, None)
+                self._release_identity(session)
             try:
                 writer.close()
             except Exception:
                 pass
             self.admission.release()
+
+    def _release_identity(self, session: FrontSession) -> None:
+        """Drop a session's hub identity (memory-only; safe on the loop)."""
+        if self.tenancy is not None and session.identity is not None:
+            self.tenancy.release(session.identity)
+            session.identity = None
 
     async def _read_request(self, reader, config) -> Optional[Dict[str, Any]]:
         try:
@@ -693,12 +742,23 @@ class ShardedTdbServer:
         op = request.get("op")
         if not isinstance(op, str):
             raise ProtocolError("request needs a string 'op' field")
+        if (
+            self.tenancy is not None
+            and session.identity is None
+            and op not in _PREAUTH_VERBS
+        ):
+            raise AuthRequiredError(
+                "this server is a multi-tenant hub; bind an identity "
+                "with the auth challenge-response first"
+            )
         if op in DATA_VERBS:
             return await self._data_verb(session, request), session
         if op == "hello":
             return self.hello_payload(), session
+        if op == "auth":
+            return await self._op_auth(session, request), session
         if op == "begin":
-            return self._op_begin(session, request), session
+            return await self._op_begin(session, request), session
         if op == "commit":
             return await self._op_commit(session, request), session
         if op == "abort":
@@ -709,18 +769,90 @@ class ShardedTdbServer:
             return self._op_session_resume(session, request)
         if op == "stats":
             return await self.stats_payload(), session
+        if op == "tenant.grant":
+            return await self._op_tenant_grant(session, request), session
+        if op == "tenant.revoke":
+            return await self._op_tenant_revoke(session, request), session
+        if op == "tenant.meter":
+            return await self._op_tenant_meter(session), session
         if op in _UNSUPPORTED:
-            raise ServerError(
-                f"verb {op!r} is not available on a sharded server; "
-                "run the threaded server for replication/proof serving"
+            raise FeatureUnavailableError(
+                f"verb {op!r} is unavailable on a sharded layout: "
+                "replication streams and transparency heads are per-store "
+                "features and a sharded root has no single store to serve "
+                "them from (hello lists them under absent_verbs)"
             )
         if op in protocol.VERBS:
             raise ServerError(f"verb {op!r} not implemented by this frontend")
         raise ProtocolError(f"unknown verb {op!r}")
 
+    # -- tenancy ---------------------------------------------------------
+
+    def _require_hub(self):
+        if self.tenancy is None:
+            raise FeatureUnavailableError(
+                "this server is not a multi-tenant hub (start it with "
+                "serve --tenants for per-principal auth)"
+            )
+        return self.tenancy
+
+    async def _op_auth(self, session: FrontSession, request) -> Dict[str, Any]:
+        hub = self._require_hub()
+        if session.mode is not None:
+            raise SessionStateError("authenticate before opening a transaction")
+        tenant = str(_param(request, "tenant"))
+        principal = str(_param(request, "principal"))
+        proof = request.get("proof")
+        if proof is None:
+            session.pending_auth = await asyncio.to_thread(
+                hub.begin_auth, tenant, principal
+            )
+            return {"challenge": session.pending_auth["challenge"]}
+        # The pending challenge is consumed by the attempt, success or
+        # not: replaying an observed proof finds no challenge and fails.
+        pending, session.pending_auth = session.pending_auth, None
+        if (
+            pending is None
+            or pending["tenant"] != tenant
+            or pending["principal"] != principal
+        ):
+            raise AuthFailedError("authentication failed")
+        identity = await asyncio.to_thread(hub.finish_auth, pending, proof)
+        self._release_identity(session)
+        session.identity = identity
+        return {
+            "authenticated": True,
+            "tenant": identity.tenant,
+            "principal": identity.principal,
+        }
+
+    async def _op_tenant_grant(self, session: FrontSession, request):
+        hub = self._require_hub()
+        return await asyncio.to_thread(
+            hub.grant,
+            session.identity,
+            str(_param(request, "principal")),
+            str(_param(request, "scope")),
+            str(_param(request, "right")),
+        )
+
+    async def _op_tenant_revoke(self, session: FrontSession, request):
+        hub = self._require_hub()
+        return await asyncio.to_thread(
+            hub.revoke,
+            session.identity,
+            str(_param(request, "principal")),
+            str(_param(request, "scope")),
+            str(_param(request, "right")),
+        )
+
+    async def _op_tenant_meter(self, session: FrontSession):
+        hub = self._require_hub()
+        return await asyncio.to_thread(hub.meter, session.identity.tenant)
+
     # -- transaction lifecycle ------------------------------------------
 
-    def _op_begin(self, session: FrontSession, request) -> Dict[str, Any]:
+    async def _op_begin(self, session: FrontSession, request) -> Dict[str, Any]:
         mode = request.get("mode", "object")
         if mode not in ("object", "collection"):
             raise ProtocolError(f"unknown transaction mode {mode!r}")
@@ -728,9 +860,13 @@ class ShardedTdbServer:
             raise SessionStateError(
                 "a transaction is already open in this session"
             )
+        if self.tenancy is not None:
+            # Per-tenant txn/s token bucket; refusal is transient.
+            await asyncio.to_thread(self.tenancy.on_begin, session.identity)
         session.mode = mode
         session.begun = set()
         session.poisoned = False
+        session.txn_bytes = 0
         return {
             "mode": mode,
             "session": session.resume_token,
@@ -747,6 +883,7 @@ class ShardedTdbServer:
     async def _abort_worker_txns(self, session: FrontSession) -> None:
         begun, session.begun = session.begun, set()
         session.mode = None
+        session.txn_bytes = 0
         for shard in sorted(begun):
             link = self._links.get(shard)
             if link is None or not link.alive:
@@ -777,8 +914,37 @@ class ShardedTdbServer:
             raise TransientStoreError(
                 "a shard worker restarted under this transaction; retry"
             )
+        txn_bytes, session.txn_bytes = session.txn_bytes, 0
+        quota_held = False
+        identity = session.identity
+        if self.tenancy is not None and identity is not None:
+            # Reserve the tenant's pending-commit slot and stored-bytes
+            # budget before anything reaches the workers; a refusal
+            # aborts the worker transactions so no shard keeps locks.
+            try:
+                await asyncio.to_thread(
+                    self.tenancy.on_commit_start, identity, txn_bytes
+                )
+                quota_held = True
+            except TDBError as exc:
+                await self._abort_worker_txns(session)
+                session.clear_txn()
+                if token is not None:
+                    cache.resolve(
+                        token,
+                        {
+                            "status": "failed",
+                            "error": type(exc).__name__,
+                            "message": str(exc),
+                            "transient": protocol.error_payload(
+                                None, exc
+                            )["transient"],
+                        },
+                    )
+                raise
         participants = sorted(session.begun)
         session.clear_txn()
+        committed = False
         try:
             if not participants:
                 self._count("empty_commits")
@@ -791,6 +957,7 @@ class ShardedTdbServer:
                 result = await self._cross_shard_commit(
                     session, participants, token
                 )
+            committed = True
         except TDBError as exc:
             if token is not None and not isinstance(exc, CommitInDoubtError):
                 cache.resolve(
@@ -818,6 +985,15 @@ class ShardedTdbServer:
                     },
                 )
             raise
+        finally:
+            if quota_held:
+                # Releases the pending-commit slot; on success it also
+                # settles the stored-bytes meter and the audit trail.
+                # (An in-doubt outcome releases without recording —
+                # metering is accounting, not a ledger.)
+                await asyncio.to_thread(
+                    self.tenancy.on_commit_end, identity, txn_bytes, committed
+                )
         if token is not None:
             cache.resolve(
                 token, {"status": "committed", "durable": result["durable"]}
@@ -1020,7 +1196,10 @@ class ShardedTdbServer:
             )
         self._count("sessions_resumed")
         # The parked object *is* the session (worker transactions are
-        # keyed by its id); the fresh connection adopts it wholesale.
+        # keyed by its id); the fresh connection adopts it wholesale —
+        # identity and quota lease ride along, and any identity the
+        # fresh connection bound itself is dropped.
+        self._release_identity(session)
         self._sessions.pop(session.id, None)
         self._sessions[parked.id] = parked
         result = {
@@ -1047,6 +1226,7 @@ class ShardedTdbServer:
                     continue
                 self._count("grace_expired")
                 await self._abort_worker_txns(entry)
+                self._release_identity(entry)
 
     # -- data verbs ------------------------------------------------------
 
@@ -1066,6 +1246,12 @@ class ShardedTdbServer:
                 "a shard worker restarted under this transaction; "
                 "abort and retry"
             )
+        if self.tenancy is not None:
+            return await self._tenant_data_verb(session, request)
+        return await self._route_exec(session, request)
+
+    async def _route_exec(self, session: FrontSession, request) -> Dict[str, Any]:
+        """Route one (already-authorised) data verb to its shard."""
         shard, wreq = self.router.route(
             request, session.next_insert_shard(self.layout.shards)
         )
@@ -1075,11 +1261,96 @@ class ShardedTdbServer:
             session.begun.add(shard)
         wreq.pop("id", None)
         result = await link.call("s.exec", sid=session.id, req=wreq)
-        return self.router.translate_response(op, request, shard, result)
+        return self.router.translate_response(
+            request["op"], request, shard, result
+        )
+
+    async def _tenant_data_verb(
+        self, session: FrontSession, request
+    ) -> Dict[str, Any]:
+        """Policy-check then namespace one data verb for the hub.
+
+        Tenant data shares the shards: names and collections are
+        rewritten to ``t!{tenant}!{name}`` (stable-hash routing still
+        applies, to the prefixed key), and object values are wrapped
+        with the owning tenant so a guessed virtual oid from another
+        tenant reads as absent rather than leaking data.  Reads of the
+        reserved ``_``-collections (``_audit`` et al.) are answered from
+        the tenant's own control-plane database, where the hub writes
+        them; they are never sharded.
+        """
+        op = request["op"]
+        identity = session.identity
+        await asyncio.to_thread(self.tenancy.check, identity, op, request)
+        name = request.get("name")
+        if (
+            op in ("col.get", "col.iterate")
+            and isinstance(name, str)
+            and name.startswith("_")
+        ):
+            return await asyncio.to_thread(
+                self.tenancy.read_reserved, identity, request
+            )
+        wreq = dict(request)
+        if op.startswith(("col.", "name.")):
+            wreq["name"] = _tenant_prefix(identity.tenant, str(_param(request, "name")))
+        elif op == "obj.put":
+            if wreq.get("oid") is not None:
+                await self._assert_owned(
+                    session, int(wreq["oid"]), identity.tenant
+                )
+            wreq["value"] = {
+                _TENANT_WRAP_KEY: identity.tenant,
+                "v": request.get("value"),
+            }
+        elif op == "obj.remove":
+            await self._assert_owned(
+                session, int(_param(request, "oid")), identity.tenant
+            )
+        result = await self._route_exec(session, wreq)
+        if op == "obj.get":
+            value = result.get("value")
+            if not (
+                isinstance(value, dict)
+                and value.get(_TENANT_WRAP_KEY) == identity.tenant
+            ):
+                raise ObjectNotFoundError(
+                    f"object {request.get('oid')} not found"
+                )
+            result = {**result, "value": value.get("v")}
+        if isinstance(name, str) and isinstance(result.get("name"), str):
+            result = {**result, "name": name}
+        if op in MUTATING_DATA_VERBS:
+            session.txn_bytes += _tenant_value_bytes(request)
+        return result
+
+    async def _assert_owned(
+        self, session: FrontSession, oid: int, tenant: str
+    ) -> None:
+        """Refuse obj.put/obj.remove on an oid another tenant owns.
+
+        Uniform ``not found`` whether the object is absent or foreign —
+        no existence oracle across tenants."""
+        try:
+            probe = await self._route_exec(
+                session, {"op": "obj.get", "oid": oid}
+            )
+        except ObjectNotFoundError:
+            raise ObjectNotFoundError(f"object {oid} not found") from None
+        value = probe.get("value")
+        if not (
+            isinstance(value, dict) and value.get(_TENANT_WRAP_KEY) == tenant
+        ):
+            raise ObjectNotFoundError(f"object {oid} not found")
 
     # -- admin -----------------------------------------------------------
 
     def hello_payload(self) -> Dict[str, Any]:
+        features = [
+            "resume", "commit-tokens", "sharding", "cross-shard-commit",
+        ]
+        if self.tenancy is not None:
+            features.append("tenancy")
         return {
             "protocol": protocol.PROTOCOL_VERSION,
             "server": "tdb",
@@ -1087,9 +1358,8 @@ class ShardedTdbServer:
             "sharded": True,
             "shards": self.layout.shards,
             "epoch": self.epoch,
-            "features": [
-                "resume", "commit-tokens", "sharding", "cross-shard-commit",
-            ],
+            "features": features,
+            "absent_verbs": list(_UNSUPPORTED),
         }
 
     async def stats_payload(self) -> Dict[str, Any]:
@@ -1108,6 +1378,9 @@ class ShardedTdbServer:
         resilience["resume_grace"] = self.backpressure.effective_resume_grace
         resilience["epoch"] = self.epoch
         resilience["commit_tokens"] = self.commit_results.stats_snapshot()
+        tenancy = None
+        if self.tenancy is not None:
+            tenancy = await asyncio.to_thread(self.tenancy.stats)
         return {
             "sharded": True,
             "shards": self.layout.shards,
@@ -1115,6 +1388,7 @@ class ShardedTdbServer:
             "sessions": self.admission.as_dict(),
             "resilience": resilience,
             "read_only": False,
+            "tenancy": tenancy,
         }
 
     # ------------------------------------------------------------------
@@ -1130,6 +1404,7 @@ class ShardedTdbServer:
             self._reaper_task.cancel()
         for session in list(self._parked.values()):
             await self._abort_worker_txns(session)
+            self._release_identity(session)
         self._parked.clear()
         for link in list(self._links.values()):
             link.superseded = True

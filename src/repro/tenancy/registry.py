@@ -1,0 +1,545 @@
+"""TenantRegistry: lazily opened, LRU-evicted per-tenant databases.
+
+One root directory holds every tenant::
+
+    ROOT/tenants/<name>/     # a full Database layout (data/, secret.key, ...)
+
+The registry opens a tenant's :class:`~repro.db.Database` on first use,
+keeps at most ``max_open`` of them resident, and evicts the least
+recently used *unleased* tenant when the budget is exceeded — flushing
+its durable meter and closing the stack cleanly so a later access
+re-opens it through normal crash recovery.  Leases (one per
+authenticated session) pin a tenant open; if every resident tenant is
+leased the budget is soft-exceeded rather than breaking live sessions.
+
+:class:`TenantState` is the per-open-tenant bundle: the database, its
+quota state, the policy cache, the audit sequence, and the meter
+counters, plus every helper that touches the tenant's own records
+(principals, grants, audit events, meter flushes).  All of those run
+under the tenant lock, so control-plane writes to one tenant serialize
+with each other but never with other tenants.
+
+Lock order: registry lock → tenant lock → database internals.  No
+method of :class:`TenantState` ever calls back into the registry.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import re
+import secrets as _secrets
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.config import ChunkStoreConfig
+from repro.db import Database
+from repro.errors import TDBError, TenancyError
+from repro.tenancy.quotas import QuotaState, TenantQuotas
+from repro.tenancy.records import (
+    AUDIT,
+    META_NAME,
+    METER_NAME,
+    POLICY,
+    PRINCIPALS,
+    TenancyRecord,
+    control_plane_indexers,
+    index_name,
+)
+
+__all__ = ["TenantRegistry", "TenantState"]
+
+_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9._-]{0,63}$")
+
+_MISSING = object()
+
+
+def validate_tenant_name(name: str) -> str:
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise TenancyError(
+            "tenant names must match [a-z0-9][a-z0-9._-]{0,63} "
+            f"(got {name!r})"
+        )
+    return name
+
+
+def prepare_database(db: Database) -> None:
+    """Register the tenancy data model on a freshly opened database."""
+    from repro.server.verbs import RemoteRecord
+
+    db.register_class(TenancyRecord)
+    db.register_class(RemoteRecord)
+    for indexer in control_plane_indexers():
+        db.register_indexer(indexer)
+
+
+class TenantState:
+    """One resident tenant: database handle plus control-plane state."""
+
+    def __init__(
+        self,
+        name: str,
+        db: Database,
+        quotas: TenantQuotas,
+        meter_flush_every: int = 16,
+    ) -> None:
+        self.name = name
+        self.db = db
+        self.lock = threading.RLock()
+        self.leases = 0
+        self.last_used = 0
+        self._fallback_quotas = quotas
+        self.quota = QuotaState(quotas)
+        self.policy_cache: Optional[Dict[str, List]] = None
+        self.meter_flush_every = max(1, meter_flush_every)
+        self.meter_commits = 0
+        self.meter_bytes = 0
+        self._meter_dirty = 0
+        self._meter_oid: Optional[int] = None
+        self.audit_seq = 0
+        self._last_quota_audit = 0.0
+        self._load_persistent_state()
+
+    # ------------------------------------------------------------------
+    # Open-time restoration
+    # ------------------------------------------------------------------
+
+    def _load_persistent_state(self) -> None:
+        txn = self.db.transaction()
+        try:
+            meta_oid = txn.lookup_name(META_NAME)
+            if meta_oid is None:
+                raise TenancyError(
+                    f"directory of tenant {self.name!r} has no tenant "
+                    "metadata; not a tenant database"
+                )
+            meta = txn.open_readonly(meta_oid, TenancyRecord).deref().value
+            self._meter_oid = txn.lookup_name(METER_NAME)
+            if self._meter_oid is not None:
+                meter = txn.open_readonly(
+                    self._meter_oid, TenancyRecord
+                ).deref().value
+                self.meter_commits = int(meter.get("commits", 0))
+                self.meter_bytes = int(meter.get("bytes", 0))
+        finally:
+            txn.abort()
+        quota_config = meta.get("quotas")
+        quotas = (
+            TenantQuotas.from_dict(quota_config)
+            if quota_config
+            else self._fallback_quotas
+        )
+        self.quota = QuotaState(quotas)
+        self.quota.bytes_committed = self.meter_bytes
+        ct = self.db.ctransaction()
+        try:
+            self.audit_seq = ct.read_collection(AUDIT).count
+        finally:
+            ct.abort()
+
+    # ------------------------------------------------------------------
+    # Record helpers (all run under the tenant lock)
+    # ------------------------------------------------------------------
+
+    def _rows(self, ct, collection: str, field: str, key=_MISSING) -> List[Any]:
+        handle = ct.read_collection(collection)
+        indexer = self.db.collection_store.indexer(index_name(collection, field))
+        if key is _MISSING:
+            iterator = handle.query(indexer)
+        else:
+            iterator = handle.query_match(indexer, key)
+        values = []
+        try:
+            while not iterator.end():
+                values.append(iterator.read().deref().value)
+                iterator.next()
+        finally:
+            iterator.close()
+        return values
+
+    def read_principal_secret(self, principal: str) -> Optional[str]:
+        """The principal's secret (hex) or ``None`` if unknown."""
+        with self.lock:
+            ct = self.db.ctransaction()
+            try:
+                rows = self._rows(ct, PRINCIPALS, "name", principal)
+            finally:
+                ct.abort()
+        return rows[0].get("secret") if rows else None
+
+    def upsert_principal(self, principal: str):
+        """Ensure ``principal`` exists; returns ``(secret_hex, created)``."""
+        with self.lock:
+            ct = self.db.ctransaction()
+            try:
+                rows = self._rows(ct, PRINCIPALS, "name", principal)
+                if rows:
+                    ct.abort()
+                    return rows[0]["secret"], False
+                secret = _secrets.token_hex(32)
+                handle = ct.write_collection(PRINCIPALS)
+                handle.insert(
+                    TenancyRecord({"name": principal, "secret": secret})
+                )
+                ct.commit(durable=True)
+            except BaseException:
+                if ct.active:
+                    ct.abort()
+                raise
+            return secret, True
+
+    def insert_grant(self, principal: str, scope: str, right: str) -> bool:
+        """Add one grant record; returns False if it already existed."""
+        with self.lock:
+            ct = self.db.ctransaction()
+            try:
+                for row in self._rows(ct, POLICY, "principal", principal):
+                    if row.get("scope") == scope and row.get("right") == right:
+                        ct.abort()
+                        return False
+                handle = ct.write_collection(POLICY)
+                handle.insert(
+                    TenancyRecord(
+                        {"principal": principal, "scope": scope, "right": right}
+                    )
+                )
+                ct.commit(durable=True)
+            except BaseException:
+                if ct.active:
+                    ct.abort()
+                raise
+            self.policy_cache = None
+            return True
+
+    def revoke_grants(self, principal: str, scope: str, right: str) -> int:
+        """Remove matching grant records; returns how many were removed."""
+        with self.lock:
+            ct = self.db.ctransaction()
+            removed = 0
+            try:
+                handle = ct.write_collection(POLICY)
+                indexer = self.db.collection_store.indexer(
+                    index_name(POLICY, "principal")
+                )
+                iterator = handle.query_match(indexer, principal)
+                try:
+                    while not iterator.end():
+                        row = iterator.read().deref().value
+                        if row.get("scope") == scope and row.get("right") == right:
+                            iterator.delete()
+                            removed += 1
+                        iterator.next()
+                finally:
+                    iterator.close()
+                ct.commit(durable=True)
+            except BaseException:
+                if ct.active:
+                    ct.abort()
+                raise
+            self.policy_cache = None
+            return removed
+
+    def load_policy(self) -> Dict[str, List]:
+        """The tenant's grants as ``{principal: [(scope, right), ...]}``.
+
+        Cached; the cache is dropped on every wire commit of this tenant
+        and on grant/revoke, so a revocation takes effect on the next
+        transaction at the latest.
+        """
+        with self.lock:
+            if self.policy_cache is not None:
+                return self.policy_cache
+            ct = self.db.ctransaction()
+            try:
+                rows = self._rows(ct, POLICY, "principal")
+            finally:
+                ct.abort()
+            grants: Dict[str, List] = {}
+            for row in rows:
+                grants.setdefault(str(row.get("principal")), []).append(
+                    (str(row.get("scope")), str(row.get("right")))
+                )
+            self.policy_cache = grants
+            return grants
+
+    # ------------------------------------------------------------------
+    # Audit and metering
+    # ------------------------------------------------------------------
+
+    def audit_event(
+        self,
+        event: str,
+        principal: Optional[str] = None,
+        detail: Optional[Dict[str, Any]] = None,
+        durable: bool = True,
+    ) -> Dict[str, Any]:
+        """Durably append one record to the tenant's ``_audit`` collection."""
+        with self.lock:
+            record = {
+                "seq": self.audit_seq,
+                "ts": time.time(),
+                "event": event,
+                "principal": principal,
+                "detail": detail or {},
+            }
+            ct = self.db.ctransaction()
+            try:
+                ct.write_collection(AUDIT).insert(TenancyRecord(record))
+                ct.commit(durable=durable)
+            except BaseException:
+                if ct.active:
+                    ct.abort()
+                raise
+            self.audit_seq += 1
+            return record
+
+    def quota_trip(self, principal: Optional[str], kind: str) -> None:
+        """Audit a quota refusal, rate-limited to one record per second
+        so a hostile storm cannot turn the audit trail into the attack."""
+        now = time.monotonic()
+        with self.lock:
+            if now - self._last_quota_audit < 1.0:
+                return
+            self._last_quota_audit = now
+        try:
+            self.audit_event("quota", principal, {"kind": kind})
+        except TDBError:
+            pass
+
+    def record_commit(self, principal: Optional[str], txn_bytes: int) -> None:
+        """Meter one committed wire transaction and invalidate the policy
+        cache (grants written through data verbs become visible)."""
+        with self.lock:
+            self.meter_commits += 1
+            self.meter_bytes += txn_bytes
+            self._meter_dirty += 1
+            self.policy_cache = None
+            if self._meter_dirty >= self.meter_flush_every:
+                self.flush_meter()
+                self.audit_event(
+                    "commits",
+                    principal,
+                    {"commits": self.meter_commits, "bytes": self.meter_bytes},
+                )
+
+    def flush_meter(self) -> None:
+        """Write the cumulative meter counters back to the durable meter
+        object (no-op when clean)."""
+        with self.lock:
+            if self._meter_dirty == 0 or self._meter_oid is None:
+                return
+            txn = self.db.transaction()
+            try:
+                ref = txn.open_writable(self._meter_oid, TenancyRecord)
+                ref.deref().value = {
+                    "commits": self.meter_commits,
+                    "bytes": self.meter_bytes,
+                }
+                txn.commit(durable=True)
+            except BaseException:
+                if txn.active:
+                    txn.abort()
+                raise
+            self._meter_dirty = 0
+
+
+class TenantRegistry:
+    """Lazily opens tenants, bounds resident handles, evicts by LRU."""
+
+    def __init__(
+        self,
+        root: str,
+        max_open: int = 8,
+        default_quotas: Optional[TenantQuotas] = None,
+        chunk_config: Optional[ChunkStoreConfig] = None,
+        meter_flush_every: int = 16,
+    ) -> None:
+        if max_open < 1:
+            raise TenancyError("max_open must be at least 1")
+        self.root = os.path.abspath(root)
+        self.tenants_dir = os.path.join(self.root, "tenants")
+        self.max_open = max_open
+        self.default_quotas = default_quotas or TenantQuotas()
+        self.chunk_config = chunk_config
+        self.meter_flush_every = meter_flush_every
+        self._lock = threading.RLock()
+        self._states: Dict[str, TenantState] = {}
+        self._ticks = itertools.count(1)
+        self.opened_total = 0
+        self.evicted_total = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+
+    def tenant_dir(self, name: str) -> str:
+        return os.path.join(self.tenants_dir, validate_tenant_name(name))
+
+    def exists(self, name: str) -> bool:
+        return os.path.isfile(os.path.join(self.tenant_dir(name), "secret.key"))
+
+    def list(self) -> List[str]:
+        if not os.path.isdir(self.tenants_dir):
+            return []
+        return sorted(
+            entry
+            for entry in os.listdir(self.tenants_dir)
+            if _NAME_RE.match(entry) and self.exists(entry)
+        )
+
+    # ------------------------------------------------------------------
+    # Creation
+    # ------------------------------------------------------------------
+
+    def create(self, name: str, quotas: Optional[TenantQuotas] = None) -> None:
+        """Create a tenant database with its reserved collections."""
+        directory = self.tenant_dir(name)
+        if self.exists(name):
+            raise TenancyError(f"tenant {name!r} already exists")
+        quotas = quotas or self.default_quotas
+        db = Database.create(directory, chunk_config=self.chunk_config)
+        try:
+            prepare_database(db)
+            with db.ctransaction() as ct:
+                for indexer in control_plane_indexers():
+                    ct.create_collection(indexer.name.split(":", 2)[1], indexer)
+            with db.transaction() as txn:
+                meter_oid = txn.insert(TenancyRecord({"commits": 0, "bytes": 0}))
+                txn.bind_name(METER_NAME, meter_oid)
+                meta_oid = txn.insert(
+                    TenancyRecord(
+                        {
+                            "name": name,
+                            "quotas": quotas.as_dict(),
+                            "created": time.time(),
+                        }
+                    )
+                )
+                txn.bind_name(META_NAME, meta_oid)
+        finally:
+            db.close()
+
+    # ------------------------------------------------------------------
+    # Residency
+    # ------------------------------------------------------------------
+
+    def acquire(self, name: str) -> TenantState:
+        """The resident state for ``name``, opening (and possibly
+        evicting another tenant) as needed.  Bumps the LRU clock."""
+        validate_tenant_name(name)
+        with self._lock:
+            if self._closed:
+                raise TenancyError("tenant registry is closed")
+            state = self._states.get(name)
+            if state is None:
+                if not self.exists(name):
+                    raise TenancyError(f"unknown tenant {name!r}")
+                db = Database.open_existing(
+                    self.tenant_dir(name), chunk_config=self.chunk_config
+                )
+                try:
+                    prepare_database(db)
+                    state = TenantState(
+                        name, db, self.default_quotas, self.meter_flush_every
+                    )
+                except BaseException:
+                    db.close()
+                    raise
+                self._states[name] = state
+                self.opened_total += 1
+                self._evict_over_budget(keep=name)
+            state.last_used = next(self._ticks)
+            return state
+
+    def peek(self, name: str) -> Optional[TenantState]:
+        with self._lock:
+            return self._states.get(name)
+
+    def lease(self, state: TenantState) -> None:
+        with self._lock:
+            state.leases += 1
+
+    def unlease(self, state: TenantState) -> None:
+        with self._lock:
+            state.leases = max(0, state.leases - 1)
+
+    def using(self, name: str):
+        """Context manager: acquire ``name`` under a short-lived lease so
+        eviction cannot close the database mid-operation."""
+        return _Leased(self, name)
+
+    def _evict_over_budget(self, keep: Optional[str] = None) -> None:
+        while len(self._states) > self.max_open:
+            candidates = [
+                state
+                for state in self._states.values()
+                if state.leases == 0 and state.name != keep
+            ]
+            if not candidates:
+                return  # every tenant is pinned: soft-exceed the budget
+            victim = min(candidates, key=lambda state: state.last_used)
+            del self._states[victim.name]
+            self.evicted_total += 1
+            self._close_state(victim)
+
+    @staticmethod
+    def _close_state(state: TenantState) -> None:
+        try:
+            state.flush_meter()
+        except TDBError:
+            pass
+        state.db.close()
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            states = list(self._states.values())
+            self._states.clear()
+        for state in states:
+            self._close_state(state)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "open": len(self._states),
+                "max_open": self.max_open,
+                "opened_total": self.opened_total,
+                "evicted_total": self.evicted_total,
+                "tenants": {
+                    name: {
+                        "leases": state.leases,
+                        "sessions": state.quota.sessions,
+                        "audit_records": state.audit_seq,
+                    }
+                    for name, state in self._states.items()
+                },
+            }
+
+
+class _Leased:
+    __slots__ = ("_registry", "_name", "_state")
+
+    def __init__(self, registry: TenantRegistry, name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._state = None
+
+    def __enter__(self) -> TenantState:
+        with self._registry._lock:
+            state = self._registry.acquire(self._name)
+            self._registry.lease(state)
+            self._state = state
+        return state
+
+    def __exit__(self, *exc_info) -> None:
+        if self._state is not None:
+            self._registry.unlease(self._state)
+            self._state = None

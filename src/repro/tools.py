@@ -27,6 +27,12 @@ Subcommands over a file-backed database directory (the layout
   ``--shards N`` serves a *sharded* layout instead: N worker processes
   behind one asyncio front door (:mod:`repro.server.sharded`), created
   on first use and reopened with the recorded shard count after that.
+  ``--tenants`` turns either frontend into a multi-tenant hub
+  (:mod:`repro.tenancy`): sessions must authenticate as a
+  ``(tenant, principal)`` pair and data verbs are policy-gated and
+  metered per tenant.
+* ``tenant`` — administer a multi-tenant hub root offline:
+  ``create`` / ``list`` / ``grant`` / ``revoke`` / ``meter``.
 * ``replicate`` — run a read replica of a serving primary: sync once
   (``--once``), keep following, and optionally serve read-only clients
   (``--serve-port``); ``--seed`` bootstraps the image from the backup
@@ -53,6 +59,12 @@ Usage::
     python -m repro.tools salvage-export /path/to/dbdir /path/to/outdir
     python -m repro.tools serve   /path/to/dbdir [--host H] [--port P]
     python -m repro.tools serve   /path/to/sharddir --shards 4
+    python -m repro.tools serve   /path/to/hubroot --tenants [--shards 4]
+    python -m repro.tools tenant  create /path/to/hubroot NAME [--admin P]
+    python -m repro.tools tenant  list   /path/to/hubroot
+    python -m repro.tools tenant  grant  /path/to/hubroot NAME P SCOPE RIGHT
+    python -m repro.tools tenant  revoke /path/to/hubroot NAME P SCOPE RIGHT
+    python -m repro.tools tenant  meter  /path/to/hubroot NAME
     python -m repro.tools replicate /path/to/replicadir --primary H:P \\
         [--once] [--serve-port P] [--poll SECONDS] [--seed NAME ...]
     python -m repro.tools promote /path/to/replicadir
@@ -349,6 +361,7 @@ def serve_database(
     max_pending: int = 256,
     quorum_seal: bool = True,
     max_results: int = 1000,
+    tenants: bool = False,
     ready_callback=None,
     stop_event=None,
 ) -> int:
@@ -360,32 +373,56 @@ def serve_database(
     ``ready_callback``, when given, receives the bound ``(host, port)``
     once the listener is up — with ``port=0`` that is the only way to
     learn the ephemeral port.
+
+    With ``tenants`` the directory is a multi-tenant hub root instead
+    of a single database: per-tenant databases live under
+    ``<directory>/tenants/`` and every session authenticates before
+    touching data (see :mod:`repro.tenancy`).
     """
     import threading
 
     from repro.db import Database
     from repro.server import BackpressureConfig, TdbServer
 
-    db = Database.open_existing(directory, chunk_config=config)
+    db = None
+    hub = None
     backpressure = BackpressureConfig(
         max_sessions=max_sessions,
         idle_timeout=idle_timeout,
         resume_grace=resume_grace,
         max_pending_commits=max_pending,
     )
-    server = TdbServer(
-        db,
-        host=host,
-        port=port,
-        backpressure=backpressure,
-        max_batch=max_batch,
-        max_delay=max_delay,
-        quorum_seal=quorum_seal,
-        max_results=max_results,
-    )
+    if tenants:
+        from repro.tenancy import TenancyHub
+
+        hub = TenancyHub(directory, chunk_config=config)
+        server = TdbServer(
+            None,
+            host=host,
+            port=port,
+            backpressure=backpressure,
+            max_batch=max_batch,
+            max_delay=max_delay,
+            quorum_seal=quorum_seal,
+            max_results=max_results,
+            tenancy=hub,
+        )
+    else:
+        db = Database.open_existing(directory, chunk_config=config)
+        server = TdbServer(
+            db,
+            host=host,
+            port=port,
+            backpressure=backpressure,
+            max_batch=max_batch,
+            max_delay=max_delay,
+            quorum_seal=quorum_seal,
+            max_results=max_results,
+        )
     server.start()
     bound_host, bound_port = server.address
-    print(f"serving {directory} on {bound_host}:{bound_port}")
+    label = "tenant hub " if tenants else ""
+    print(f"serving {label}{directory} on {bound_host}:{bound_port}")
     if ready_callback is not None:
         ready_callback(bound_host, bound_port)
     if stop_event is None:
@@ -396,7 +433,10 @@ def serve_database(
         print("interrupted; shutting down")
     finally:
         server.stop()
-        db.close()
+        if hub is not None:
+            hub.close()
+        if db is not None:
+            db.close()
     return 0
 
 
@@ -414,6 +454,7 @@ def serve_sharded_database(
     max_pending: int = 256,
     quorum_seal: bool = True,
     max_results: int = 1000,
+    tenants: bool = False,
     ready_callback=None,
     stop_event=None,
 ) -> int:
@@ -423,12 +464,21 @@ def serve_sharded_database(
     ``shards`` partitions) or an existing shard layout created with the
     same count — the partition function is a function of N, so the count
     is pinned in ``sharding.json``.
+
+    With ``tenants`` the front door also runs the multi-tenant hub:
+    tenant control planes live under ``<directory>/tenants/`` while
+    tenant data shares the shard workers under per-tenant namespaces.
     """
     import threading
 
     from repro.server.backpressure import BackpressureConfig
     from repro.server.sharded import ShardedTdbServer
 
+    hub = None
+    if tenants:
+        from repro.tenancy import TenancyHub
+
+        hub = TenancyHub(directory, chunk_config=config)
     backpressure = BackpressureConfig(
         max_sessions=max_sessions,
         idle_timeout=idle_timeout,
@@ -446,11 +496,18 @@ def serve_sharded_database(
         max_results=max_results,
         quorum_seal=quorum_seal,
         chunk_config=config,
+        tenancy=hub,
     )
-    server.start()
+    try:
+        server.start()
+    except BaseException:
+        if hub is not None:
+            hub.close()
+        raise
     bound_host, bound_port = server.address
+    label = "tenant hub " if tenants else ""
     print(
-        f"serving {directory} on {bound_host}:{bound_port} "
+        f"serving {label}{directory} on {bound_host}:{bound_port} "
         f"({server.layout.shards} shard workers)"
     )
     if ready_callback is not None:
@@ -463,6 +520,8 @@ def serve_sharded_database(
         print("interrupted; shutting down")
     finally:
         server.stop()
+        if hub is not None:
+            hub.close()
     return 0
 
 
@@ -753,6 +812,76 @@ def audit_database(
     return 0
 
 
+def tenant_admin(args) -> int:
+    """The ``tenant`` subcommand: offline hub-root administration.
+
+    Operates directly on the hub root (no server round trip), so there
+    is no admin gate — possession of the directory is the credential.
+    Every mutation still lands in the tenant's ``_audit`` trail with
+    ``via: cli``.
+    """
+    import json
+
+    from repro.tenancy import TenancyHub, TenantQuotas
+
+    hub = TenancyHub(args.root)
+    try:
+        if args.tenant_command == "create":
+            quotas = None
+            overrides = {
+                "max_sessions": args.max_sessions,
+                "max_pending_commits": args.max_pending,
+                "max_bytes": args.max_bytes,
+                "txn_rate": args.txn_rate,
+                "burst": args.burst,
+            }
+            overrides = {k: v for k, v in overrides.items() if v is not None}
+            if overrides:
+                from dataclasses import replace as _dc_replace
+
+                quotas = _dc_replace(TenantQuotas(), **overrides)
+            result = hub.create_tenant(
+                args.name, quotas, admin=args.admin or None
+            )
+            print(f"tenant {result['tenant']} created")
+            if "secret" in result:
+                print(f"  admin principal : {result['admin']}")
+                print(f"  admin secret    : {result['secret']}")
+                print("  (the secret is shown exactly once; store it now)")
+            return 0
+        if args.tenant_command == "list":
+            for name in hub.list_tenants():
+                print(name)
+            return 0
+        if args.tenant_command == "grant":
+            result = hub.grant_offline(
+                args.name, args.principal, args.scope, args.right
+            )
+            print(
+                f"granted {args.right} on {args.scope!r} to "
+                f"{args.principal} in tenant {args.name}"
+            )
+            if result.get("secret"):
+                print(f"  new principal secret: {result['secret']}")
+                print("  (shown exactly once; store it now)")
+            return 0
+        if args.tenant_command == "revoke":
+            result = hub.revoke_offline(
+                args.name, args.principal, args.scope, args.right
+            )
+            print(
+                f"revoked {result.get('removed', 0)} grant(s) of "
+                f"{args.right} on {args.scope!r} from {args.principal} "
+                f"in tenant {args.name}"
+            )
+            return 0
+        # meter
+        print(json.dumps(hub.meter(args.name), indent=2, sort_keys=True))
+        return 0
+    finally:
+        hub.close()
+
+
 def _config_from_args(args) -> Optional[ChunkStoreConfig]:
     if (
         args.segment_kb is None
@@ -838,6 +967,11 @@ def main(argv=None) -> int:
                                   "worker processes (creates the layout on "
                                   "an empty directory; must match the "
                                   "recorded count afterwards)")
+            cmd.add_argument("--tenants", action="store_true", default=False,
+                             help="serve the directory as a multi-tenant "
+                                  "hub root: sessions authenticate as "
+                                  "(tenant, principal) and data verbs are "
+                                  "policy-gated and metered per tenant")
         if name == "replicate":
             cmd.add_argument("--primary", required=True,
                              help="primary server as host:port")
@@ -871,7 +1005,44 @@ def main(argv=None) -> int:
                                   action="store_true", default=None)
         secure_group.add_argument("--insecure", dest="secure",
                                   action="store_false")
+
+    tenant = sub.add_parser(
+        "tenant", help="administer a multi-tenant hub root"
+    )
+    tsub = tenant.add_subparsers(dest="tenant_command", required=True)
+    t_create = tsub.add_parser("create")
+    t_create.add_argument("root")
+    t_create.add_argument("name")
+    t_create.add_argument("--admin", default="admin",
+                          help="bootstrap admin principal (empty string "
+                               "skips creating one)")
+    t_create.add_argument("--max-sessions", type=int, default=None)
+    t_create.add_argument("--max-pending", type=int, default=None)
+    t_create.add_argument("--max-bytes", type=int, default=None)
+    t_create.add_argument("--txn-rate", type=float, default=None,
+                          help="transactions per second (0 = unlimited)")
+    t_create.add_argument("--burst", type=int, default=None,
+                          help="token-bucket burst size")
+    t_list = tsub.add_parser("list")
+    t_list.add_argument("root")
+    for vname in ("grant", "revoke"):
+        t_cmd = tsub.add_parser(vname)
+        t_cmd.add_argument("root")
+        t_cmd.add_argument("name")
+        t_cmd.add_argument("principal")
+        t_cmd.add_argument("scope")
+        t_cmd.add_argument("right", choices=["read", "write", "admin"])
+    t_meter = tsub.add_parser("meter")
+    t_meter.add_argument("root")
+    t_meter.add_argument("name")
+
     args = parser.parse_args(argv)
+    if args.command == "tenant":
+        try:
+            return tenant_admin(args)
+        except TDBError as exc:
+            print(f"{type(exc).__name__}: {exc}", file=sys.stderr)
+            return 2
     config = _config_from_args(args)
     try:
         if args.command == "inspect":
@@ -898,6 +1069,7 @@ def main(argv=None) -> int:
                     max_pending=args.max_pending,
                     quorum_seal=args.quorum_seal,
                     max_results=args.max_results,
+                    tenants=args.tenants,
                 )
             return serve_database(
                 args.directory,
@@ -912,6 +1084,7 @@ def main(argv=None) -> int:
                 max_pending=args.max_pending,
                 quorum_seal=args.quorum_seal,
                 max_results=args.max_results,
+                tenants=args.tenants,
             )
         if args.command == "replicate":
             return replicate_database(

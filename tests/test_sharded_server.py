@@ -703,9 +703,9 @@ class TestFrontDoorResilience:
     def test_unsupported_verbs_fail_cleanly(self, tmp_path):
         with sharded_server(tmp_path) as server:
             with connect(server) as client:
-                with pytest.raises(ServerError, match="not available"):
+                with pytest.raises(ServerError, match="unavailable"):
                     client.call("repl.master")
-                with pytest.raises(ServerError, match="not available"):
+                with pytest.raises(ServerError, match="unavailable"):
                     client.call("log.head")
                 with pytest.raises(ProtocolError, match="unknown verb"):
                     client.call("no.such.verb")

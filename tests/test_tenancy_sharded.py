@@ -1,0 +1,339 @@
+"""Tenancy on the sharded front door, plus frontend-parity contracts.
+
+The sharded layout shares its shard workers between tenants (names and
+collections are namespaced, object values are wrapped with the owning
+tenant), so the isolation tests here exercise a genuinely shared data
+plane — unlike the threaded hub, where each tenant has its own database
+and cross-tenant oids cannot even collide.
+
+Also home to two satellite contracts that are about the sharded frontend
+itself rather than tenancy:
+
+* capability advertisement — per-store verbs the front door cannot serve
+  are listed in ``hello.absent_verbs`` and refused with a structured
+  :class:`FeatureUnavailableError`, for old and new clients alike;
+* admission-control parity — ``max_sessions`` refuses excess sessions
+  with the same transient ``ServerBusyError`` the threaded server uses.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+
+import pytest
+
+from repro.errors import (
+    AuthRequiredError,
+    FeatureUnavailableError,
+    ObjectNotFoundError,
+    PermissionDeniedError,
+    QuotaExceededError,
+    ServerBusyError,
+    TDBError,
+)
+from repro.server import BackpressureConfig, ShardedTdbServer, TdbClient
+from repro.tenancy import TenancyHub, TenantQuotas
+
+
+@contextlib.contextmanager
+def sharded_hub(tmp_path, tenants=(), shards=2, **kwargs):
+    """A tenancy-enabled sharded server; yields ``(server, hub, secrets)``."""
+    kwargs.setdefault(
+        "backpressure",
+        BackpressureConfig(
+            idle_timeout=15.0, request_timeout=10.0, resume_grace=1.5
+        ),
+    )
+    root = str(tmp_path / "hub")
+    hub = TenancyHub(root)
+    secrets = {}
+    for name, quotas in tenants:
+        secrets[name] = hub.create_tenant(name, quotas)["secret"]
+    server = ShardedTdbServer(root, shards=shards, tenancy=hub, **kwargs)
+    server.start()
+    try:
+        yield server, hub, secrets
+    finally:
+        server.stop()
+        hub.close()
+
+
+def connect(server, tenant=None, principal=None, secret=None) -> TdbClient:
+    host, port = server.address
+    client = TdbClient(host, port, timeout=10.0)
+    if tenant is not None:
+        client.authenticate(tenant, principal, secret)
+    return client
+
+
+# ---------------------------------------------------------------------------
+# S1: capability advertisement (tenancy-independent)
+# ---------------------------------------------------------------------------
+
+
+class TestAbsentVerbs:
+    def test_plain_sharded_server_advertises_and_refuses(self, tmp_path):
+        server = ShardedTdbServer(str(tmp_path / "db"), shards=2)
+        server.start()
+        try:
+            with connect(server) as client:
+                # A new client reads the capability list up front and can
+                # route around the gap before tripping over it.
+                hello = client.hello()
+                absent = hello["absent_verbs"]
+                for verb in ("repl.subscribe", "repl.master", "log.head",
+                             "proof.read"):
+                    assert verb in absent
+                assert not set(absent) & set(hello["features"])
+                # An old client that never looked at hello still gets a
+                # structured, typed refusal — not a protocol error or a
+                # hung stream.
+                with pytest.raises(FeatureUnavailableError) as info:
+                    client.call("repl.subscribe")
+                assert "sharded" in str(info.value)
+                # The session is intact afterwards.
+                with client.transaction() as txn:
+                    txn.put({"still": "alive"})
+        finally:
+            server.stop()
+
+    def test_tenancy_hub_advertises_same_contract(self, tmp_path):
+        with sharded_hub(tmp_path, [("acme", None)]) as (server, _, secrets):
+            with connect(server, "acme", "admin", secrets["acme"]) as client:
+                hello = client.hello()
+                assert "tenancy" in hello["features"]
+                assert "repl.subscribe" in hello["absent_verbs"]
+                with pytest.raises(FeatureUnavailableError):
+                    client.call("log.head")
+
+
+# ---------------------------------------------------------------------------
+# S2: admission-control parity with the threaded server
+# ---------------------------------------------------------------------------
+
+
+class TestAdmissionParity:
+    def test_max_sessions_refuses_with_server_busy(self, tmp_path):
+        server = ShardedTdbServer(
+            str(tmp_path / "db"),
+            shards=2,
+            backpressure=BackpressureConfig(
+                max_sessions=1, idle_timeout=15.0, request_timeout=10.0
+            ),
+        )
+        server.start()
+        try:
+            first = connect(server)
+            first.stats()  # the one slot is taken
+            second = connect(server)
+            with pytest.raises(ServerBusyError):
+                second.stats()
+            second.close()
+            first.close()
+            # The slot frees once the first session drains.
+            deadline = time.monotonic() + 5
+            while True:
+                try:
+                    with connect(server) as third:
+                        third.stats()
+                    break
+                except ServerBusyError:
+                    if time.monotonic() > deadline:
+                        raise
+                    time.sleep(0.02)
+            assert server.admission.as_dict()["rejected_total"] >= 1
+        finally:
+            server.stop()
+
+
+# ---------------------------------------------------------------------------
+# Tenancy end-to-end on the shared data plane
+# ---------------------------------------------------------------------------
+
+
+THREE = [("acme", None), ("globex", None), ("initech", None)]
+
+
+class TestShardedTenancy:
+    def test_preauth_data_verbs_refused(self, tmp_path):
+        with sharded_hub(tmp_path, [("acme", None)]) as (server, _, _s):
+            with connect(server) as client:
+                with pytest.raises(AuthRequiredError):
+                    client.call("begin", mode="object")
+                with pytest.raises(AuthRequiredError):
+                    client.call("obj.get", oid=1)
+                # hello and stats remain answerable pre-auth.
+                assert client.hello()["sharded"] is True
+                assert client.stats()["tenancy"]["open"] >= 0
+
+    def test_three_tenant_isolation_on_shared_shards(self, tmp_path):
+        with sharded_hub(tmp_path, THREE) as (server, _, secrets):
+            oids = {}
+            for name in ("acme", "globex", "initech"):
+                with connect(server, name, "admin", secrets[name]) as c:
+                    with c.transaction("collection") as ct:
+                        ct.create_collection("docs", "k")
+                        ct.insert("docs", {"k": 1, "owner": name})
+                    with c.transaction() as txn:
+                        oids[name] = txn.put({"secret": name})
+                        txn.bind("root", oids[name])
+            with connect(server, "acme", "admin", secrets["acme"]) as c:
+                with c.transaction() as txn:
+                    # Own data reads back.
+                    assert txn.lookup("root") == oids["acme"]
+                    assert txn.get(oids["acme"]) == {"secret": "acme"}
+                    # Another tenant's oid is a real, live object on the
+                    # same shards — and is absent from acme's view, with
+                    # the same error an unallocated oid produces (no
+                    # existence oracle).
+                    for other in ("globex", "initech"):
+                        with pytest.raises(ObjectNotFoundError):
+                            txn.get(oids[other])
+                        with pytest.raises(ObjectNotFoundError):
+                            txn.remove(oids[other])
+                    # Names are namespaced: the binding exists for every
+                    # tenant separately, and each resolves to its own oid.
+                    assert txn.lookup("root") == oids["acme"]
+                with c.transaction("collection") as ct:
+                    assert ct.get_match("docs", 1) == [
+                        {"k": 1, "owner": "acme"}
+                    ]
+            # globex's view of the same names/collections is its own.
+            with connect(server, "globex", "admin", secrets["globex"]) as c:
+                with c.transaction() as txn:
+                    assert txn.lookup("root") == oids["globex"]
+                    assert txn.get(oids["globex"]) == {"secret": "globex"}
+
+    def test_unbound_name_and_foreign_collection(self, tmp_path):
+        with sharded_hub(tmp_path, THREE) as (server, _, secrets):
+            with connect(server, "acme", "admin", secrets["acme"]) as c:
+                with c.transaction("collection") as ct:
+                    ct.create_collection("vault", "k")
+                    ct.insert("vault", {"k": 7})
+                with c.transaction() as txn:
+                    txn.bind("only-acme", txn.put({"x": 1}))
+            with connect(server, "globex", "admin", secrets["globex"]) as c:
+                with c.transaction() as txn:
+                    # The name simply does not exist in globex's namespace.
+                    assert txn.lookup("only-acme") is None
+                with pytest.raises(TDBError):
+                    with c.transaction("collection") as ct:
+                        ct.get_match("vault", 7)
+
+    def test_policy_revocation_effective_next_txn(self, tmp_path):
+        with sharded_hub(tmp_path, [("acme", None)]) as (server, hub, secrets):
+            writer = hub.grant_offline("acme", "writer", "docs", "write")
+            with connect(server, "acme", "admin", secrets["acme"]) as admin:
+                with admin.transaction("collection") as ct:
+                    ct.create_collection("docs", "k")
+            with connect(server, "acme", "writer", writer["secret"]) as w:
+                with w.transaction("collection") as ct:
+                    ct.insert("docs", {"k": 1})
+                with pytest.raises(PermissionDeniedError):
+                    with w.transaction() as txn:
+                        txn.put({"x": 1})
+                with connect(server, "acme", "admin", secrets["acme"]) as a:
+                    a.call("tenant.revoke", principal="writer",
+                           scope="docs", right="write")
+                with pytest.raises(PermissionDeniedError):
+                    with w.transaction("collection") as ct:
+                        ct.insert("docs", {"k": 2})
+
+    def test_audit_readable_through_reserved_route(self, tmp_path):
+        with sharded_hub(tmp_path, [("acme", None)]) as (server, _, secrets):
+            with connect(server, "acme", "admin", secrets["acme"]) as c:
+                # Wildcard admin does NOT cover reserved scopes; reading
+                # the trail needs an explicit grant, which the admin can
+                # mint (tenant.grant is gated on wildcard admin).
+                c.call("begin", mode="collection")
+                with pytest.raises(PermissionDeniedError):
+                    c.call("col.iterate", name="_audit")
+                c.call("abort")
+                c.call("tenant.grant", principal="admin",
+                       scope="_audit", right="read")
+                with c.transaction() as txn:
+                    txn.put({"metered": True})
+                c.call("begin", mode="collection")
+                rows = c.call("col.iterate", name="_audit")["values"]
+                c.call("abort")
+                events = [r["event"] for r in rows]
+                assert "auth" in events
+                assert "grant" in events
+                # Reserved collections stay read-only over the wire.
+                c.call("begin", mode="collection")
+                with pytest.raises(PermissionDeniedError):
+                    c.call("col.insert", name="_audit",
+                           value={"event": "forged"})
+                c.call("abort")
+                meter = c.call("tenant.meter")
+                assert meter["usage"]["commits"] >= 1
+                assert meter["audit_records"] >= len(rows)
+
+    def test_quota_saturation_leaves_other_tenants_unaffected(self, tmp_path):
+        tenants = [
+            ("small", TenantQuotas(max_sessions=1)),
+            ("big", None),
+        ]
+        with sharded_hub(tmp_path, tenants) as (server, _, secrets):
+            c1 = connect(server, "small", "admin", secrets["small"])
+            try:
+                blocked = connect(server)
+                with pytest.raises(QuotaExceededError):
+                    blocked.authenticate("small", "admin", secrets["small"])
+                blocked.close()
+                with connect(server, "big", "admin", secrets["big"]) as c2:
+                    with c2.transaction() as txn:
+                        oid = txn.put({"unaffected": True})
+                    with c2.transaction() as txn:
+                        assert txn.get(oid) == {"unaffected": True}
+            finally:
+                c1.close()
+
+    def test_bytes_quota_gates_sharded_commit(self, tmp_path):
+        tenants = [("tiny", TenantQuotas(max_bytes=64))]
+        with sharded_hub(tmp_path, tenants) as (server, _, secrets):
+            with connect(server, "tiny", "admin", secrets["tiny"]) as c:
+                c.call("begin", mode="object")
+                c.call("obj.put", value={"blob": "x" * 200})
+                with pytest.raises(QuotaExceededError):
+                    c.call("commit")
+                # The front door aborted the worker transactions; the
+                # session is immediately reusable.
+                c.call("begin", mode="object")
+                c.call("obj.put", value={"s": 1})
+                c.call("commit")
+
+    def test_audit_survives_front_door_restart(self, tmp_path):
+        root = tmp_path
+        with sharded_hub(root, [("acme", None)]) as (server, _, secrets):
+            secret = secrets["acme"]
+            with connect(server, "acme", "admin", secret) as c:
+                c.call("tenant.grant", principal="admin",
+                       scope="_audit", right="read")
+        with sharded_hub(root) as (server, _hub, _):
+            with connect(server, "acme", "admin", secret) as c:
+                c.call("begin", mode="collection")
+                rows = c.call("col.iterate", name="_audit")["values"]
+                c.call("abort")
+                events = [r["event"] for r in rows]
+                assert "grant" in events and "auth" in events
+                seqs = [r["seq"] for r in rows]
+                assert seqs == sorted(seqs)
+
+    def test_stats_and_hub_release_on_disconnect(self, tmp_path):
+        with sharded_hub(tmp_path, [("acme", None)]) as (server, hub, secrets):
+            c = connect(server, "acme", "admin", secrets["acme"])
+            stats = c.stats()
+            assert stats["tenancy"]["tenants"]["acme"]["sessions"] == 1
+            c.close()
+            # The identity's quota slot frees when the connection drains
+            # (or its parked grace expires).
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                state = hub.registry.peek("acme")
+                if state is not None and state.quota.sessions == 0:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("session quota slot never released")
